@@ -1,0 +1,36 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report fast-report figure1 all-experiments clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+figure1:
+	$(PYTHON) -m repro.experiments.runner figure1 --csv figure1_full.csv
+
+report:
+	$(PYTHON) -m repro.experiments.runner report --out report.md
+
+fast-report:
+	$(PYTHON) -m repro.experiments.runner report --fast --out report.md
+
+all-experiments:
+	$(PYTHON) -m repro.experiments.runner all
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -type d -name __pycache__ -prune -exec rm -rf {} \;

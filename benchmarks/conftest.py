@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one row of DESIGN.md's per-experiment
+index.  Experiment-level benchmarks run the full harness once per round
+(``pedantic`` mode) because a single round is already statistically
+meaningful — the Monte Carlo inside averages tens of workloads — and the
+point of the benchmark output is the *reproduced numbers*, which are
+printed as fixed-width tables alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PaperParameters
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> PaperParameters:
+    """A benchmark-scale configuration: preserves every qualitative shape
+    of the paper-scale run at ~1/50 the cost."""
+    return PaperParameters().scaled_down(n_stations=20, monte_carlo_sets=10)
+
+
+@pytest.fixture(scope="session")
+def paper_params() -> PaperParameters:
+    """The paper's full configuration (used only by opt-in slow benches)."""
+    return PaperParameters()

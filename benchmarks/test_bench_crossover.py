@@ -1,0 +1,28 @@
+"""Benchmark: the PDP→TTP crossover frontier versus ring size.
+
+Quantifies the paper's closing design rule as a function of ring size and
+asserts its direction: the handover bandwidth sits in the 1–100 Mbps
+window and moves up as rings grow (FDDI's per-rotation `n·F_ovhd` tax is
+the binding cost at the low-bandwidth end).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.crossover import crossover_map
+
+
+def test_bench_crossover_frontier(benchmark, bench_params):
+    result = benchmark.pedantic(
+        crossover_map,
+        args=(bench_params,),
+        kwargs={"station_counts": (5, 10, 20, 40)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+
+    crossings = [p.crossover_mbps for p in result.points]
+    assert all(c is not None for c in crossings)
+    assert all(1.0 <= c <= 100.0 for c in crossings)
+    assert crossings == sorted(crossings)

@@ -1,0 +1,70 @@
+"""Benchmark: the fidelity gap between the two PDP abstractions.
+
+Paired runs of the arbitration-oracle simulator (the analysis'
+abstraction) and the protocol-faithful 802.5 simulator on the same
+workloads: verdict agreement, response-time inflation, and relative cost
+of the extra fidelity.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import breakdown_scale
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.experiments.reporting import format_table
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import ieee_802_5_ring, paper_frame_format
+from repro.sim.compare import compare_pdp_fidelity
+from repro.units import mbps, milliseconds
+
+
+FRAME = paper_frame_format()
+
+
+def _workload(n: int = 8) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(20 + 10 * i), payload_bits=8_000, station=i
+        )
+        for i in range(n)
+    )
+
+
+def test_bench_fidelity_gap(benchmark):
+    workload = _workload()
+    ring = ieee_802_5_ring(mbps(10), n_stations=len(workload))
+    analysis = PDPAnalysis(ring, FRAME, PDPVariant.STANDARD)
+    scale, __ = breakdown_scale(workload, analysis, rel_tol=1e-3)
+
+    def compare_at_fractions() -> list[list[object]]:
+        rows: list[list[object]] = []
+        for fraction in (0.4, 0.7, 0.9):
+            loaded = workload.scaled(scale * fraction)
+            comparison = compare_pdp_fidelity(
+                ring, FRAME, loaded, duration_s=0.6
+            )
+            rows.append(
+                [
+                    fraction,
+                    comparison.abstract.total_missed,
+                    comparison.faithful.total_missed,
+                    comparison.worst_response_ratio(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare_at_fractions, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["load fraction", "abstract misses", "faithful misses",
+         "response ratio"],
+        rows,
+    ))
+
+    for fraction, abstract_misses, faithful_misses, ratio in rows:
+        if fraction <= 0.7:
+            # Inside the analytic envelope both abstractions stay clean.
+            assert abstract_misses == 0
+            assert faithful_misses == 0
+        # Fidelity never buys more than the analytic worst-case factor.
+        assert ratio < 3.0

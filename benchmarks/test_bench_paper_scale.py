@@ -1,0 +1,30 @@
+"""Benchmark: the paper-scale Figure 1 (n = 100 stations, 30 sets).
+
+The other benchmarks run a scaled-down ring for CI friendliness; this one
+is the real thing — the exact configuration of the paper's Section 6.2.
+It takes tens of seconds; the bench output doubles as the canonical
+reproduction record (see EXPERIMENTS.md for the archived run).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_bench_figure1_paper_scale(benchmark, paper_params):
+    result = benchmark.pedantic(
+        run_figure1, args=(paper_params,), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    report = result.shape_report()
+    failures = [name for name, ok in report.items() if not ok]
+    assert not failures, f"paper-scale shape checks failed: {failures}"
+
+    # The quantitative anchors recorded in EXPERIMENTS.md.
+    crossover = result.crossover_bandwidth()
+    assert crossover is not None and 4.0 <= crossover <= 100.0
+    assert result.peak_bandwidth("pdp_standard") <= 10.0
+    assert result.series("ttp")[-1] > 0.85
+    assert result.series("pdp_modified")[-1] < 0.05

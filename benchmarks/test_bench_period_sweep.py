@@ -1,0 +1,49 @@
+"""Benchmark: robustness across period distributions (Section 6.2).
+
+The paper reports that the comparison's shape is stable for other mean
+periods and max/min ratios.  This bench repeats the three-protocol
+comparison over a period grid at a low and a high bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweeps import period_sweep
+
+
+def test_bench_period_sweep_low_bandwidth(benchmark, bench_params):
+    result = benchmark.pedantic(
+        period_sweep,
+        args=(bench_params, 2.0),
+        kwargs={"mean_periods_s": (0.05, 0.1, 0.2), "ratios": (2.0, 10.0)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+
+    for row in result.rows:
+        __, __, std, mod, __ = row
+        assert mod >= std - 1e-6  # modified dominates everywhere
+
+    # With the paper's ratio of 10 and mean periods up to 100 ms, the PDP
+    # wins at 2 Mbps.
+    for row in result.rows:
+        mean_period, ratio, std, mod, fddi = row
+        if ratio == 10.0 and mean_period <= 0.1:
+            assert max(std, mod) > fddi
+
+
+def test_bench_period_sweep_high_bandwidth(benchmark, bench_params):
+    """At 100 Mbps FDDI wins across the whole period grid."""
+    result = benchmark.pedantic(
+        period_sweep,
+        args=(bench_params, 100.0),
+        kwargs={"mean_periods_s": (0.05, 0.1, 0.2), "ratios": (2.0, 10.0)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    for row in result.rows:
+        __, __, std, mod, fddi = row
+        assert fddi > max(std, mod)

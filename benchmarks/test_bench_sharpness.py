@@ -1,0 +1,37 @@
+"""Benchmark: empirical sharpness of Theorems 4.1 and 5.1.
+
+Bisects the simulated breakdown scale of sampled workloads and compares
+with the analytic one: ratio 1 means the criterion is exact under matched
+conditions; anything above measures its conservatism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.sharpness import sharpness_experiment
+
+
+def test_bench_sharpness(benchmark):
+    params = PaperParameters().scaled_down(n_stations=6, monte_carlo_sets=4)
+    result = benchmark.pedantic(
+        sharpness_experiment,
+        args=(params,),
+        kwargs={"bandwidth_mbps": 16.0, "n_sets": 4},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+
+    pdp = result.ratios("modified-802.5")
+    fddi = result.ratios("fddi")
+    assert pdp and fddi
+
+    # Soundness: the simulators never break below the analytic boundary.
+    assert min(pdp + fddi) >= 1.0 - 0.03
+    # Tightness: Theorem 4.1 is essentially exact against its matched
+    # abstraction; Theorem 5.1 is within a few percent.
+    assert float(np.mean(pdp)) <= 1.05
+    assert float(np.mean(fddi)) <= 1.15

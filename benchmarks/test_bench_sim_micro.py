@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the discrete-event simulators.
+
+Tracks simulated-seconds-per-wallclock-second for both protocol
+simulators and the raw event-kernel throughput.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pdp import PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim.engine import Simulator
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+from repro.units import mbps, milliseconds
+
+
+FRAME = paper_frame_format()
+
+
+def _workload(n: int) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(20 + 8 * i), payload_bits=8_000, station=i
+        )
+        for i in range(n)
+    )
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """One million chained events through the kernel."""
+    def run_chain():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def hop(simulator):
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                simulator.schedule_after(1e-6, hop)
+
+        sim.schedule(0.0, hop)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_chain)
+    assert events == 100_000
+
+
+def test_bench_pdp_simulator_second(benchmark):
+    """One simulated second of a loaded 10-station 802.5 ring."""
+    workload = _workload(10)
+    ring = ieee_802_5_ring(mbps(16), n_stations=10)
+    simulator = PDPRingSimulator(
+        ring, FRAME, workload, PDPSimConfig(variant=PDPVariant.MODIFIED)
+    )
+    report = benchmark.pedantic(simulator.run, args=(1.0,), rounds=3, iterations=1)
+    assert report.total_completed > 0
+
+
+def test_bench_ttp_simulator_second(benchmark):
+    """One simulated second of a loaded 10-station FDDI ring."""
+    workload = _workload(10)
+    ring = fddi_ring(mbps(100), n_stations=10)
+    analysis = TTPAnalysis(ring, FRAME)
+    allocation = analysis.allocate(workload)
+    simulator = TTPRingSimulator(ring, FRAME, workload, allocation, TTPSimConfig())
+    report = benchmark.pedantic(simulator.run, args=(1.0,), rounds=3, iterations=1)
+    assert report.total_completed > 0

@@ -1,0 +1,88 @@
+"""Benchmark: theorem-versus-simulator cross validation throughput.
+
+Times the adversarial simulation runs that back Theorems 4.1 and 5.1 and
+asserts their verdicts: analysis-accepted workloads near the saturation
+boundary never miss a deadline under critical-instant phasing with
+saturating asynchronous interference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.breakdown import breakdown_scale
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.messages.generators import MessageSetSampler, PeriodDistribution
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim.validate import cross_validate_pdp, cross_validate_ttp
+from repro.units import mbps
+
+
+FRAME = paper_frame_format()
+SAMPLER = MessageSetSampler(
+    n_streams=10, periods=PeriodDistribution(mean_period_s=0.08, ratio=5.0)
+)
+
+
+def test_bench_pdp_validation(benchmark):
+    ring = ieee_802_5_ring(mbps(16), n_stations=10)
+    analysis = PDPAnalysis(ring, FRAME, PDPVariant.MODIFIED)
+
+    def validate_batch() -> int:
+        clean = 0
+        for seed in range(5):
+            message_set = SAMPLER.sample(np.random.default_rng(seed))
+            scale, _ = breakdown_scale(message_set, analysis, rel_tol=1e-3)
+            near = message_set.scaled(scale * 0.9)
+            validation = cross_validate_pdp(analysis, near, duration_periods=3.0)
+            assert validation.analysis_schedulable
+            assert validation.consistent
+            clean += validation.report.deadline_safe
+        return clean
+
+    clean = benchmark.pedantic(validate_batch, rounds=1, iterations=1)
+    assert clean == 5
+
+
+def test_bench_ttp_validation(benchmark):
+    ring = fddi_ring(mbps(100), n_stations=10)
+    analysis = TTPAnalysis(ring, FRAME)
+
+    def validate_batch() -> int:
+        clean = 0
+        for seed in range(5):
+            message_set = SAMPLER.sample(np.random.default_rng(seed))
+            scale = analysis.saturation_scale(message_set)
+            near = message_set.scaled(scale * 0.9)
+            validation = cross_validate_ttp(analysis, near, duration_periods=3.0)
+            assert validation.analysis_schedulable
+            assert validation.consistent
+            clean += validation.report.deadline_safe
+        return clean
+
+    clean = benchmark.pedantic(validate_batch, rounds=1, iterations=1)
+    assert clean == 5
+
+
+def test_bench_ttp_johnson_bound(benchmark):
+    """Max token rotation stays below 2 TTRT across validation runs."""
+    ring = fddi_ring(mbps(100), n_stations=10)
+    analysis = TTPAnalysis(ring, FRAME)
+
+    def worst_rotation_ratio() -> float:
+        worst = 0.0
+        for seed in range(5):
+            message_set = SAMPLER.sample(np.random.default_rng(seed))
+            scale = analysis.saturation_scale(message_set)
+            near = message_set.scaled(scale * 0.9)
+            result = analysis.analyze(near)
+            validation = cross_validate_ttp(analysis, near, duration_periods=3.0)
+            worst = max(
+                worst, validation.report.max_rotation / result.allocation.ttrt_s
+            )
+        return worst
+
+    worst = benchmark.pedantic(worst_rotation_ratio, rounds=1, iterations=1)
+    print(f"\nworst rotation / TTRT = {worst:.3f} (Johnson bound: 2.0)")
+    assert worst <= 2.0 + 1e-9

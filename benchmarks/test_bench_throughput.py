@@ -1,0 +1,40 @@
+"""Benchmark: aggregate-throughput division under guaranteed deadlines.
+
+The abstract's secondary objective: with the synchronous load held at half
+its breakdown point (guaranteed), how much asynchronous goodput does each
+protocol extract from the remaining bandwidth, and how much is burnt on
+protocol overhead?
+"""
+
+from __future__ import annotations
+
+from repro.experiments.throughput import throughput_experiment
+
+
+def test_bench_throughput_division(benchmark, bench_params):
+    result = benchmark.pedantic(
+        throughput_experiment,
+        args=(bench_params,),
+        kwargs={"bandwidths_mbps": (4.0, 16.0, 100.0), "duration_s": 0.5},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+
+    # Deadlines hold everywhere (the workloads sit at half breakdown).
+    assert all(p.deadline_misses == 0 for p in result.points)
+
+    # Neither protocol idles the medium: goodput stays high.
+    assert all(p.goodput > 0.75 for p in result.points)
+
+    # The Figure 1 overhead story in throughput form: at 100 Mbps the PDP
+    # burns a much larger fraction on arbitration than FDDI does.
+    pdp_100 = next(
+        p for p in result.for_protocol("modified-802.5")
+        if p.bandwidth_mbps == 100.0
+    )
+    fddi_100 = next(
+        p for p in result.for_protocol("fddi") if p.bandwidth_mbps == 100.0
+    )
+    assert pdp_100.overhead_fraction > 2 * fddi_100.overhead_fraction

@@ -1,0 +1,28 @@
+"""Benchmark: TTRT sensitivity (Section 5.2's design-choice study).
+
+Sweeps fixed TTRT values against the sqrt-rule, half-min, and numeric
+optimal policies at 10 Mbps, where per-rotation overheads bite hardest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweeps import ttrt_sweep
+
+
+def test_bench_ttrt_sweep(benchmark, bench_params):
+    result = benchmark.pedantic(
+        ttrt_sweep, args=(bench_params, 10.0), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    utils = dict(zip(result.column("policy"), result.column("avg breakdown util")))
+
+    # Paper claims: performance is sensitive to TTRT; values far below
+    # P_min/2 win; the sqrt rule approaches the per-workload optimum.
+    fixed = [u for p, u in utils.items() if str(p).startswith("fixed")]
+    assert max(fixed) > min(fixed) + 0.1
+
+    assert utils["sqrt-rule"] > utils["half-min"]
+    assert utils["optimal"] >= utils["sqrt-rule"] - 1e-6
+    assert utils["sqrt-rule"] >= 0.85 * utils["optimal"]

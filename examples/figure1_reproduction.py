@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Reproduce Figure 1: average breakdown utilization versus bandwidth.
+
+By default runs a scaled-down configuration (20 stations, 10 Monte Carlo
+sets) that finishes in seconds and preserves every qualitative shape of
+the paper's figure.  Pass ``--full`` for the paper's 100-station,
+30-set configuration (takes minutes).
+
+Run:  python examples/figure1_reproduction.py [--full] [--csv figure1.csv]
+"""
+
+import argparse
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.reporting import write_csv
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale run (100 stations, 30 sets)")
+    parser.add_argument("--csv", type=str, default=None,
+                        help="also write the curves to this CSV file")
+    args = parser.parse_args()
+
+    params = PaperParameters()
+    if not args.full:
+        params = params.scaled_down(n_stations=20, monte_carlo_sets=10)
+
+    print(f"running Figure 1 with n={params.n_stations} stations, "
+          f"{params.monte_carlo_sets} Monte Carlo sets per point ...\n")
+    result = run_figure1(params)
+
+    print(result.to_table())
+    print()
+    print(result.to_ascii_plot())
+
+    print("shape checks (the reproduction targets):")
+    for check, passed in result.shape_report().items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {check}")
+    print(f"\nPDP standard peaks at {result.peak_bandwidth('pdp_standard'):g} Mbps; "
+          f"modified peaks at {result.peak_bandwidth('pdp_modified'):g} Mbps")
+    print(f"TTP overtakes PDP at {result.crossover_bandwidth():g} Mbps "
+          "(the paper places the handover between 10 and 100 Mbps)")
+
+    if args.csv:
+        write_csv(
+            args.csv,
+            ["bandwidth_mbps", "pdp_standard", "pdp_modified", "ttp",
+             "se_standard", "se_modified", "se_ttp"],
+            result.rows(),
+        )
+        print(f"\nwrote {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: test one workload under both token ring protocols.
+
+Builds a ten-station workload, asks Theorem 4.1 (priority driven protocol,
+both IEEE 802.5 variants) and Theorem 5.1 (timed token protocol) whether
+its deadlines can be guaranteed, and prints the per-stream evidence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MessageSet,
+    PDPAnalysis,
+    PDPVariant,
+    SynchronousStream,
+    TTPAnalysis,
+    fddi_ring,
+    ieee_802_5_ring,
+    mbps,
+    milliseconds,
+    paper_frame_format,
+)
+from repro.units import seconds_to_ms
+
+
+def build_workload() -> MessageSet:
+    """Ten periodic streams, 20–110 ms periods, 2 KB messages."""
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(20 + 10 * i),
+            payload_bits=16_000,  # 2 KB payload
+            station=i,
+        )
+        for i in range(10)
+    )
+
+
+def main() -> None:
+    workload = build_workload()
+    frame = paper_frame_format()
+    bandwidth = mbps(16)
+
+    print(f"workload: {len(workload)} streams, "
+          f"U = {workload.utilization(bandwidth):.3f} at 16 Mbps\n")
+
+    # --- priority driven protocol (IEEE 802.5) -----------------------------
+    ring = ieee_802_5_ring(bandwidth, n_stations=len(workload))
+    for variant in (PDPVariant.STANDARD, PDPVariant.MODIFIED):
+        analysis = PDPAnalysis(ring, frame, variant)
+        result = analysis.analyze(workload)
+        print(f"{variant.value}: "
+              f"{'SCHEDULABLE' if result.schedulable else 'NOT schedulable'} "
+              f"(worst load ratio {result.worst_ratio:.3f}, "
+              f"blocking {seconds_to_ms(result.blocking):.3f} ms)")
+        for detail, c_aug in zip(result.details, result.augmented_lengths):
+            print(f"   stream {detail.index}: min ratio {detail.min_load_ratio:.3f} "
+                  f"at t={seconds_to_ms(detail.critical_point):.1f} ms, "
+                  f"C' = {seconds_to_ms(c_aug):.3f} ms")
+        print()
+
+    # --- timed token protocol (FDDI) ---------------------------------------
+    ring_fddi = fddi_ring(bandwidth, n_stations=len(workload))
+    ttp = TTPAnalysis(ring_fddi, frame)
+    verdict = ttp.analyze(workload)
+    print(f"timed token (FDDI): "
+          f"{'SCHEDULABLE' if verdict.schedulable else 'NOT schedulable'}")
+    if verdict.allocation is not None:
+        alloc = verdict.allocation
+        print(f"   TTRT = {seconds_to_ms(alloc.ttrt_s):.3f} ms, "
+              f"delta = {seconds_to_ms(alloc.delta_s):.3f} ms, "
+              f"slack = {seconds_to_ms(alloc.protocol_slack_s):.3f} ms")
+        for i, (h, q) in enumerate(zip(alloc.bandwidths_s, alloc.token_visits)):
+            print(f"   station {i}: h = {seconds_to_ms(h):.3f} ms, "
+                  f"q = {q} token visits per period")
+    else:
+        print(f"   reason: {verdict.reason}")
+
+
+if __name__ == "__main__":
+    main()

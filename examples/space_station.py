@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Space-station backbone sizing study (the paper's NASA motivation).
+
+The paper opens by noting that an FDDI-based token ring was selected as
+the backbone for NASA's Space Station Freedom.  This example plays the
+network architect for such a backbone: a fixed suite of synchronous
+payloads (guidance, life support, experiment telemetry, video) must be
+guaranteed, and the question is **how much link bandwidth the backbone
+needs** under each protocol — the inverse of Figure 1's question.
+
+For each protocol we binary-search the minimum bandwidth at which the
+suite is schedulable, then show the margin curve (breakdown headroom vs
+bandwidth) and validate the chosen design point in simulation.
+
+Run:  python examples/space_station.py
+"""
+
+from repro import (
+    MessageSet,
+    PDPAnalysis,
+    PDPVariant,
+    SynchronousStream,
+    TTPAnalysis,
+    breakdown_utilization,
+    fddi_ring,
+    ieee_802_5_ring,
+    mbps,
+    milliseconds,
+    paper_frame_format,
+)
+from repro.experiments.reporting import format_table
+from repro.sim import TTPRingSimulator, TTPSimConfig
+from repro.units import bps_to_mbps, bytes_to_bits, seconds_to_ms
+
+
+def build_station_suite() -> MessageSet:
+    """20 stations: control loops, telemetry, compressed video."""
+    specs = [
+        *[(25, 512)] * 4,      # guidance & navigation, 40 Hz
+        *[(50, 2048)] * 4,     # life-support sensor buses, 20 Hz
+        *[(100, 8192)] * 6,    # experiment telemetry, 10 Hz
+        *[(200, 65536)] * 4,   # compressed video frames, 5 Hz
+        *[(500, 16384)] * 2,   # housekeeping dumps, 2 Hz
+    ]
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(period),
+            payload_bits=bytes_to_bits(payload),
+            station=i,
+        )
+        for i, (period, payload) in enumerate(specs)
+    )
+
+
+def minimum_bandwidth(make_analysis, workload, lo=0.5e6, hi=20e9) -> float:
+    """Smallest bandwidth (bps) at which the workload is schedulable."""
+    if not make_analysis(hi).is_schedulable(workload):
+        return float("inf")
+    if make_analysis(lo).is_schedulable(workload):
+        return lo
+    for _ in range(60):
+        mid = (lo * hi) ** 0.5
+        if make_analysis(mid).is_schedulable(workload):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def main() -> None:
+    workload = build_station_suite()
+    frame = paper_frame_format()
+    n = len(workload)
+
+    def pdp_std(bw):
+        return PDPAnalysis(ieee_802_5_ring(bw, n_stations=n), frame,
+                           PDPVariant.STANDARD)
+
+    def pdp_mod(bw):
+        return PDPAnalysis(ieee_802_5_ring(bw, n_stations=n), frame,
+                           PDPVariant.MODIFIED)
+
+    def ttp(bw):
+        return TTPAnalysis(fddi_ring(bw, n_stations=n), frame)
+
+    print(f"backbone suite: {n} stations, "
+          f"{workload.total_payload_bits() / 8 / 1024:.0f} KB per hyperperiod slice")
+    print(f"utilization at 100 Mbps: {workload.utilization(mbps(100)):.3f}\n")
+
+    # 1. Minimum bandwidth per protocol.
+    rows = []
+    for name, factory in (
+        ("IEEE 802.5", pdp_std),
+        ("Modified 802.5", pdp_mod),
+        ("FDDI", ttp),
+    ):
+        minimum = minimum_bandwidth(factory, workload)
+        rows.append([
+            name,
+            bps_to_mbps(minimum) if minimum != float("inf") else float("nan"),
+        ])
+    print(format_table(["protocol", "min bandwidth (Mbps)"], rows,
+                       float_format="{:.2f}"))
+
+    # 2. Margin curve around the candidate design points.
+    print("\nbreakdown headroom (x over current payloads):")
+    margin_rows = []
+    for bw_mbps in (25, 50, 100, 200, 400):
+        bandwidth = mbps(bw_mbps)
+        row = [float(bw_mbps)]
+        for factory in (pdp_std, pdp_mod, ttp):
+            result = breakdown_utilization(
+                workload, factory(bandwidth), bandwidth, rel_tol=1e-3
+            )
+            row.append(result.scale if result.saturated else 0.0)
+        margin_rows.append(row)
+    print(format_table(
+        ["BW (Mbps)", "802.5 margin", "mod margin", "FDDI margin"],
+        margin_rows, float_format="{:.2f}",
+    ))
+
+    # 3. Validate the FDDI design point at 100 Mbps by simulation.
+    bandwidth = mbps(100)
+    analysis = ttp(bandwidth)
+    verdict = analysis.analyze(workload)
+    assert verdict.schedulable and verdict.allocation is not None
+    simulator = TTPRingSimulator(
+        analysis.ring, frame, workload, verdict.allocation, TTPSimConfig()
+    )
+    report = simulator.run(duration_s=3.0)
+    print(f"\nFDDI @ 100 Mbps validation (3 s, saturating async):")
+    print(f"  TTRT = {seconds_to_ms(verdict.allocation.ttrt_s):.3f} ms, "
+          f"completed {report.total_completed}, missed {report.total_missed}")
+    print(f"  max rotation {seconds_to_ms(report.max_rotation):.3f} ms "
+          f"<= 2 TTRT = {seconds_to_ms(2 * verdict.allocation.ttrt_s):.3f} ms")
+    print(f"  medium: {report.sync_utilization:.1%} sync, "
+          f"{report.async_utilization:.1%} async")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro — Real-Time Schedulability of Two Token Ring Protocols.
+
+A from-scratch reproduction of Kamat & Zhao (ICDCS 1993): exact
+schedulability tests for the priority driven token ring protocol
+(IEEE 802.5, standard and modified) and the timed token protocol (FDDI),
+plus the Monte Carlo average-breakdown-utilization comparison between
+them, discrete-event simulators for both protocols, and the experiment
+harness regenerating the paper's evaluation.
+
+Quickstart::
+
+    from repro import (
+        PDPAnalysis, PDPVariant, TTPAnalysis,
+        ieee_802_5_ring, fddi_ring, paper_frame_format,
+        MessageSet, SynchronousStream, mbps, milliseconds,
+    )
+
+    ring = ieee_802_5_ring(mbps(16))
+    workload = MessageSet(
+        SynchronousStream(period_s=milliseconds(50), payload_bits=8_000,
+                          station=i)
+        for i in range(10)
+    )
+    pdp = PDPAnalysis(ring, paper_frame_format(), PDPVariant.MODIFIED)
+    print(pdp.is_schedulable(workload))
+"""
+
+from repro.analysis import (
+    AverageBreakdownEstimate,
+    BreakdownResult,
+    ExactRMTest,
+    PDPAnalysis,
+    PDPVariant,
+    TTPAnalysis,
+    TTRTPolicy,
+    average_breakdown_utilization,
+    breakdown_scale,
+    breakdown_utilization,
+    liu_layland_bound,
+    pdp_augmented_length,
+    ttp_overhead_delta,
+)
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    InfeasibleParameterError,
+    MessageSetError,
+    ReproError,
+    SimulationError,
+)
+from repro.messages import (
+    MessageSet,
+    MessageSetSampler,
+    PeriodDistribution,
+    SynchronousStream,
+)
+from repro.network import (
+    FrameFormat,
+    RingNetwork,
+    fddi_ring,
+    ieee_802_5_ring,
+    paper_frame_format,
+)
+from repro.units import mbps, megabits, milliseconds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analyses
+    "PDPAnalysis",
+    "PDPVariant",
+    "TTPAnalysis",
+    "TTRTPolicy",
+    "ExactRMTest",
+    "liu_layland_bound",
+    "pdp_augmented_length",
+    "ttp_overhead_delta",
+    "breakdown_scale",
+    "breakdown_utilization",
+    "BreakdownResult",
+    "average_breakdown_utilization",
+    "AverageBreakdownEstimate",
+    # model
+    "MessageSet",
+    "SynchronousStream",
+    "MessageSetSampler",
+    "PeriodDistribution",
+    "RingNetwork",
+    "FrameFormat",
+    "ieee_802_5_ring",
+    "fddi_ring",
+    "paper_frame_format",
+    # units
+    "mbps",
+    "megabits",
+    "milliseconds",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleParameterError",
+    "MessageSetError",
+    "AllocationError",
+    "SimulationError",
+]

@@ -1,0 +1,210 @@
+"""Online admission control for real-time token rings.
+
+The schedulability criteria are static: they judge a complete message set.
+A deployed network faces the *online* version — streams request admission
+and depart over time, and each request must be answered against the
+currently admitted population.  Section 2 of the paper sketches exactly
+this use ("schedulability tests are not needed as long as the offered
+load is below this bound"); this module turns that sketch into an API.
+
+:class:`AdmissionController` wraps either protocol analysis and maintains
+the admitted set.  Three admission policies:
+
+* ``EXACT`` — run the full schedulability test on every request (most
+  admissive, costs an exact-test evaluation).
+* ``SUFFICIENT`` — run only the utilization-based sufficient bound of
+  :mod:`repro.analysis.bounds` (cheapest; rejects some feasible sets).
+* ``HYBRID`` — try the sufficient bound first and fall back to the exact
+  test only when it rejects (exact admissivity at amortized bound cost —
+  the run-time administration pattern the paper recommends).
+
+Station assignment is handled by the controller (one stream per station,
+as in the paper's model); releases free their stations for reuse.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.analysis.bounds import pdp_sufficient_test, ttp_sufficient_test
+from repro.analysis.pdp import PDPAnalysis
+from repro.analysis.ttp import TTPAnalysis
+from repro.errors import ConfigurationError, MessageSetError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+
+__all__ = ["AdmissionPolicy", "AdmissionDecision", "AdmissionController"]
+
+
+class AdmissionPolicy(enum.Enum):
+    """How admission requests are tested."""
+
+    EXACT = "exact"
+    SUFFICIENT = "sufficient"
+    HYBRID = "hybrid"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's answer to one admission request.
+
+    Attributes:
+        admitted: whether the stream was accepted.
+        stream_id: controller-assigned id (present iff admitted).
+        station: ring station assigned (present iff admitted).
+        reason: human-readable explanation for rejections.
+        tested_by: which test decided ("sufficient" or "exact").
+        utilization_after: admitted-set utilization had/has the stream
+            been included.
+    """
+
+    admitted: bool
+    stream_id: int | None
+    station: int | None
+    reason: str
+    tested_by: str
+    utilization_after: float
+
+
+class AdmissionController:
+    """Online admission control over one protocol analysis.
+
+    Args:
+        analysis: a :class:`PDPAnalysis` or :class:`TTPAnalysis`; the
+            controller dispatches the matching sufficient bound.
+        policy: the admission policy (default HYBRID).
+
+    The controller is deliberately synchronous and in-memory: it models
+    the decision logic, not a distributed signalling protocol.
+    """
+
+    def __init__(
+        self,
+        analysis: PDPAnalysis | TTPAnalysis,
+        policy: AdmissionPolicy = AdmissionPolicy.HYBRID,
+    ):
+        if not isinstance(analysis, (PDPAnalysis, TTPAnalysis)):
+            raise ConfigurationError(
+                f"analysis must be a PDPAnalysis or TTPAnalysis, got {analysis!r}"
+            )
+        self._analysis = analysis
+        self._policy = policy
+        self._streams: dict[int, SynchronousStream] = {}
+        self._ids = itertools.count(1)
+        n = analysis.ring.n_stations
+        self._free_stations: list[int] = list(range(n - 1, -1, -1))
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def analysis(self):
+        """The wrapped protocol analysis."""
+        return self._analysis
+
+    @property
+    def policy(self) -> AdmissionPolicy:
+        """The admission policy in force."""
+        return self._policy
+
+    @property
+    def admitted_count(self) -> int:
+        """Number of currently admitted streams."""
+        return len(self._streams)
+
+    def current_set(self) -> MessageSet:
+        """The admitted population as a message set."""
+        return MessageSet(self._streams.values())
+
+    def utilization(self) -> float:
+        """Admitted utilization at the ring's bandwidth."""
+        return self.current_set().utilization(self._analysis.ring.bandwidth_bps)
+
+    # -- internals --------------------------------------------------------------
+
+    def _sufficient_test(self, candidate: MessageSet) -> bool:
+        if isinstance(self._analysis, PDPAnalysis):
+            return pdp_sufficient_test(self._analysis, candidate).admitted
+        return ttp_sufficient_test(self._analysis, candidate).admitted
+
+    def _evaluate(self, candidate: MessageSet) -> tuple[bool, str]:
+        """Returns (schedulable, which-test-decided)."""
+        if self._policy is AdmissionPolicy.SUFFICIENT:
+            return self._sufficient_test(candidate), "sufficient"
+        if self._policy is AdmissionPolicy.EXACT:
+            return self._analysis.is_schedulable(candidate), "exact"
+        # HYBRID: cheap accept path, exact fallback.
+        if self._sufficient_test(candidate):
+            return True, "sufficient"
+        return self._analysis.is_schedulable(candidate), "exact"
+
+    # -- operations --------------------------------------------------------------
+
+    def request(
+        self, period_s: float, payload_bits: float
+    ) -> AdmissionDecision:
+        """Ask to admit a new periodic stream.
+
+        On acceptance the stream is installed at a free station and its
+        id returned; on rejection the admitted set is unchanged.
+        """
+        if not self._free_stations:
+            return AdmissionDecision(
+                admitted=False,
+                stream_id=None,
+                station=None,
+                reason=f"all {self._analysis.ring.n_stations} stations occupied",
+                tested_by="capacity",
+                utilization_after=self.utilization(),
+            )
+        station = self._free_stations[-1]
+        candidate_stream = SynchronousStream(
+            period_s=period_s, payload_bits=payload_bits, station=station
+        )
+        candidate = MessageSet([*self._streams.values(), candidate_stream])
+        bandwidth = self._analysis.ring.bandwidth_bps
+        schedulable, tested_by = self._evaluate(candidate)
+        if not schedulable:
+            return AdmissionDecision(
+                admitted=False,
+                stream_id=None,
+                station=None,
+                reason="admission would make the set unschedulable",
+                tested_by=tested_by,
+                utilization_after=candidate.utilization(bandwidth),
+            )
+        self._free_stations.pop()
+        stream_id = next(self._ids)
+        self._streams[stream_id] = candidate_stream
+        return AdmissionDecision(
+            admitted=True,
+            stream_id=stream_id,
+            station=station,
+            reason="admitted",
+            tested_by=tested_by,
+            utilization_after=candidate.utilization(bandwidth),
+        )
+
+    def release(self, stream_id: int) -> None:
+        """Remove an admitted stream and free its station."""
+        stream = self._streams.pop(stream_id, None)
+        if stream is None:
+            raise MessageSetError(f"unknown stream id: {stream_id!r}")
+        self._free_stations.append(stream.station)
+
+    def would_admit(self, period_s: float, payload_bits: float) -> bool:
+        """Non-mutating what-if query (capacity plus schedulability)."""
+        if not self._free_stations:
+            return False
+        station = self._free_stations[-1]
+        candidate = MessageSet(
+            [
+                *self._streams.values(),
+                SynchronousStream(
+                    period_s=period_s, payload_bits=payload_bits, station=station
+                ),
+            ]
+        )
+        schedulable, __ = self._evaluate(candidate)
+        return schedulable

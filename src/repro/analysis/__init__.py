@@ -1,0 +1,92 @@
+"""Schedulability analyses — the paper's primary contribution.
+
+* :mod:`~repro.analysis.rm` — rate-monotonic scheduling theory substrate:
+  the Liu–Layland bound, the Lehoczky–Sha–Ding exact test (the machinery
+  Theorem 4.1 extends), and iterative response-time analysis used for
+  cross-validation.
+* :mod:`~repro.analysis.pdp` — Theorem 4.1: schedulability of the priority
+  driven protocol (standard and modified IEEE 802.5).
+* :mod:`~repro.analysis.ttp` — Theorem 5.1: schedulability of the timed
+  token protocol with the local synchronous bandwidth allocation scheme.
+* :mod:`~repro.analysis.ttrt` — TTRT selection (sqrt heuristic, half-min
+  rule, numeric optimum).
+* :mod:`~repro.analysis.sba` — the wider family of synchronous bandwidth
+  allocation schemes used as baselines.
+* :mod:`~repro.analysis.breakdown` — saturation scaling: drive a message
+  set to the boundary of schedulability.
+* :mod:`~repro.analysis.montecarlo` — average breakdown utilization
+  estimation.
+"""
+
+from repro.analysis.asymptotics import (
+    CeilingCurves,
+    ceiling_curves,
+    pdp_utilization_ceiling,
+    ttp_utilization_ceiling,
+)
+from repro.analysis.bounds import (
+    GuaranteeReport,
+    pdp_sufficient_test,
+    ttp_guaranteed_utilization,
+    ttp_sufficient_test,
+)
+from repro.analysis.breakdown import (
+    BreakdownResult,
+    breakdown_scale,
+    breakdown_utilization,
+)
+from repro.analysis.montecarlo import (
+    AverageBreakdownEstimate,
+    average_breakdown_utilization,
+)
+from repro.analysis.pdp import PDPAnalysis, PDPVariant, pdp_augmented_length
+from repro.analysis.rm import (
+    ExactRMTest,
+    hyperbolic_bound_holds,
+    liu_layland_bound,
+    response_time_analysis,
+)
+from repro.analysis.ttp import TTPAnalysis, ttp_overhead_delta
+from repro.analysis.ttrt import (
+    TTRTPolicy,
+    half_min_period_ttrt,
+    optimal_ttrt,
+    sqrt_rule_ttrt,
+)
+from repro.analysis.worstcase import (
+    WorstCaseResult,
+    pdp_minimum_breakdown,
+    ttp_minimum_breakdown,
+)
+
+__all__ = [
+    "CeilingCurves",
+    "ceiling_curves",
+    "pdp_utilization_ceiling",
+    "ttp_utilization_ceiling",
+    "GuaranteeReport",
+    "pdp_sufficient_test",
+    "ttp_guaranteed_utilization",
+    "ttp_sufficient_test",
+    "WorstCaseResult",
+    "pdp_minimum_breakdown",
+    "ttp_minimum_breakdown",
+    "ExactRMTest",
+    "liu_layland_bound",
+    "hyperbolic_bound_holds",
+    "response_time_analysis",
+    "PDPAnalysis",
+    "PDPVariant",
+    "pdp_augmented_length",
+    "TTPAnalysis",
+    "ttp_overhead_delta",
+    "TTRTPolicy",
+    "sqrt_rule_ttrt",
+    "half_min_period_ttrt",
+    "optimal_ttrt",
+    "BreakdownResult",
+    "breakdown_scale",
+    "breakdown_utilization",
+    "AverageBreakdownEstimate",
+    "average_breakdown_utilization",
+]

@@ -1,0 +1,128 @@
+"""Analytic utilization ceilings — the algebra behind equation (14).
+
+Section 6.2 of the paper explains Figure 1's shapes with per-frame
+bandwidth-waste fractions.  This module turns that explanation into code:
+for each protocol it computes the *utilization ceiling* — the largest
+payload utilization the medium can carry once every per-frame and
+per-rotation overhead is paid — as a closed form in the ring parameters.
+
+These ceilings upper-bound the breakdown utilization at every bandwidth
+and become tight as message sets grow dense, so they double as analytic
+cross-checks on the Monte Carlo curves:
+
+* **PDP**: each full frame carries ``F_info`` of payload and occupies
+  ``max(F, Θ)`` of medium plus the token cost (``Θ/2`` per frame for the
+  standard protocol; amortized to ~0 per frame for the modified protocol
+  on long messages).  Hence
+
+      ``ceiling_std = F_info / (max(F, Θ) + Θ/2)``
+      ``ceiling_mod = F_info / max(F, Θ)``
+
+  Both tend to ``F_info/Θ → 0`` as bandwidth grows (Θ is pinned by the
+  propagation delay) — the collapse in Figure 1.
+
+* **TTP**: per rotation, ``TTRT - δ`` of the rotation is available and the
+  schedulability constraint spends ``C_i/(q_i - 1) ≈ U_i·P_i/(q_i - 1)``
+  of it.  With ``q_i`` large (periods ≫ TTRT) the constraint approaches
+  ``U·TTRT <= TTRT - δ``, giving
+
+      ``ceiling = 1 - δ/TTRT - n·F_ovhd/TTRT``
+
+  which tends to 1 as bandwidth grows — the monotone rise in Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pdp import PDPVariant
+from repro.errors import ConfigurationError
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+
+__all__ = [
+    "pdp_utilization_ceiling",
+    "ttp_utilization_ceiling",
+    "CeilingCurves",
+    "ceiling_curves",
+]
+
+
+def pdp_utilization_ceiling(
+    ring: RingNetwork, frame: FrameFormat, variant: PDPVariant
+) -> float:
+    """Asymptotic payload-utilization ceiling of the priority driven protocol.
+
+    The dense-traffic limit: long messages of full frames, no idle time.
+    The standard protocol pays the average token circulation ``Θ/2`` per
+    frame; the modified protocol amortizes token costs over whole messages
+    so its per-frame cost is just the effective frame time.
+    """
+    effective = max(frame.frame_time(ring.bandwidth_bps), ring.theta)
+    info = frame.info_time(ring.bandwidth_bps)
+    if variant is PDPVariant.STANDARD:
+        return info / (effective + ring.theta / 2.0)
+    if variant is PDPVariant.MODIFIED:
+        return info / effective
+    raise ConfigurationError(f"unknown PDP variant: {variant!r}")  # pragma: no cover
+
+
+def ttp_utilization_ceiling(
+    ttrt_s: float,
+    delta_s: float,
+    n_streams: int,
+    frame_overhead_time_s: float,
+) -> float:
+    """Asymptotic payload-utilization ceiling of the timed token protocol.
+
+    The long-period limit of Theorem 5.1 (``q_i → ∞``): the per-rotation
+    budget net of the token walk, asynchronous overrun, and each station's
+    frame overhead.  Clamped at 0 when overheads exceed the rotation.
+    """
+    if ttrt_s <= 0:
+        raise ConfigurationError(f"TTRT must be positive, got {ttrt_s!r}")
+    if delta_s < 0 or frame_overhead_time_s < 0:
+        raise ConfigurationError("overheads must be non-negative")
+    ceiling = 1.0 - (delta_s + n_streams * frame_overhead_time_s) / ttrt_s
+    return max(ceiling, 0.0)
+
+
+@dataclass(frozen=True)
+class CeilingCurves:
+    """The three analytic ceilings at one bandwidth."""
+
+    bandwidth_bps: float
+    pdp_standard: float
+    pdp_modified: float
+    ttp: float
+
+
+def ceiling_curves(
+    pdp_ring: RingNetwork,
+    ttp_ring: RingNetwork,
+    frame: FrameFormat,
+    ttrt_s: float,
+    n_streams: int,
+) -> CeilingCurves:
+    """All three ceilings for one (bandwidth, TTRT) operating point.
+
+    ``pdp_ring`` and ``ttp_ring`` must share a bandwidth (they differ in
+    station bit delays and token length, exactly as in the paper).
+    """
+    if pdp_ring.bandwidth_bps != ttp_ring.bandwidth_bps:
+        raise ConfigurationError(
+            "the two rings must be evaluated at the same bandwidth; got "
+            f"{pdp_ring.bandwidth_bps!r} and {ttp_ring.bandwidth_bps!r}"
+        )
+    delta = ttp_ring.theta + frame.frame_time(ttp_ring.bandwidth_bps)
+    return CeilingCurves(
+        bandwidth_bps=pdp_ring.bandwidth_bps,
+        pdp_standard=pdp_utilization_ceiling(pdp_ring, frame, PDPVariant.STANDARD),
+        pdp_modified=pdp_utilization_ceiling(pdp_ring, frame, PDPVariant.MODIFIED),
+        ttp=ttp_utilization_ceiling(
+            ttrt_s,
+            delta,
+            n_streams,
+            frame.overhead_time(ttp_ring.bandwidth_bps),
+        ),
+    )

@@ -1,0 +1,171 @@
+"""Saturation scaling: drive a message set to its breakdown boundary.
+
+Section 6.1 of the paper partitions message sets into the *unsaturated
+schedulable*, *saturated schedulable*, and *unschedulable* classes.  The
+breakdown (saturated) point of a set is reached by scaling all payload
+lengths by a common factor λ until schedulability is about to be lost; the
+utilization at that point is the set's **breakdown utilization**.
+
+Both protocols' schedulability tests are monotone non-increasing in the
+payload scale (longer messages never help), so the boundary is found by
+exponential bracketing followed by bisection.  Analyses that can do better
+— the timed token protocol's Theorem 5.1 is *linear* in the payloads for
+any scale-invariant TTRT policy — may expose a ``saturation_scale`` method,
+which :func:`breakdown_scale` will use instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.errors import MessageSetError
+from repro.messages.message_set import MessageSet
+
+__all__ = [
+    "SchedulabilityPredicate",
+    "SupportsSaturationScale",
+    "BreakdownResult",
+    "breakdown_scale",
+    "breakdown_utilization",
+]
+
+#: A predicate deciding whether a message set is schedulable.
+SchedulabilityPredicate = Callable[[MessageSet], bool]
+
+
+@runtime_checkable
+class SupportsSaturationScale(Protocol):
+    """Analyses that can compute the breakdown scale in closed form."""
+
+    def saturation_scale(self, message_set: MessageSet) -> float:
+        """Largest payload scale that keeps ``message_set`` schedulable."""
+        ...  # pragma: no cover - protocol definition
+
+    def is_schedulable(self, message_set: MessageSet) -> bool:
+        """The ordinary schedulability test."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    """Outcome of a saturation search.
+
+    Attributes:
+        scale: the breakdown scale λ* (``inf`` if the set never saturates —
+            only possible for all-zero payloads; ``0.0`` if even
+            arbitrarily short messages are unschedulable, e.g. when fixed
+            overheads alone exhaust the ring).
+        utilization: ``U(λ*·M)`` at the given bandwidth (0 when ``scale``
+            is 0 or infinite).
+        evaluations: number of predicate evaluations performed.
+    """
+
+    scale: float
+    utilization: float
+    evaluations: int
+
+    @property
+    def saturated(self) -> bool:
+        """True when a finite positive breakdown point exists."""
+        return 0.0 < self.scale < float("inf")
+
+
+def _bisect_scale(
+    message_set: MessageSet,
+    predicate: SchedulabilityPredicate,
+    rel_tol: float,
+    max_doublings: int,
+) -> tuple[float, int]:
+    """Monotone bisection for the breakdown scale.  Returns (scale, evals)."""
+    evaluations = 0
+
+    def schedulable_at(scale: float) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return predicate(message_set.scaled(scale))
+
+    # Bracket: find lo schedulable, hi unschedulable.
+    if schedulable_at(1.0):
+        lo, hi = 1.0, 2.0
+        for _ in range(max_doublings):
+            if not schedulable_at(hi):
+                break
+            lo, hi = hi, hi * 2.0
+        else:
+            return float("inf"), evaluations
+    else:
+        hi, lo = 1.0, 0.5
+        for _ in range(max_doublings):
+            if schedulable_at(lo):
+                break
+            hi, lo = lo, lo / 2.0
+        else:
+            return 0.0, evaluations
+
+    # Bisect within [lo, hi].
+    while hi - lo > rel_tol * hi:
+        mid = (lo + hi) / 2.0
+        if schedulable_at(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo, evaluations
+
+
+def breakdown_scale(
+    message_set: MessageSet,
+    predicate: SchedulabilityPredicate | SupportsSaturationScale,
+    rel_tol: float = 1e-4,
+    max_doublings: int = 128,
+) -> tuple[float, int]:
+    """Largest payload scale λ keeping ``message_set`` schedulable.
+
+    ``predicate`` is either a plain callable over message sets or an
+    analysis object; analyses exposing ``saturation_scale`` (closed-form
+    boundary) are used directly, others fall back to their
+    ``is_schedulable`` method under bisection.
+
+    Returns ``(scale, predicate_evaluations)``.
+    """
+    if len(message_set) == 0:
+        raise MessageSetError("cannot saturate an empty message set")
+    if rel_tol <= 0:
+        raise MessageSetError(f"relative tolerance must be positive, got {rel_tol!r}")
+
+    if isinstance(predicate, SupportsSaturationScale):
+        return float(predicate.saturation_scale(message_set)), 1
+
+    test: SchedulabilityPredicate
+    if hasattr(predicate, "is_schedulable"):
+        test = predicate.is_schedulable
+    elif callable(predicate):
+        test = predicate
+    else:
+        raise MessageSetError(
+            f"predicate must be callable or an analysis object, got {predicate!r}"
+        )
+
+    if message_set.total_payload_bits() == 0:
+        # Scaling a zero set does nothing; classify directly.
+        return (float("inf") if test(message_set) else 0.0), 1
+
+    return _bisect_scale(message_set, test, rel_tol, max_doublings)
+
+
+def breakdown_utilization(
+    message_set: MessageSet,
+    predicate: SchedulabilityPredicate | SupportsSaturationScale,
+    bandwidth_bps: float,
+    rel_tol: float = 1e-4,
+) -> BreakdownResult:
+    """Breakdown utilization of ``message_set`` under ``predicate``.
+
+    The utilization of the saturated set ``λ*·M`` at ``bandwidth_bps``;
+    this is the quantity averaged by the Monte Carlo study of Section 6.
+    """
+    scale, evaluations = breakdown_scale(message_set, predicate, rel_tol)
+    if scale <= 0.0 or scale == float("inf"):
+        return BreakdownResult(scale=scale, utilization=0.0, evaluations=evaluations)
+    utilization = message_set.scaled(scale).utilization(bandwidth_bps)
+    return BreakdownResult(scale=scale, utilization=utilization, evaluations=evaluations)

@@ -1,0 +1,271 @@
+"""Rate-monotonic scheduling theory (the substrate of Theorem 4.1).
+
+The paper's PDP analysis is the Lehoczky–Sha–Ding (LSD) exact
+characterization of rate-monotonic schedulability, extended with protocol
+overheads (augmented message lengths ``C'_i``) and a blocking term ``B``.
+This module implements the underlying theory in task-level terms:
+
+* :func:`liu_layland_bound` — the classic sufficient utilization bound
+  ``n (2^{1/n} - 1)`` of Liu & Layland.
+* :func:`hyperbolic_bound_holds` — Bini's hyperbolic sufficient test, a
+  tighter polynomial-time check used to seed saturation searches.
+* :class:`ExactRMTest` — the LSD exact test over the scheduling points
+  ``R_i = { l·P_k : k <= i, 1 <= l <= floor(P_i/P_k) }`` with an additive
+  blocking term, exactly the form of the paper's equation (4).  The test
+  structure (scheduling points and the ``ceil(t/P_j)`` interference
+  matrices) depends only on the periods, so it is precomputed once and then
+  evaluated for many cost vectors — the breakdown search and the bandwidth
+  sweep both exploit this heavily.
+* :func:`response_time_analysis` — the equivalent iterative fixed-point
+  test, kept as an independent oracle for property tests.
+
+Throughout, tasks/streams are indexed in rate-monotonic priority order:
+index 0 has the shortest period (highest priority).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MessageSetError
+
+__all__ = [
+    "liu_layland_bound",
+    "hyperbolic_bound_holds",
+    "ExactRMTest",
+    "StreamTestDetail",
+    "response_time_analysis",
+]
+
+
+def liu_layland_bound(n: int) -> float:
+    """The Liu–Layland sufficient utilization bound ``n (2^{1/n} - 1)``.
+
+    Any set of ``n`` independent periodic tasks with total utilization at
+    or below this bound is RM-schedulable.  Tends to ``ln 2 ≈ 0.693`` as
+    ``n`` grows.
+    """
+    if n < 1:
+        raise MessageSetError(f"need at least one task, got {n!r}")
+    return n * (2.0 ** (1.0 / n) - 1.0)
+
+
+def hyperbolic_bound_holds(utilizations: Sequence[float]) -> bool:
+    """Bini's hyperbolic sufficient test: ``prod (U_i + 1) <= 2``.
+
+    Strictly dominates the Liu–Layland bound (never rejects a set the LL
+    bound accepts).  Used as a cheap pre-filter.
+    """
+    product = 1.0
+    for u in utilizations:
+        if u < 0:
+            raise MessageSetError(f"utilization must be non-negative, got {u!r}")
+        product *= u + 1.0
+    return product <= 2.0
+
+
+@dataclass(frozen=True)
+class StreamTestDetail:
+    """Per-stream outcome of the exact test.
+
+    Attributes:
+        index: stream position in RM priority order.
+        schedulable: whether this stream meets its deadline.
+        min_load_ratio: the minimized left-hand side of equation (4) —
+            strictly below 1 means unsaturated, exactly 1 saturated,
+            above 1 unschedulable.
+        critical_point: the scheduling point ``t`` achieving the minimum.
+    """
+
+    index: int
+    schedulable: bool
+    min_load_ratio: float
+    critical_point: float
+
+
+class ExactRMTest:
+    """The Lehoczky–Sha–Ding exact test with precomputed structure.
+
+    Construction cost is ``O(sum_i |R_i| * i)`` time and memory; evaluation
+    for one cost vector is a handful of vectorized operations per stream
+    with early exit on the first unschedulable stream.
+
+    Args:
+        periods: task periods in *non-decreasing* order (RM priority
+            order).  A non-monotone sequence is rejected: silently sorting
+            would desynchronize the caller's cost vector.
+    """
+
+    def __init__(self, periods: Sequence[float]):
+        periods_arr = np.asarray(periods, dtype=float)
+        if periods_arr.ndim != 1 or periods_arr.size == 0:
+            raise MessageSetError("periods must be a non-empty 1-D sequence")
+        if np.any(periods_arr <= 0):
+            raise MessageSetError("periods must be positive")
+        if np.any(np.diff(periods_arr) < 0):
+            raise MessageSetError(
+                "periods must be in non-decreasing (rate-monotonic) order"
+            )
+        self._periods = periods_arr
+        self._points: list[np.ndarray] = []
+        self._interference: list[np.ndarray] = []
+        self._build_structure()
+
+    # -- structure ---------------------------------------------------------------
+
+    def _build_structure(self) -> None:
+        """Precompute scheduling points and interference matrices.
+
+        For stream ``i`` the scheduling points are all multiples ``l·P_k``
+        with ``k <= i`` and ``l·P_k <= P_i`` — the times at which a
+        higher-priority busy period can end.  The interference matrix has
+        one row per point ``t`` and one column per higher-priority stream
+        ``j``, holding ``ceil(t / P_j)``.
+        """
+        periods = self._periods
+        for i in range(periods.size):
+            p_i = periods[i]
+            multiples: list[np.ndarray] = []
+            for k in range(i + 1):
+                l_max = int(np.floor(p_i / periods[k] + 1e-12))
+                if l_max >= 1:
+                    multiples.append(periods[k] * np.arange(1, l_max + 1))
+            points = np.unique(np.concatenate(multiples))
+            # ceil with a tolerance: t is an exact multiple of some P_k, and
+            # floating-point noise must not push ceil(t/P_j) up a step when
+            # t/P_j is integral.
+            ratios = points[:, None] / periods[None, :i]
+            interference = np.ceil(ratios - 1e-9) if i > 0 else np.empty((points.size, 0))
+            self._points.append(points)
+            self._interference.append(interference)
+
+    @property
+    def periods(self) -> np.ndarray:
+        """The period vector (read-only view)."""
+        view = self._periods.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_streams(self) -> int:
+        """Number of streams the test was built for."""
+        return self._periods.size
+
+    def scheduling_points(self, index: int) -> np.ndarray:
+        """The scheduling points ``R_i`` for stream ``index`` (a copy)."""
+        return self._points[index].copy()
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _validate_costs(self, costs: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(costs, dtype=float)
+        if arr.shape != self._periods.shape:
+            raise MessageSetError(
+                f"expected {self._periods.size} costs, got shape {arr.shape}"
+            )
+        if np.any(arr < 0):
+            raise MessageSetError("costs must be non-negative")
+        return arr
+
+    def stream_load_ratio(
+        self, index: int, costs: Sequence[float], blocking: float = 0.0
+    ) -> tuple[float, float]:
+        """Minimized LHS of equation (4) for one stream.
+
+        Returns ``(min_ratio, critical_point)``; the stream is schedulable
+        iff ``min_ratio <= 1``.
+        """
+        arr = self._validate_costs(costs)
+        points = self._points[index]
+        demand = self._interference[index] @ arr[:index] + arr[index] + blocking
+        ratios = demand / points
+        best = int(np.argmin(ratios))
+        return float(ratios[best]), float(points[best])
+
+    def is_schedulable(
+        self, costs: Sequence[float], blocking: float = 0.0
+    ) -> bool:
+        """True iff every stream passes the exact test.
+
+        Evaluates streams in priority order and exits on the first failure,
+        which makes unschedulable evaluations (the common case during a
+        saturation search) cheap.
+        """
+        arr = self._validate_costs(costs)
+        if blocking < 0:
+            raise MessageSetError(f"blocking must be non-negative, got {blocking!r}")
+        for i in range(arr.size):
+            demand = self._interference[i] @ arr[:i] + arr[i] + blocking
+            if not np.any(demand <= self._points[i] * (1.0 + 1e-12)):
+                return False
+        return True
+
+    def details(
+        self, costs: Sequence[float], blocking: float = 0.0
+    ) -> list[StreamTestDetail]:
+        """Full per-stream report (no early exit)."""
+        arr = self._validate_costs(costs)
+        report = []
+        for i in range(arr.size):
+            ratio, point = self.stream_load_ratio(i, arr, blocking)
+            report.append(
+                StreamTestDetail(
+                    index=i,
+                    schedulable=ratio <= 1.0 + 1e-12,
+                    min_load_ratio=ratio,
+                    critical_point=point,
+                )
+            )
+        return report
+
+
+def response_time_analysis(
+    costs: Sequence[float],
+    periods: Sequence[float],
+    blocking: float = 0.0,
+    max_iterations: int = 10_000,
+) -> list[float]:
+    """Iterative response-time analysis (Joseph & Pandya / Audsley).
+
+    Computes, for each stream in RM order, the fixed point of
+
+        ``R = C_i + B + sum_{j<i} ceil(R / P_j) * C_j``.
+
+    The stream is schedulable iff its response time is at most its period.
+    The iteration is cut off once ``R`` exceeds the period (the exact value
+    past the deadline is irrelevant) and the period+cost upper bound is
+    returned in that case, capped for reporting.
+
+    This is mathematically equivalent to the LSD test and serves as an
+    independent oracle in property tests.
+    """
+    costs_arr = np.asarray(costs, dtype=float)
+    periods_arr = np.asarray(periods, dtype=float)
+    if costs_arr.shape != periods_arr.shape:
+        raise MessageSetError("costs and periods must have matching shapes")
+    if np.any(np.diff(periods_arr) < 0):
+        raise MessageSetError("periods must be in non-decreasing order")
+    if np.any(costs_arr < 0) or np.any(periods_arr <= 0) or blocking < 0:
+        raise MessageSetError("costs/blocking must be >= 0 and periods > 0")
+
+    response_times: list[float] = []
+    for i in range(costs_arr.size):
+        deadline = periods_arr[i]
+        response = costs_arr[i] + blocking
+        for _ in range(max_iterations):
+            interference = np.sum(
+                np.ceil(response / periods_arr[:i] - 1e-9) * costs_arr[:i]
+            )
+            updated = costs_arr[i] + blocking + interference
+            if updated > deadline * (1.0 + 1e-12):
+                response = updated
+                break
+            if abs(updated - response) <= 1e-12 * max(1.0, deadline):
+                response = updated
+                break
+            response = updated
+        response_times.append(float(response))
+    return response_times

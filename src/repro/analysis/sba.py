@@ -1,0 +1,365 @@
+"""Synchronous bandwidth allocation (SBA) schemes for the timed token protocol.
+
+The paper adopts the **local scheme** (its equations (5)–(9)) for the main
+comparison, citing the wider family studied by Agrawal, Chen & Zhao.  This
+module implements that family so the design choice can be benchmarked:
+
+* :class:`LocalScheme` — ``h_i = C_i/(q_i - 1) + F_ovhd``; uses only local
+  information, minimum breakdown utilization 33%.
+* :class:`FullLengthScheme` — ``h_i = C'_i``: each station may send its
+  whole message on one visit.  Simple, but the protocol constraint then
+  sums whole messages per rotation, which is wasteful.
+* :class:`ProportionalScheme` — ``h_i = (C_i/P_i)·TTRT``: bandwidth in
+  proportion to utilization.  The literature's negative baseline: it can
+  never satisfy the worst-case deadline constraint for a positive load.
+* :class:`NormalizedProportionalScheme` — ``h_i = (U_i/U)(TTRT - δ)``:
+  proportional, but normalized so the rotation budget is exactly filled.
+* :class:`EqualPartitionScheme` — ``h_i = (TTRT - δ)/n``: split the budget
+  evenly regardless of demand.
+
+Every scheme yields a :class:`~repro.analysis.ttp.TTPAllocation`; a set is
+schedulable under a scheme iff the allocation satisfies both the protocol
+constraint (eq. 10) and the deadline constraint (eq. 12, via the worst-case
+available time ``X_i = (q_i - 1) h_i``).
+
+Frame-overhead accounting for general ``h_i`` follows the paper's equation
+(7): the message occupies ``C'_i = C_i + ceil(C'_i / h_i)·F_ovhd`` on the
+wire (each token visit transmits one frame of length at most ``h_i``);
+:func:`augmented_length_fixed_point` solves that recurrence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.analysis.ttp import TTPAllocation, local_scheme_allocation
+from repro.errors import AllocationError, ConfigurationError
+from repro.messages.message_set import MessageSet
+
+__all__ = [
+    "SBAScheme",
+    "LocalScheme",
+    "FullLengthScheme",
+    "ProportionalScheme",
+    "NormalizedProportionalScheme",
+    "EqualPartitionScheme",
+    "augmented_length_fixed_point",
+    "allocation_schedulable",
+    "sba_breakdown_scale",
+    "ALL_SCHEMES",
+]
+
+
+def augmented_length_fixed_point(
+    payload_time_s: float,
+    bandwidth_budget_s: float,
+    frame_overhead_time_s: float,
+    max_iterations: int = 10_000,
+) -> float:
+    """Solve ``C' = C + ceil(C'/h)·F_ovhd`` (equation (7)).
+
+    Returns ``inf`` when ``h <= F_ovhd`` (a visit cannot carry any payload)
+    unless the payload is zero.  The iteration is monotone increasing and
+    jumps by at least ``F_ovhd`` per step, so it terminates quickly.
+    """
+    if payload_time_s < 0:
+        raise ConfigurationError(
+            f"payload time must be non-negative, got {payload_time_s!r}"
+        )
+    if payload_time_s == 0.0:
+        return 0.0
+    if bandwidth_budget_s <= frame_overhead_time_s:
+        return float("inf")
+    if frame_overhead_time_s == 0.0:
+        return payload_time_s
+    augmented = payload_time_s
+    for _ in range(max_iterations):
+        frames = math.ceil(augmented / bandwidth_budget_s - 1e-12)
+        updated = payload_time_s + frames * frame_overhead_time_s
+        if updated <= augmented + 1e-15:
+            return updated
+        augmented = updated
+    raise AllocationError(
+        "augmented-length fixed point failed to converge: "
+        f"C={payload_time_s!r}, h={bandwidth_budget_s!r}, "
+        f"F_ovhd={frame_overhead_time_s!r}"
+    )
+
+
+def _token_visits(period_s: float, ttrt_s: float) -> int:
+    """``q_i = floor(P_i / TTRT)`` with a tolerance for exact multiples."""
+    return int(math.floor(period_s / ttrt_s + 1e-12))
+
+
+def _build_allocation(
+    message_set: MessageSet,
+    ttrt_s: float,
+    bandwidth_bps: float,
+    frame_overhead_time_s: float,
+    delta_s: float,
+    bandwidths_s: Sequence[float],
+) -> TTPAllocation:
+    """Assemble a TTPAllocation from per-station budgets ``h_i``."""
+    visits = tuple(_token_visits(s.period_s, ttrt_s) for s in message_set)
+    augmented = tuple(
+        augmented_length_fixed_point(
+            s.payload_time(bandwidth_bps), h, frame_overhead_time_s
+        )
+        for s, h in zip(message_set, bandwidths_s)
+    )
+    return TTPAllocation(
+        ttrt_s=ttrt_s,
+        token_visits=visits,
+        bandwidths_s=tuple(float(h) for h in bandwidths_s),
+        augmented_lengths_s=augmented,
+        delta_s=delta_s,
+    )
+
+
+class SBAScheme(Protocol):
+    """A synchronous bandwidth allocation strategy."""
+
+    name: str
+
+    def allocate(
+        self,
+        message_set: MessageSet,
+        ttrt_s: float,
+        bandwidth_bps: float,
+        frame_overhead_time_s: float,
+        delta_s: float,
+    ) -> TTPAllocation:
+        """Compute per-station synchronous bandwidths."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True)
+class LocalScheme:
+    """The paper's scheme: ``h_i = C_i/(q_i - 1) + F_ovhd`` (eq. 9)."""
+
+    name: str = "local"
+
+    def allocate(
+        self,
+        message_set: MessageSet,
+        ttrt_s: float,
+        bandwidth_bps: float,
+        frame_overhead_time_s: float,
+        delta_s: float,
+    ) -> TTPAllocation:
+        """Allocate with the local rule (delegates to the TTP module)."""
+        return local_scheme_allocation(
+            message_set, ttrt_s, bandwidth_bps, frame_overhead_time_s, delta_s
+        )
+
+
+@dataclass(frozen=True)
+class FullLengthScheme:
+    """``h_i = C'_i``: the whole (overhead-augmented) message per visit.
+
+    The augmented length here is one frame per message: ``C'_i = C_i +
+    F_ovhd``, because the entire message fits in a single token visit.
+    """
+
+    name: str = "full-length"
+
+    def allocate(
+        self,
+        message_set: MessageSet,
+        ttrt_s: float,
+        bandwidth_bps: float,
+        frame_overhead_time_s: float,
+        delta_s: float,
+    ) -> TTPAllocation:
+        """Allocate each station its whole augmented message."""
+        budgets = [
+            s.payload_time(bandwidth_bps) + frame_overhead_time_s
+            if s.payload_bits > 0
+            else 0.0
+            for s in message_set
+        ]
+        return _build_allocation(
+            message_set, ttrt_s, bandwidth_bps, frame_overhead_time_s, delta_s, budgets
+        )
+
+
+@dataclass(frozen=True)
+class ProportionalScheme:
+    """``h_i = (C_i / P_i) · TTRT``: bandwidth proportional to utilization.
+
+    Included as the classic negative baseline.  Under the worst-case
+    availability bound ``X_i = (q_i - 1)·h_i`` this scheme can never
+    guarantee a deadline for a positive load: ``(q_i - 1)·TTRT < P_i``
+    implies ``X_i < C_i`` before overheads are even counted — the
+    "worst-case achievable utilization is 0" result from the SBA
+    literature.  Its breakdown scale is therefore always 0; it exists so
+    the comparison benchmark can demonstrate exactly that.
+    """
+
+    name: str = "proportional"
+
+    def allocate(
+        self,
+        message_set: MessageSet,
+        ttrt_s: float,
+        bandwidth_bps: float,
+        frame_overhead_time_s: float,
+        delta_s: float,
+    ) -> TTPAllocation:
+        """Allocate in proportion to stream utilization."""
+        budgets = [
+            s.payload_time(bandwidth_bps) / s.period_s * ttrt_s for s in message_set
+        ]
+        return _build_allocation(
+            message_set, ttrt_s, bandwidth_bps, frame_overhead_time_s, delta_s, budgets
+        )
+
+
+@dataclass(frozen=True)
+class NormalizedProportionalScheme:
+    """``h_i = (U_i / U) · (TTRT - δ)``: fill the budget in proportion.
+
+    The protocol constraint holds with equality by construction; only the
+    deadline constraint can fail.  Needs a non-zero total utilization.
+    """
+
+    name: str = "normalized-proportional"
+
+    def allocate(
+        self,
+        message_set: MessageSet,
+        ttrt_s: float,
+        bandwidth_bps: float,
+        frame_overhead_time_s: float,
+        delta_s: float,
+    ) -> TTPAllocation:
+        """Allocate the full budget in proportion to utilization."""
+        utilizations = [s.utilization(bandwidth_bps) for s in message_set]
+        total = sum(utilizations)
+        if total == 0.0:
+            raise AllocationError(
+                "normalized-proportional scheme is undefined for an all-zero "
+                "message set"
+            )
+        budget = ttrt_s - delta_s
+        if budget <= 0:
+            raise AllocationError(
+                f"no rotation budget: TTRT={ttrt_s!r} <= delta={delta_s!r}"
+            )
+        budgets = [u / total * budget for u in utilizations]
+        return _build_allocation(
+            message_set, ttrt_s, bandwidth_bps, frame_overhead_time_s, delta_s, budgets
+        )
+
+
+@dataclass(frozen=True)
+class EqualPartitionScheme:
+    """``h_i = (TTRT - δ) / n``: split the rotation budget evenly."""
+
+    name: str = "equal-partition"
+
+    def allocate(
+        self,
+        message_set: MessageSet,
+        ttrt_s: float,
+        bandwidth_bps: float,
+        frame_overhead_time_s: float,
+        delta_s: float,
+    ) -> TTPAllocation:
+        """Split the rotation budget evenly across stations."""
+        budget = ttrt_s - delta_s
+        if budget <= 0:
+            raise AllocationError(
+                f"no rotation budget: TTRT={ttrt_s!r} <= delta={delta_s!r}"
+            )
+        share = budget / len(message_set)
+        return _build_allocation(
+            message_set,
+            ttrt_s,
+            bandwidth_bps,
+            frame_overhead_time_s,
+            delta_s,
+            [share] * len(message_set),
+        )
+
+
+#: All implemented schemes, in the order used by the comparison benchmark.
+ALL_SCHEMES: tuple[SBAScheme, ...] = (
+    LocalScheme(),
+    FullLengthScheme(),
+    ProportionalScheme(),
+    NormalizedProportionalScheme(),
+    EqualPartitionScheme(),
+)
+
+
+def allocation_schedulable(allocation: TTPAllocation) -> bool:
+    """Both acceptability constraints of Section 5.3 hold."""
+    return (
+        allocation.satisfies_protocol_constraint()
+        and allocation.satisfies_deadline_constraint()
+    )
+
+
+def sba_breakdown_scale(
+    scheme: SBAScheme,
+    message_set: MessageSet,
+    ttrt_s: float,
+    bandwidth_bps: float,
+    frame_overhead_time_s: float,
+    delta_s: float,
+    grid_points: int = 256,
+    refine_steps: int = 40,
+) -> float:
+    """Largest payload scale schedulable under ``scheme`` at ``ttrt_s``.
+
+    Robust to feasible regions that are not downward closed (possible in
+    principle for budget-coupled schemes, where growing a payload changes
+    ``h_i`` and the frame count together): scans a log grid of scales from
+    large to small for the first feasible point, then bisects the upper
+    boundary.  Returns 0 when no scanned scale is feasible.
+    """
+    if len(message_set) == 0:
+        raise ConfigurationError("cannot saturate an empty message set")
+    if message_set.total_payload_bits() == 0:
+        return 0.0
+
+    def feasible(scale: float) -> bool:
+        try:
+            allocation = scheme.allocate(
+                message_set.scaled(scale),
+                ttrt_s,
+                bandwidth_bps,
+                frame_overhead_time_s,
+                delta_s,
+            )
+        except AllocationError:
+            return False
+        return allocation_schedulable(allocation)
+
+    # Upper anchor: scale at which raw payload utilization is far above 1;
+    # no protocol can schedule past that.
+    base_utilization = message_set.utilization(bandwidth_bps)
+    upper = 4.0 / base_utilization if base_utilization > 0 else 1.0
+    grid = [upper * (1e-6 / 1.0) ** (i / (grid_points - 1)) for i in range(grid_points)]
+
+    last_feasible = None
+    first_infeasible_above = upper * 4.0
+    for scale in grid:  # descending
+        if feasible(scale):
+            last_feasible = scale
+            break
+        first_infeasible_above = scale
+    if last_feasible is None:
+        return 0.0
+
+    lo, hi = last_feasible, first_infeasible_above
+    for _ in range(refine_steps):
+        mid = math.sqrt(lo * hi)
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleParameterError",
+    "MessageSetError",
+    "AllocationError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A network, protocol, or experiment parameter is invalid.
+
+    Raised eagerly at object-construction time so that a bad parameter is
+    reported where it was supplied rather than deep inside an analysis.
+    """
+
+
+class InfeasibleParameterError(ReproError):
+    """A derived protocol parameter has no feasible value.
+
+    Example: the timed token protocol requires ``TTRT <= P_min / 2``; if the
+    per-rotation overhead already exceeds every feasible TTRT there is no
+    valid configuration, and allocation must fail loudly instead of
+    returning a nonsense bandwidth.
+    """
+
+
+class MessageSetError(ReproError):
+    """A synchronous message set violates the model of Section 3.2.
+
+    Covers non-positive periods, negative lengths, and empty sets where a
+    non-empty one is required.
+    """
+
+
+class AllocationError(ReproError):
+    """A synchronous bandwidth allocation scheme cannot allocate.
+
+    Raised by the TTP allocation schemes when a message set cannot receive
+    any valid synchronous capacities (for example ``floor(P_i/TTRT) < 2``
+    under the local scheme).
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an internal inconsistency.
+
+    These indicate bugs (two tokens on the ring, events scheduled in the
+    past), never ordinary protocol behaviour such as a deadline miss.
+    """

@@ -1,0 +1,58 @@
+"""Experiment harness: regenerate the paper's evaluation.
+
+* :mod:`~repro.experiments.config` — the operating conditions of Section
+  6.2 as one reusable parameter object.
+* :mod:`~repro.experiments.figure1` — the bandwidth sweep of Figure 1.
+* :mod:`~repro.experiments.sweeps` — the ablations the paper discusses but
+  omits for space: TTRT sensitivity, frame-size trade-off, period
+  distribution, SBA scheme comparison, ring size.
+* :mod:`~repro.experiments.reporting` — ASCII tables/plots and CSV output.
+* :mod:`~repro.experiments.runner` — command-line entry point
+  (``python -m repro.experiments.runner``).
+"""
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.figure1 import Figure1Point, Figure1Result, run_figure1
+from repro.experiments.sweeps import (
+    frame_size_sweep,
+    period_sweep,
+    ring_size_sweep,
+    sba_comparison,
+    ttrt_sweep,
+)
+from repro.experiments.crossover import (
+    CrossoverMap,
+    CrossoverPoint,
+    crossover_map,
+)
+from repro.experiments.sharpness import (
+    SharpnessResult,
+    SharpnessSample,
+    sharpness_experiment,
+)
+from repro.experiments.throughput import (
+    ThroughputPoint,
+    ThroughputResult,
+    throughput_experiment,
+)
+
+__all__ = [
+    "PaperParameters",
+    "Figure1Point",
+    "Figure1Result",
+    "run_figure1",
+    "ttrt_sweep",
+    "frame_size_sweep",
+    "period_sweep",
+    "sba_comparison",
+    "ring_size_sweep",
+    "ThroughputPoint",
+    "ThroughputResult",
+    "throughput_experiment",
+    "CrossoverMap",
+    "CrossoverPoint",
+    "crossover_map",
+    "SharpnessResult",
+    "SharpnessSample",
+    "sharpness_experiment",
+]

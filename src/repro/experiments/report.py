@@ -1,0 +1,135 @@
+"""One-shot markdown report over the full experiment suite.
+
+``python -m repro.experiments.runner report --out report.md`` runs every
+experiment at the configured scale and writes a self-contained markdown
+record — the programmatic version of EXPERIMENTS.md, so a user on
+different hardware (or after modifying the library) can regenerate the
+whole evidence base with one command.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.crossover import crossover_map
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.sweeps import (
+    frame_size_sweep,
+    period_sweep,
+    ring_size_sweep,
+    sba_comparison,
+    ttrt_sweep,
+)
+from repro.experiments.throughput import throughput_experiment
+
+__all__ = ["generate_report"]
+
+
+def _markdown_table(headers, rows) -> str:
+    """Render rows as a GitHub-style markdown table."""
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def generate_report(
+    parameters: PaperParameters | None = None,
+    title: str = "Experiment report",
+) -> str:
+    """Run every experiment and return the markdown report text."""
+    params = parameters if parameters is not None else PaperParameters()
+    out = io.StringIO()
+    started = time.perf_counter()
+
+    out.write(f"# {title}\n\n")
+    out.write(
+        f"Configuration: n={params.n_stations} stations, "
+        f"{params.monte_carlo_sets} Monte Carlo sets, "
+        f"mean period {params.mean_period_s * 1e3:.0f} ms, "
+        f"period ratio {params.period_ratio:g}, "
+        f"frame {params.frame_payload_bytes:.0f} B payload / "
+        f"{params.frame_overhead_bits:.0f} b overhead, "
+        f"seed {params.seed}.\n\n"
+    )
+
+    # --- Figure 1 ------------------------------------------------------------
+    figure1 = run_figure1(params)
+    out.write("## Figure 1 — average breakdown utilization vs bandwidth\n\n")
+    out.write(
+        _markdown_table(
+            ["BW (Mbps)", "IEEE 802.5", "Mod 802.5", "FDDI"],
+            [row[:4] for row in figure1.rows()],
+        )
+    )
+    out.write("\n\nShape checks:\n\n")
+    for check, passed in figure1.shape_report().items():
+        out.write(f"- {'PASS' if passed else 'FAIL'} — {check}\n")
+    crossover = figure1.crossover_bandwidth()
+    out.write(f"\nCrossover bandwidth: {crossover} Mbps\n\n")
+
+    # --- sweeps ---------------------------------------------------------------
+    for heading, sweep in (
+        ("TTRT sensitivity @ 10 Mbps", ttrt_sweep(params, 10.0)),
+        ("Frame-size trade-off @ 10 Mbps", frame_size_sweep(params, 10.0)),
+        ("Period robustness @ 4 Mbps", period_sweep(params, 4.0)),
+        ("SBA scheme comparison @ 100 Mbps", sba_comparison(params, 100.0)),
+        ("Ring-size sensitivity @ 25 Mbps", ring_size_sweep(params, 25.0)),
+    ):
+        out.write(f"## {heading}\n\n")
+        out.write(_markdown_table(sweep.headers, sweep.rows))
+        out.write("\n\n")
+
+    # --- throughput -------------------------------------------------------------
+    throughput = throughput_experiment(params)
+    out.write("## Throughput division (sync at half breakdown)\n\n")
+    out.write(
+        _markdown_table(
+            ["protocol", "BW (Mbps)", "sync", "async", "overhead", "misses"],
+            [
+                [
+                    p.protocol,
+                    p.bandwidth_mbps,
+                    p.sync_utilization,
+                    p.async_utilization,
+                    p.overhead_fraction,
+                    p.deadline_misses,
+                ]
+                for p in throughput.points
+            ],
+        )
+    )
+    out.write("\n\n")
+
+    # --- crossover frontier --------------------------------------------------------
+    counts = (5, 10, 20) if params.n_stations <= 20 else (10, 25, 50, 100)
+    frontier = crossover_map(params, station_counts=counts)
+    out.write("## Crossover frontier (ring size -> handover bandwidth)\n\n")
+    out.write(
+        _markdown_table(
+            ["stations", "crossover (Mbps)", "PDP there", "TTP there"],
+            [
+                [
+                    p.n_stations,
+                    p.crossover_mbps if p.crossover_mbps is not None else "none",
+                    p.pdp_at_crossover,
+                    p.ttp_at_crossover,
+                ]
+                for p in frontier.points
+            ],
+        )
+    )
+
+    elapsed = time.perf_counter() - started
+    out.write(f"\n\n---\nGenerated in {elapsed:.1f}s.\n")
+    return out.getvalue()

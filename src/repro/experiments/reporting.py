@@ -1,0 +1,120 @@
+"""Plain-text reporting: aligned tables, ASCII line plots, CSV.
+
+The environment has no plotting stack, so experiments render their output
+the way 1990s systems papers were drafted: fixed-width tables and ASCII
+charts.  Everything also exports to CSV for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table", "ascii_plot", "write_csv", "format_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render an aligned fixed-width table.
+
+    Floats go through ``float_format``; everything else through ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            if math.isnan(cell):
+                return "nan"
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more series as an ASCII scatter/line chart.
+
+    Each series gets a distinct marker; later series overwrite earlier
+    ones where they collide.  ``logx`` spaces the x axis logarithmically
+    (Figure 1's bandwidth axis).
+    """
+    if not x or not series:
+        raise ConfigurationError("ascii_plot needs data")
+    markers = "*o+x#@%&"
+    xs = [math.log10(v) for v in x] if logx else list(x)
+    x_min, x_max = min(xs), max(xs)
+    all_y = [v for ys in series.values() for v in ys if not math.isnan(v)]
+    if not all_y:
+        raise ConfigurationError("ascii_plot needs at least one finite y value")
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for xv, yv in zip(xs, ys):
+            if math.isnan(yv):
+                continue
+            col = round((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = round((yv - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for index, name in enumerate(series):
+        out.write(f"  {markers[index % len(markers)]} {name}\n")
+    out.write(f"{y_max:8.3f} +" + "-" * width + "+\n")
+    for line in grid:
+        out.write(" " * 9 + "|" + "".join(line) + "|\n")
+    out.write(f"{y_min:8.3f} +" + "-" * width + "+\n")
+    left = f"{10 ** x_min:.3g}" if logx else f"{x_min:.3g}"
+    right = f"{10 ** x_max:.3g}" if logx else f"{x_max:.3g}"
+    out.write(" " * 10 + left + " " * max(1, width - len(left) - len(right)) + right + "\n")
+    return out.getvalue()
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as simple CSV text (no quoting — numeric tables only)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(f"{c:.6g}" if isinstance(c, float) else str(c) for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    """Write a numeric table to ``path`` as CSV."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_csv(headers, rows))

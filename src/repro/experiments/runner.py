@@ -1,0 +1,151 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner figure1 [--fast] [--csv out.csv]
+    python -m repro.experiments.runner ttrt --bandwidth 100
+    python -m repro.experiments.runner frames --bandwidth 10
+    python -m repro.experiments.runner periods --bandwidth 10
+    python -m repro.experiments.runner sba --bandwidth 100
+    python -m repro.experiments.runner ringsize --bandwidth 100
+    python -m repro.experiments.runner throughput
+    python -m repro.experiments.runner crossover
+    python -m repro.experiments.runner all --fast
+
+``--fast`` shrinks the ring to 20 stations and the Monte Carlo count to
+10 sets, which turns the full-figure run from minutes into seconds while
+preserving every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.crossover import crossover_map
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.reporting import write_csv
+from repro.experiments.sweeps import (
+    frame_size_sweep,
+    period_sweep,
+    ring_size_sweep,
+    sba_comparison,
+    ttrt_sweep,
+)
+from repro.experiments.throughput import throughput_experiment
+
+__all__ = ["main", "build_parameters"]
+
+
+def build_parameters(fast: bool, sets: int | None, stations: int | None) -> PaperParameters:
+    """Assemble parameters from CLI flags."""
+    params = PaperParameters()
+    if fast:
+        params = params.scaled_down(n_stations=20, monte_carlo_sets=10)
+    if stations is not None:
+        params = params.scaled_down(stations, params.monte_carlo_sets)
+    if sets is not None:
+        params = params.scaled_down(params.n_stations, sets)
+    return params
+
+
+def _run_figure1(args: argparse.Namespace, params: PaperParameters) -> None:
+    result = run_figure1(params)
+    print(result.to_table())
+    print()
+    print(result.to_ascii_plot())
+    print("shape checks:")
+    for check, passed in result.shape_report().items():
+        print(f"  {'PASS' if passed else 'FAIL'}  {check}")
+    crossover = result.crossover_bandwidth()
+    print(f"crossover bandwidth: {crossover} Mbps")
+    if args.csv:
+        write_csv(
+            args.csv,
+            ["bandwidth_mbps", "pdp_standard", "pdp_modified", "ttp",
+             "se_standard", "se_modified", "se_ttp"],
+            result.rows(),
+        )
+        print(f"wrote {args.csv}")
+
+
+def _run_sweep(sweep_result) -> None:
+    print(sweep_result.name)
+    print(sweep_result.to_table())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's evaluation",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "figure1", "ttrt", "frames", "periods", "sba", "ringsize",
+            "throughput", "crossover", "sharpness", "report", "all",
+        ],
+    )
+    parser.add_argument("--out", type=str, default=None,
+                        help="output path for the markdown report")
+    parser.add_argument("--fast", action="store_true", help="small ring, few sets")
+    parser.add_argument("--sets", type=int, default=None, help="Monte Carlo sets")
+    parser.add_argument("--stations", type=int, default=None, help="ring size")
+    parser.add_argument("--bandwidth", type=float, default=10.0, help="Mbps")
+    parser.add_argument("--csv", type=str, default=None, help="CSV output path")
+    args = parser.parse_args(argv)
+
+    params = build_parameters(args.fast, args.sets, args.stations)
+    started = time.perf_counter()
+
+    if args.experiment in ("figure1", "all"):
+        _run_figure1(args, params)
+    if args.experiment in ("ttrt", "all"):
+        _run_sweep(ttrt_sweep(params, args.bandwidth))
+    if args.experiment in ("frames", "all"):
+        _run_sweep(frame_size_sweep(params, args.bandwidth))
+    if args.experiment in ("periods", "all"):
+        _run_sweep(period_sweep(params, args.bandwidth))
+    if args.experiment in ("sba", "all"):
+        _run_sweep(sba_comparison(params, args.bandwidth))
+    if args.experiment in ("ringsize", "all"):
+        _run_sweep(ring_size_sweep(params, args.bandwidth))
+    if args.experiment in ("throughput", "all"):
+        print("throughput division (sync at half breakdown, async saturating)")
+        print(throughput_experiment(params).to_table())
+    if args.experiment in ("crossover", "all"):
+        counts = (5, 10, 20) if params.n_stations <= 20 else (10, 25, 50, 100)
+        print("crossover frontier (ring size -> handover bandwidth)")
+        print(crossover_map(params, station_counts=counts).to_table())
+    if args.experiment in ("sharpness", "all"):
+        from repro.experiments.sharpness import sharpness_experiment
+
+        sharp_params = params.scaled_down(
+            min(params.n_stations, 8), params.monte_carlo_sets
+        )
+        print("criterion sharpness (empirical / analytic breakdown scale)")
+        print(
+            sharpness_experiment(
+                sharp_params, bandwidth_mbps=args.bandwidth, n_sets=5
+            ).to_table()
+        )
+    if args.experiment == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(params)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+
+    print(f"\nelapsed: {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,271 @@
+"""Ablation sweeps: the studies the paper describes but omits for space.
+
+Section 6.2 states that "results obtained for other values of these
+parameters were similar"; Section 5.2 discusses the TTRT and frame-size
+trade-offs qualitatively.  These sweeps regenerate that evidence:
+
+* :func:`ttrt_sweep` — breakdown utilization of the TTP versus the TTRT
+  value, overlaid with the sqrt-rule / half-min / numeric-optimal policies
+  (Section 5.2's "sensitive to the TTRT value" claim).
+* :func:`frame_size_sweep` — the PDP's responsiveness/overhead trade-off
+  versus frame payload size (Section 4.2).
+* :func:`period_sweep` — the Figure 1 comparison repeated for other mean
+  periods and period ratios (Section 6.2's robustness claim).
+* :func:`sba_comparison` — the local scheme against the other allocation
+  schemes of the literature (Section 5.2's design choice).
+* :func:`ring_size_sweep` — sensitivity to the number of stations.
+
+Every sweep returns a :class:`SweepResult` that renders as a table and
+exports rows for CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.montecarlo import average_breakdown_utilization
+from repro.analysis.pdp import PDPVariant
+from repro.analysis.sba import ALL_SCHEMES, SBAScheme, sba_breakdown_scale
+from repro.analysis.ttrt import (
+    FixedTTRT,
+    HalfMinPeriodTTRT,
+    OptimalTTRT,
+    SqrtRuleTTRT,
+)
+from repro.experiments.config import PaperParameters
+from repro.experiments.reporting import format_table
+from repro.units import mbps
+
+__all__ = [
+    "SweepResult",
+    "ttrt_sweep",
+    "frame_size_sweep",
+    "period_sweep",
+    "sba_comparison",
+    "ring_size_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A generic sweep outcome: named columns and numeric rows."""
+
+    name: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def to_table(self) -> str:
+        """Fixed-width rendering of the sweep."""
+        return format_table(self.headers, self.rows)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one named column."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def ttrt_sweep(
+    parameters: PaperParameters,
+    bandwidth_mbps: float,
+    ttrt_fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0),
+) -> SweepResult:
+    """TTP breakdown utilization versus TTRT.
+
+    ``ttrt_fractions`` are fractions of ``P_min / 2`` (the feasibility
+    ceiling).  The sqrt-rule, half-min, and numeric-optimal policies are
+    appended as labelled rows for comparison.
+    """
+    sampler = parameters.sampler()
+    bw = mbps(bandwidth_mbps)
+    p_min = parameters.period_distribution().bounds[0]
+    rows: list[tuple[object, ...]] = []
+
+    def estimate(policy, label: str, ttrt_s: float | str) -> None:
+        analysis = parameters.ttp_analysis(bandwidth_mbps, policy)
+        result = average_breakdown_utilization(
+            analysis,
+            sampler,
+            bw,
+            parameters.monte_carlo_sets,
+            np.random.default_rng(parameters.seed),
+        )
+        rows.append((label, ttrt_s, result.mean, result.stderr))
+
+    for fraction in ttrt_fractions:
+        ttrt = fraction * p_min / 2.0
+        estimate(FixedTTRT(ttrt), f"fixed({fraction:.2f})", ttrt)
+    reference = parameters.ttp_analysis(bandwidth_mbps)
+    total_overhead = (
+        reference.delta + parameters.n_stations * reference.frame_overhead_time
+    )
+    estimate(SqrtRuleTTRT(), "sqrt-rule", float(np.sqrt(total_overhead * p_min)))
+    estimate(HalfMinPeriodTTRT(), "half-min", p_min / 2.0)
+    estimate(OptimalTTRT(), "optimal", "per-set")
+    return SweepResult(
+        name=f"ttrt-sweep@{bandwidth_mbps}Mbps",
+        headers=("policy", "TTRT (s)", "avg breakdown util", "stderr"),
+        rows=tuple(rows),
+    )
+
+
+def frame_size_sweep(
+    parameters: PaperParameters,
+    bandwidth_mbps: float,
+    payload_bytes: Sequence[float] = (16, 32, 64, 128, 256, 512, 1024),
+) -> SweepResult:
+    """PDP breakdown utilization versus frame payload size (Section 4.2).
+
+    Small frames approximate preemption better (less blocking) but pay the
+    112-bit overhead more often; large frames amortize overhead but block
+    high-priority messages longer.  The sweep exposes the resulting
+    interior optimum.
+    """
+    sampler = parameters.sampler()
+    bw = mbps(bandwidth_mbps)
+    rows: list[tuple[object, ...]] = []
+    for size in payload_bytes:
+        varied = parameters.with_frame(payload_bytes=size)
+        for variant in (PDPVariant.STANDARD, PDPVariant.MODIFIED):
+            analysis = varied.pdp_analysis(bandwidth_mbps, variant)
+            result = average_breakdown_utilization(
+                analysis,
+                sampler,
+                bw,
+                varied.monte_carlo_sets,
+                np.random.default_rng(varied.seed),
+                rel_tol=1e-3,
+            )
+            rows.append((variant.value, size, result.mean, result.stderr))
+    return SweepResult(
+        name=f"frame-size-sweep@{bandwidth_mbps}Mbps",
+        headers=("variant", "payload (bytes)", "avg breakdown util", "stderr"),
+        rows=tuple(rows),
+    )
+
+
+def period_sweep(
+    parameters: PaperParameters,
+    bandwidth_mbps: float,
+    mean_periods_s: Sequence[float] = (0.05, 0.1, 0.2),
+    ratios: Sequence[float] = (2.0, 10.0, 50.0),
+) -> SweepResult:
+    """The three-protocol comparison across period distributions.
+
+    Reproduces Section 6.2's claim that the qualitative comparison is
+    stable across the period parameters.
+    """
+    bw = mbps(bandwidth_mbps)
+    rows: list[tuple[object, ...]] = []
+    for mean_period in mean_periods_s:
+        for ratio in ratios:
+            varied = parameters.with_periods(mean_period, ratio)
+            sampler = varied.sampler()
+            estimates = []
+            for analysis in (
+                varied.pdp_analysis(bandwidth_mbps, PDPVariant.STANDARD),
+                varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED),
+                varied.ttp_analysis(bandwidth_mbps),
+            ):
+                estimates.append(
+                    average_breakdown_utilization(
+                        analysis,
+                        sampler,
+                        bw,
+                        varied.monte_carlo_sets,
+                        np.random.default_rng(varied.seed),
+                        rel_tol=1e-3,
+                    ).mean
+                )
+            rows.append((mean_period, ratio, *estimates))
+    return SweepResult(
+        name=f"period-sweep@{bandwidth_mbps}Mbps",
+        headers=(
+            "mean period (s)",
+            "ratio",
+            "IEEE 802.5",
+            "Mod 802.5",
+            "FDDI",
+        ),
+        rows=tuple(rows),
+    )
+
+
+def sba_comparison(
+    parameters: PaperParameters,
+    bandwidth_mbps: float,
+    schemes: Sequence[SBAScheme] = ALL_SCHEMES,
+) -> SweepResult:
+    """Average breakdown utilization per SBA scheme at one bandwidth.
+
+    All schemes are evaluated at the sqrt-rule TTRT over the same workload
+    population, using the robust grid-scan saturation search (the
+    proportional scheme's feasible region is not downward closed).
+    """
+    sampler = parameters.sampler()
+    bw = mbps(bandwidth_mbps)
+    analysis = parameters.ttp_analysis(bandwidth_mbps)
+    rows: list[tuple[object, ...]] = []
+    for scheme in schemes:
+        rng = np.random.default_rng(parameters.seed)
+        utilizations = []
+        for message_set in sampler.sample_many(rng, parameters.monte_carlo_sets):
+            ttrt = analysis.select_ttrt(message_set)
+            scale = sba_breakdown_scale(
+                scheme,
+                message_set,
+                ttrt,
+                bw,
+                analysis.frame_overhead_time,
+                analysis.delta,
+            )
+            utilizations.append(
+                message_set.scaled(scale).utilization(bw) if scale > 0 else 0.0
+            )
+        arr = np.asarray(utilizations)
+        stderr = (
+            float(np.std(arr, ddof=1) / np.sqrt(arr.size)) if arr.size > 1 else 0.0
+        )
+        rows.append((scheme.name, float(np.mean(arr)), stderr))
+    return SweepResult(
+        name=f"sba-comparison@{bandwidth_mbps}Mbps",
+        headers=("scheme", "avg breakdown util", "stderr"),
+        rows=tuple(rows),
+    )
+
+
+def ring_size_sweep(
+    parameters: PaperParameters,
+    bandwidth_mbps: float,
+    station_counts: Sequence[int] = (10, 25, 50, 100, 200),
+) -> SweepResult:
+    """The three-protocol comparison versus the number of stations."""
+    bw = mbps(bandwidth_mbps)
+    rows: list[tuple[object, ...]] = []
+    for n in station_counts:
+        varied = parameters.scaled_down(n, parameters.monte_carlo_sets)
+        sampler = varied.sampler()
+        estimates = []
+        for analysis in (
+            varied.pdp_analysis(bandwidth_mbps, PDPVariant.STANDARD),
+            varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED),
+            varied.ttp_analysis(bandwidth_mbps),
+        ):
+            estimates.append(
+                average_breakdown_utilization(
+                    analysis,
+                    sampler,
+                    bw,
+                    varied.monte_carlo_sets,
+                    np.random.default_rng(varied.seed),
+                    rel_tol=1e-3,
+                ).mean
+            )
+        rows.append((n, *estimates))
+    return SweepResult(
+        name=f"ring-size-sweep@{bandwidth_mbps}Mbps",
+        headers=("stations", "IEEE 802.5", "Mod 802.5", "FDDI"),
+        rows=tuple(rows),
+    )

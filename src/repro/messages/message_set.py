@@ -1,0 +1,129 @@
+"""Synchronous message sets (the ``M`` of Section 3.2).
+
+A :class:`MessageSet` is an immutable ordered collection of
+:class:`~repro.messages.stream.SynchronousStream` objects.  It provides the
+aggregate quantities the analyses need (utilization, period extremes) and
+the rate-monotonic ordering used by the priority driven protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import MessageSetError
+from repro.messages.stream import SynchronousStream
+
+__all__ = ["MessageSet"]
+
+
+class MessageSet(Sequence[SynchronousStream]):
+    """An immutable collection of synchronous streams.
+
+    The constructor preserves the given order (stations keep their
+    identity); :meth:`rate_monotonic` returns a copy sorted into RM
+    priority order, which is what the PDP analysis consumes.
+    """
+
+    __slots__ = ("_streams",)
+
+    def __init__(self, streams: Iterable[SynchronousStream]):
+        self._streams: tuple[SynchronousStream, ...] = tuple(streams)
+        for stream in self._streams:
+            if not isinstance(stream, SynchronousStream):
+                raise MessageSetError(
+                    f"message sets hold SynchronousStream objects, got {stream!r}"
+                )
+
+    # -- Sequence protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return MessageSet(self._streams[index])
+        return self._streams[index]
+
+    def __iter__(self) -> Iterator[SynchronousStream]:
+        return iter(self._streams)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MessageSet):
+            return NotImplemented
+        return self._streams == other._streams
+
+    def __hash__(self) -> int:
+        return hash(self._streams)
+
+    def __repr__(self) -> str:
+        return f"MessageSet({list(self._streams)!r})"
+
+    # -- aggregate properties ---------------------------------------------------
+
+    @property
+    def streams(self) -> tuple[SynchronousStream, ...]:
+        """The streams in construction order."""
+        return self._streams
+
+    @property
+    def periods(self) -> tuple[float, ...]:
+        """``P_i`` for every stream, in construction order."""
+        return tuple(s.period_s for s in self._streams)
+
+    @property
+    def payloads_bits(self) -> tuple[float, ...]:
+        """``C_i^b`` for every stream, in construction order."""
+        return tuple(s.payload_bits for s in self._streams)
+
+    @property
+    def min_period(self) -> float:
+        """``P_min``; raises for an empty set."""
+        self._require_nonempty()
+        return min(self.periods)
+
+    @property
+    def max_period(self) -> float:
+        """``P_max``; raises for an empty set."""
+        self._require_nonempty()
+        return max(self.periods)
+
+    def utilization(self, bandwidth_bps: float) -> float:
+        """``U(M) = Σ C_i / P_i`` at ``bandwidth_bps`` (equation (3))."""
+        return sum(s.utilization(bandwidth_bps) for s in self._streams)
+
+    def total_payload_bits(self) -> float:
+        """Sum of payload lengths across streams, in bits."""
+        return sum(s.payload_bits for s in self._streams)
+
+    # -- orderings ----------------------------------------------------------------
+
+    def rate_monotonic(self) -> "MessageSet":
+        """The set sorted into rate-monotonic priority order.
+
+        Shorter period = higher priority (appears first).  Ties break on
+        payload then station index so the order is deterministic.
+        """
+        return MessageSet(sorted(self._streams))
+
+    def is_rate_monotonic_ordered(self) -> bool:
+        """True when the streams are already in non-decreasing period order."""
+        periods = self.periods
+        return all(a <= b for a, b in zip(periods, periods[1:]))
+
+    # -- transformations -----------------------------------------------------------
+
+    def scaled(self, factor: float) -> "MessageSet":
+        """Scale every payload by ``factor``; periods are untouched."""
+        return MessageSet(s.scaled(factor) for s in self._streams)
+
+    def assigned_to_stations(self) -> "MessageSet":
+        """Re-number stations 0..n-1 in current order (one stream per station)."""
+        return MessageSet(
+            s.with_station(i) for i, s in enumerate(self._streams)
+        )
+
+    # -- internals -------------------------------------------------------------------
+
+    def _require_nonempty(self) -> None:
+        if not self._streams:
+            raise MessageSetError("operation requires a non-empty message set")

@@ -1,0 +1,61 @@
+"""Transformations on message sets used by the breakdown machinery.
+
+The average-breakdown-utilization study repeatedly needs two operations:
+
+* scale every payload by a common factor λ (the saturation search variable),
+* renormalize a set so its utilization at a given bandwidth hits a target
+  (useful for seeding searches and for building controlled test fixtures).
+
+Both return new sets; message sets are immutable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MessageSetError
+from repro.messages.message_set import MessageSet
+
+__all__ = ["scale_payloads", "set_utilization", "with_payloads"]
+
+
+def scale_payloads(message_set: MessageSet, factor: float) -> MessageSet:
+    """Scale every payload in ``message_set`` by ``factor`` (>= 0)."""
+    return message_set.scaled(factor)
+
+
+def set_utilization(
+    message_set: MessageSet, bandwidth_bps: float, target_utilization: float
+) -> MessageSet:
+    """Rescale payloads so ``U(M)`` equals ``target_utilization``.
+
+    The relative payload proportions between streams are preserved; only
+    the common scale changes.  Requires the set to carry at least one
+    non-empty payload, otherwise no scale can reach a positive target.
+    """
+    if target_utilization < 0:
+        raise MessageSetError(
+            f"target utilization must be non-negative, got {target_utilization!r}"
+        )
+    current = message_set.utilization(bandwidth_bps)
+    if target_utilization == 0:
+        return message_set.scaled(0.0)
+    if current == 0:
+        raise MessageSetError(
+            "cannot scale an all-zero message set to a positive utilization"
+        )
+    return message_set.scaled(target_utilization / current)
+
+
+def with_payloads(message_set: MessageSet, payloads_bits) -> MessageSet:
+    """Replace the payloads of ``message_set`` stream-by-stream.
+
+    ``payloads_bits`` must have one entry per stream, matched by position.
+    """
+    payloads = list(payloads_bits)
+    if len(payloads) != len(message_set):
+        raise MessageSetError(
+            f"expected {len(message_set)} payloads, got {len(payloads)}"
+        )
+    return MessageSet(
+        stream.with_payload(payload)
+        for stream, payload in zip(message_set, payloads)
+    )

@@ -1,0 +1,53 @@
+"""Physical and link-layer model of a token ring network.
+
+This subpackage provides the substrate shared by both protocols studied in
+the paper:
+
+* :class:`~repro.network.ring.RingNetwork` — the physical ring (stations,
+  spacing, per-station bit delays, token length) and the derived latencies
+  ``W_T`` (token walk time) and ``Θ`` (walk time plus token transmission).
+* :class:`~repro.network.frames.FrameFormat` — the information/overhead
+  split of a MAC frame and the frame-counting arithmetic (``K_i``/``L_i``)
+  from Section 4.2 of the paper.
+* :mod:`~repro.network.standards` — ready-made IEEE 802.5 and FDDI
+  configurations with the constants used in the paper's Section 6.2.
+"""
+
+from repro.network.frames import FrameFormat, FrameSplit
+from repro.network.latency import (
+    LatencyBreakdown,
+    latency_breakdown,
+    wasted_fraction_high_bandwidth,
+    wasted_fraction_low_bandwidth,
+)
+from repro.network.ring import RingNetwork
+from repro.network.standards import (
+    FDDI_STATION_BIT_DELAY,
+    FDDI_TOKEN_BITS,
+    IEEE_802_5_STATION_BIT_DELAY,
+    IEEE_802_5_TOKEN_BITS,
+    PAPER_FRAME_OVERHEAD_BITS,
+    PAPER_VELOCITY_FACTOR,
+    fddi_ring,
+    ieee_802_5_ring,
+    paper_frame_format,
+)
+
+__all__ = [
+    "FrameFormat",
+    "FrameSplit",
+    "RingNetwork",
+    "LatencyBreakdown",
+    "latency_breakdown",
+    "wasted_fraction_low_bandwidth",
+    "wasted_fraction_high_bandwidth",
+    "ieee_802_5_ring",
+    "fddi_ring",
+    "paper_frame_format",
+    "IEEE_802_5_STATION_BIT_DELAY",
+    "IEEE_802_5_TOKEN_BITS",
+    "FDDI_STATION_BIT_DELAY",
+    "FDDI_TOKEN_BITS",
+    "PAPER_FRAME_OVERHEAD_BITS",
+    "PAPER_VELOCITY_FACTOR",
+]

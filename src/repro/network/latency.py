@@ -1,0 +1,113 @@
+"""Latency decomposition and the bandwidth-waste analysis of Section 6.2.
+
+The paper explains the non-monotone performance of the priority driven
+protocol with a simple decomposition of the token-passing cost::
+
+    Θ = P + Q / BW
+
+where ``P`` is the (bandwidth-independent) signal propagation delay and
+``Q`` is the sum of the token length and the ring latency in bits.  The
+fraction of bandwidth wasted per transmitted frame is then
+
+* ``F_ovhd^b / F_info^b`` while ``F > Θ`` (low bandwidth: a constant), and
+* ``(Θ - F_info) / Θ`` once ``Θ > F`` (high bandwidth: grows towards 1,
+  equation (14) of the paper).
+
+These functions expose that decomposition for tests, examples, and the
+crossover-locating utilities in :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+
+__all__ = [
+    "LatencyBreakdown",
+    "latency_breakdown",
+    "wasted_fraction_low_bandwidth",
+    "wasted_fraction_high_bandwidth",
+    "effective_frame_time",
+    "theta_crossover_bandwidth",
+]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """The components of ``Θ`` for one ring configuration, in seconds.
+
+    Attributes:
+        propagation: one-lap signal propagation delay (``P`` in eq. 14).
+        station_latency: total per-station buffer latency for one lap.
+        token_time: transmission time of the token frame.
+        theta: the sum of the three components.
+        latency_bits: the bandwidth-dependent bit count ``Q``.
+    """
+
+    propagation: float
+    station_latency: float
+    token_time: float
+    theta: float
+    latency_bits: float
+
+
+def latency_breakdown(ring: RingNetwork) -> LatencyBreakdown:
+    """Decompose ``Θ`` for ``ring`` into its components."""
+    return LatencyBreakdown(
+        propagation=ring.propagation_delay_s,
+        station_latency=ring.station_latency_s,
+        token_time=ring.token_time,
+        theta=ring.theta,
+        latency_bits=ring.latency_bits,
+    )
+
+
+def effective_frame_time(ring: RingNetwork, frame: FrameFormat) -> float:
+    """Effective medium occupancy per full frame under the PDP.
+
+    Priority arbitration requires the transmitting station to see its own
+    frame header return, so the medium is busy for ``max(F, Θ)`` per frame
+    (Section 4.3, cases 1 and 2).
+    """
+    return max(frame.frame_time(ring.bandwidth_bps), ring.theta)
+
+
+def wasted_fraction_low_bandwidth(frame: FrameFormat) -> float:
+    """Wasted-bandwidth fraction while ``F > Θ``: ``F_ovhd^b / F_info^b``.
+
+    Bandwidth independent, which is why the PDP initially *improves* with
+    bandwidth — the absolute time lost per frame shrinks while the fraction
+    stays constant.
+    """
+    return frame.overhead_bits / frame.info_bits
+
+
+def wasted_fraction_high_bandwidth(ring: RingNetwork, frame: FrameFormat) -> float:
+    """Wasted-bandwidth fraction once ``Θ > F`` (equation (14)).
+
+    ``(Θ - F_info) / Θ`` with ``Θ = P + Q/BW``; approaches 1 as bandwidth
+    grows because ``F_info`` shrinks like ``1/BW`` while ``P`` does not.
+    """
+    theta = ring.theta
+    f_info = frame.info_time(ring.bandwidth_bps)
+    return (theta - f_info) / theta
+
+
+def theta_crossover_bandwidth(ring: RingNetwork, frame: FrameFormat) -> float:
+    """Bandwidth (bps) at which ``F == Θ`` for this ring geometry.
+
+    Below the returned value frames outlast the token walk (``F > Θ``, the
+    low-bandwidth regime); above it the token walk dominates.  Derived by
+    solving ``F^b / BW = P + Q / BW`` for ``BW``:
+
+        ``BW* = (F^b - Q) / P``
+
+    Returns ``inf`` when the frame is never longer than the latency bits
+    (``F^b <= Q``), i.e. the ring is always in the high-latency regime.
+    """
+    numerator = frame.total_bits - ring.latency_bits
+    if numerator <= 0.0:
+        return float("inf")
+    return numerator / ring.propagation_delay_s

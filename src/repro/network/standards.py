@@ -1,0 +1,107 @@
+"""Ready-made ring configurations matching the paper's Section 6.2.
+
+The comparison in the paper fixes:
+
+* ``n = 100`` stations, ``d = 100`` meters between neighbours,
+* signal speed 75% of c,
+* per-station bit delay 4 bits (IEEE 802.5) or 75 bits (FDDI),
+* frame overhead ``F_ovhd^b = 112`` bits,
+* 64-byte frame payloads.
+
+Token lengths come from the respective standards: the 802.5 token is a
+3-octet (24-bit) frame; the FDDI token (preamble + SD + FC + ED) occupies
+22 symbols = 88 bits.  Both enter the analysis only through ``Θ``, and the
+figure shapes are insensitive to tens of bits either way.
+"""
+
+from __future__ import annotations
+
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+from repro.units import bytes_to_bits
+
+__all__ = [
+    "IEEE_802_5_STATION_BIT_DELAY",
+    "IEEE_802_5_TOKEN_BITS",
+    "FDDI_STATION_BIT_DELAY",
+    "FDDI_TOKEN_BITS",
+    "PAPER_FRAME_OVERHEAD_BITS",
+    "PAPER_FRAME_PAYLOAD_BYTES",
+    "PAPER_N_STATIONS",
+    "PAPER_STATION_SPACING_M",
+    "PAPER_VELOCITY_FACTOR",
+    "ieee_802_5_ring",
+    "fddi_ring",
+    "paper_frame_format",
+]
+
+#: Per-station ring/buffer latency of an IEEE 802.5 interface, in bits.
+IEEE_802_5_STATION_BIT_DELAY = 4.0
+
+#: Per-station ring/buffer latency of an FDDI interface, in bits.
+FDDI_STATION_BIT_DELAY = 75.0
+
+#: IEEE 802.5 token: SD + AC + ED = 3 octets.
+IEEE_802_5_TOKEN_BITS = 24.0
+
+#: FDDI token: preamble (16 symbols) + SD (2) + FC (2) + ED (2) = 88 bits.
+FDDI_TOKEN_BITS = 88.0
+
+#: Frame header/trailer size used throughout the paper's experiments.
+PAPER_FRAME_OVERHEAD_BITS = 112.0
+
+#: Frame payload used for the reported experiments (64 bytes).
+PAPER_FRAME_PAYLOAD_BYTES = 64.0
+
+#: Number of stations in the paper's comparison.
+PAPER_N_STATIONS = 100
+
+#: Distance between neighbouring stations in the paper's comparison.
+PAPER_STATION_SPACING_M = 100.0
+
+#: Signal speed as a fraction of c in the paper's comparison.
+PAPER_VELOCITY_FACTOR = 0.75
+
+
+def ieee_802_5_ring(
+    bandwidth_bps: float,
+    n_stations: int = PAPER_N_STATIONS,
+    station_spacing_m: float = PAPER_STATION_SPACING_M,
+    velocity_factor: float = PAPER_VELOCITY_FACTOR,
+) -> RingNetwork:
+    """An IEEE 802.5-style ring with the paper's physical constants."""
+    return RingNetwork(
+        n_stations=n_stations,
+        station_spacing_m=station_spacing_m,
+        station_bit_delay=IEEE_802_5_STATION_BIT_DELAY,
+        token_bits=IEEE_802_5_TOKEN_BITS,
+        bandwidth_bps=bandwidth_bps,
+        velocity_factor=velocity_factor,
+    )
+
+
+def fddi_ring(
+    bandwidth_bps: float,
+    n_stations: int = PAPER_N_STATIONS,
+    station_spacing_m: float = PAPER_STATION_SPACING_M,
+    velocity_factor: float = PAPER_VELOCITY_FACTOR,
+) -> RingNetwork:
+    """An FDDI-style ring with the paper's physical constants."""
+    return RingNetwork(
+        n_stations=n_stations,
+        station_spacing_m=station_spacing_m,
+        station_bit_delay=FDDI_STATION_BIT_DELAY,
+        token_bits=FDDI_TOKEN_BITS,
+        bandwidth_bps=bandwidth_bps,
+        velocity_factor=velocity_factor,
+    )
+
+
+def paper_frame_format(
+    payload_bytes: float = PAPER_FRAME_PAYLOAD_BYTES,
+    overhead_bits: float = PAPER_FRAME_OVERHEAD_BITS,
+) -> FrameFormat:
+    """The frame format of the paper's experiments (64 B payload, 112 b overhead)."""
+    return FrameFormat(
+        info_bits=bytes_to_bits(payload_bytes), overhead_bits=overhead_bits
+    )

@@ -1,0 +1,154 @@
+"""A minimal discrete-event simulation kernel.
+
+The environment provides no simulation framework (no simpy), so this module
+implements the classic event-queue pattern from scratch:
+
+* events are ``(time, sequence, action)`` triples kept in a binary heap;
+* the sequence number makes the ordering *total* and FIFO for simultaneous
+  events, which keeps every run deterministic;
+* actions are plain callables taking the simulator, so protocol logic reads
+  as explicit state machines rather than framework magic.
+
+The kernel deliberately has no notion of processes, channels, or
+interrupts — the two ring protocols are token-passing state machines, and
+callbacks model them directly.  Cancellation is supported through
+:class:`EventHandle` (a lazy tombstone: cancelled events stay in the heap
+and are skipped on pop, the standard heapq idiom).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "EventHandle"]
+
+#: The signature of a scheduled action.
+Action = Callable[["Simulator"], None]
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "_action", "cancelled")
+
+    def __init__(self, time: float, action: Action):
+        self.time = time
+        self._action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """An event-queue discrete-event simulator.
+
+    Typical protocol code::
+
+        sim = Simulator()
+        sim.schedule(0.0, lambda s: print("t=0"))
+        sim.schedule_after(1.5, lambda s: print("t=1.5"))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, EventHandle]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    # -- clock -------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time, seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (for instrumentation)."""
+        return self._events_processed
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(self, time: float, action: Action) -> EventHandle:
+        """Schedule ``action`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self._now!r}, event={time!r}"
+            )
+        handle = EventHandle(max(time, self._now), action)
+        heapq.heappush(self._queue, (handle.time, next(self._sequence), handle))
+        return handle
+
+    def schedule_after(self, delay: float, action: Action) -> EventHandle:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule(self._now + delay, action)
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when none remain."""
+        while self._queue:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            handle._action(self)
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Run events with time <= ``end_time``; the clock ends at ``end_time``.
+
+        ``max_events`` guards against runaway protocol loops (an event
+        budget exhaustion raises :class:`SimulationError` rather than
+        hanging the host).
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end time {end_time!r} is before current time {self._now!r}"
+            )
+        executed = 0
+        while self._queue:
+            time, _, handle = self._queue[0]
+            if time > end_time:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            executed += 1
+            handle._action(self)
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted at t={self._now!r}; "
+                    "likely a scheduling loop in protocol logic"
+                )
+        self._now = end_time
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue is empty (bounded by ``max_events``)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted at t={self._now!r}; "
+                    "likely a scheduling loop in protocol logic"
+                )
+
+    # -- introspection ------------------------------------------------------------
+
+    def pending_events(self) -> int:
+        """Number of scheduled (non-cancelled) events still in the queue."""
+        return sum(1 for _, _, h in self._queue if not h.cancelled)

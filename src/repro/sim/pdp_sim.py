@@ -1,0 +1,349 @@
+"""Simulation of the priority driven protocol (IEEE 802.5, Section 4).
+
+The simulator works at *frame arbitration* granularity, which is exactly
+the granularity of the paper's analysis:
+
+* Stations contend for the medium through the reservation field; the
+  highest-priority pending synchronous message in the whole system wins
+  the next transmission opportunity (rate-monotonic priorities).
+* A transmission in progress is never preempted — a higher-priority
+  arrival waits for the current frame to finish, which is the blocking
+  phenomenon Lemma 4.1 bounds.
+* Each frame occupies the medium for its *effective* time: the larger of
+  the frame transmission time and the header-return time ``Θ`` (the
+  transmitter must examine the reservation field of its own returning
+  header before the medium is free; Section 4.3, cases 1 and 2).
+* Token economics differ by variant: the **standard** protocol issues a
+  free token after every frame, so the token must travel to the next
+  claimant each time (a full lap when the same station transmits again);
+  the **modified** protocol lets the highest-priority station keep
+  transmitting back-to-back.
+* Saturating asynchronous traffic (every station always has a low-priority
+  frame ready) fills every gap, maximizing blocking — the worst case the
+  analysis assumes.
+
+Two token-walk models are provided: ``ACTUAL`` uses the real hop distance
+from the releasing station to the next claimant, while ``AVERAGE`` charges
+the analysis' expected ``Θ/2`` per acquisition.  The analysis of Theorem
+4.1 is calibrated to the average (the paper states the token circulating
+overhead "has been assumed to be Θ/2 on the average"), so validation tests
+use ``AVERAGE``; studies of real rings use ``ACTUAL``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.analysis.pdp import PDPVariant
+from repro.errors import ConfigurationError, SimulationError
+from repro.messages.message_set import MessageSet
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+from repro.sim.engine import Simulator
+from repro.sim.token_ring import PendingMessage, RingGeometry, StationQueue
+from repro.sim.trace import DeadlineStats, SimulationReport
+from repro.sim.traffic import (
+    ArrivalPhasing,
+    PoissonAsyncTraffic,
+    SynchronousTraffic,
+)
+
+__all__ = ["TokenWalkModel", "PDPSimConfig", "PDPRingSimulator"]
+
+
+class TokenWalkModel(enum.Enum):
+    """How token travel between transmissions is charged."""
+
+    #: Real hop distance from the releasing station to the next claimant.
+    ACTUAL = "actual"
+    #: The analysis' expected cost: ``Θ/2`` per token acquisition.
+    AVERAGE = "average"
+
+
+@dataclass(frozen=True)
+class PDPSimConfig:
+    """Configuration of one PDP simulation run.
+
+    Attributes:
+        variant: standard or modified IEEE 802.5.
+        phasing: first-arrival phasing of the synchronous streams.
+        phasing_seed: RNG seed for random phasing.
+        async_saturating: when True every station always has asynchronous
+            frames ready (worst case); when False the ring idles between
+            synchronous transmissions.
+        token_walk: token travel model (see module docstring).
+        collect_responses: store individual response-time samples on the
+            per-stream stats (bounded by ``response_sample_limit``).
+        response_sample_limit: cap on stored samples per stream.
+        async_poisson: Poisson asynchronous arrivals instead of the
+            saturating model; only meaningful with
+            ``async_saturating=False`` (validated).
+    """
+
+    variant: PDPVariant = PDPVariant.STANDARD
+    phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS
+    phasing_seed: int = 0
+    async_saturating: bool = True
+    token_walk: TokenWalkModel = TokenWalkModel.ACTUAL
+    collect_responses: bool = False
+    response_sample_limit: int = 10_000
+    async_poisson: PoissonAsyncTraffic | None = None
+
+    def __post_init__(self) -> None:
+        if self.async_poisson is not None and self.async_saturating:
+            raise ConfigurationError(
+                "async_poisson requires async_saturating=False; the two "
+                "asynchronous models are mutually exclusive"
+            )
+
+
+@dataclass
+class _MediumState:
+    """Mutable bookkeeping of the shared medium."""
+
+    holder: int = 0
+    sync_busy: float = 0.0
+    async_busy: float = 0.0
+    token_busy: float = 0.0
+
+
+class PDPRingSimulator:
+    """Discrete-event simulator of the priority driven protocol.
+
+    Usage::
+
+        sim = PDPRingSimulator(ring, frame, message_set,
+                               PDPSimConfig(variant=PDPVariant.MODIFIED))
+        report = sim.run(duration_s=2.0)
+        assert report.deadline_safe
+    """
+
+    def __init__(
+        self,
+        ring: RingNetwork,
+        frame: FrameFormat,
+        message_set: MessageSet,
+        config: PDPSimConfig = PDPSimConfig(),
+    ):
+        if len(message_set) == 0:
+            raise ConfigurationError("cannot simulate an empty message set")
+        self._ring = ring
+        self._frame = frame
+        self._message_set = message_set
+        self._config = config
+        self._geometry = RingGeometry(ring)
+        for stream in message_set:
+            if stream.station >= ring.n_stations:
+                raise ConfigurationError(
+                    f"stream at station {stream.station!r} does not fit a "
+                    f"{ring.n_stations!r}-station ring"
+                )
+
+    # -- internal helpers ---------------------------------------------------------
+
+    def _effective_frame_time(self, chunk_bits: float, is_full: bool) -> float:
+        """Medium occupancy of one frame (Section 4.3 case analysis)."""
+        theta = self._ring.theta
+        if is_full:
+            return max(self._frame.frame_time(self._ring.bandwidth_bps), theta)
+        wire_time = self._ring.transmission_time(
+            chunk_bits + self._frame.overhead_bits
+        )
+        return max(wire_time, theta)
+
+    def _token_cost(self, state: _MediumState, claimant: int) -> float:
+        """Cost to move transmission rights from the holder to ``claimant``."""
+        if self._config.token_walk is TokenWalkModel.AVERAGE:
+            return self._ring.theta / 2.0
+        if claimant == state.holder:
+            return self._ring.theta  # free token must make a full lap
+        return self._geometry.token_walk_time(state.holder, claimant)
+
+    def _pick_sync(
+        self, queues: list[StationQueue], now: float
+    ) -> PendingMessage | None:
+        """The highest-priority pending synchronous message, if any.
+
+        Ties (same priority is impossible — priorities are unique per
+        stream) cannot occur; among stations the head message competes.
+        """
+        best: PendingMessage | None = None
+        for queue in queues:
+            head = queue.head()
+            if head is None or head.arrival_time > now + 1e-15:
+                continue
+            if best is None or head.priority < best.priority:
+                best = head
+        return best
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, duration_s: float, max_events: int = 50_000_000) -> SimulationReport:
+        """Simulate ``duration_s`` seconds of ring time.
+
+        Messages whose deadline falls inside the run are fully accounted;
+        messages still pending at the end with passed deadlines count as
+        missed.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration_s!r}")
+
+        traffic = SynchronousTraffic(
+            self._message_set, self._config.phasing, self._config.phasing_seed
+        )
+        arrivals = traffic.arrivals_until(duration_s)
+        arrival_cursor = 0
+
+        async_arrivals: list[tuple[float, int]] = []
+        async_cursor = 0
+        if self._config.async_poisson is not None:
+            async_arrivals = self._config.async_poisson.arrivals_until(
+                duration_s, self._ring.n_stations, self._ring.bandwidth_bps
+            )
+
+        queues = [StationQueue(station=i) for i in range(self._ring.n_stations)]
+        sample_limit = (
+            self._config.response_sample_limit
+            if self._config.collect_responses
+            else None
+        )
+        stats = [
+            DeadlineStats(stream_index=i, sample_limit=sample_limit)
+            for i in range(len(self._message_set))
+        ]
+        state = _MediumState(holder=0)
+        sim = Simulator()
+
+        # The async round-robin pointer: saturating async traffic is served
+        # from the next station downstream of the holder, as a free token
+        # would be captured there.
+        def ingest_arrivals(now: float) -> None:
+            nonlocal arrival_cursor
+            while (
+                arrival_cursor < len(arrivals)
+                and arrivals[arrival_cursor].arrival_time <= now + 1e-15
+            ):
+                message = arrivals[arrival_cursor]
+                queues[message.station].push(message)
+                arrival_cursor += 1
+
+        def next_arrival_time() -> float | None:
+            if arrival_cursor < len(arrivals):
+                return arrivals[arrival_cursor].arrival_time
+            return None
+
+        def decide(simulator: Simulator) -> None:
+            now = simulator.now
+            ingest_arrivals(now)
+            message = self._pick_sync(queues, now)
+
+            if message is not None:
+                self._transmit_sync(simulator, state, queues, stats, message, decide)
+                return
+
+            if self._config.async_saturating:
+                claimant = (state.holder + 1) % self._ring.n_stations
+                self._transmit_async(simulator, state, claimant, decide)
+                return
+
+            nonlocal async_cursor
+            if (
+                async_cursor < len(async_arrivals)
+                and async_arrivals[async_cursor][0] <= now + 1e-15
+            ):
+                __, station = async_arrivals[async_cursor]
+                async_cursor += 1
+                self._transmit_async(simulator, state, station, decide)
+                return
+
+            candidates = []
+            upcoming = next_arrival_time()
+            if upcoming is not None:
+                candidates.append(upcoming)
+            if async_cursor < len(async_arrivals):
+                candidates.append(async_arrivals[async_cursor][0])
+            if candidates and min(candidates) < duration_s:
+                simulator.schedule(min(candidates), decide)
+
+        sim.schedule(0.0, decide)
+        sim.run_until(duration_s, max_events=max_events)
+
+        self._account_unfinished(queues, stats, duration_s)
+        return SimulationReport(
+            duration=duration_s,
+            streams=stats,
+            sync_busy_time=state.sync_busy,
+            async_busy_time=state.async_busy,
+            token_time=state.token_busy,
+        )
+
+    # -- transmissions ---------------------------------------------------------------
+
+    def _transmit_sync(
+        self,
+        simulator: Simulator,
+        state: _MediumState,
+        queues: list[StationQueue],
+        stats: list[DeadlineStats],
+        message: PendingMessage,
+        resume,
+    ) -> None:
+        """Send one synchronous frame of ``message`` and reschedule."""
+        info_bits = self._frame.info_bits
+        chunk = min(message.remaining_bits, info_bits)
+        is_full = chunk >= info_bits - 1e-9
+        occupancy = self._effective_frame_time(chunk, is_full)
+
+        same_holder = message.station == state.holder
+        if self._config.variant is PDPVariant.MODIFIED and same_holder:
+            token_cost = 0.0
+        else:
+            token_cost = self._token_cost(state, message.station)
+
+        state.holder = message.station
+        state.sync_busy += occupancy
+        state.token_busy += token_cost
+        message.consume(chunk)
+
+        finish = simulator.now + token_cost + occupancy
+        if message.complete:
+            message.completion_time = finish
+            stats[message.stream_index].record_completion(
+                message.arrival_time, message.deadline, finish
+            )
+            popped = queues[message.station].pop_complete()
+            if popped is not message:
+                raise SimulationError(
+                    "queue head mismatch on completion; scheduling bug"
+                )
+        simulator.schedule(finish, resume)
+
+    def _transmit_async(
+        self, simulator: Simulator, state: _MediumState, claimant: int, resume
+    ) -> None:
+        """Send one asynchronous frame from ``claimant``."""
+        token_cost = self._token_cost(state, claimant)
+        if self._config.async_poisson is not None:
+            wire_time = self._ring.transmission_time(
+                self._config.async_poisson.frame_bits
+            )
+            occupancy = max(wire_time, self._ring.theta)
+        else:
+            occupancy = self._effective_frame_time(self._frame.info_bits, True)
+        state.holder = claimant
+        state.async_busy += occupancy
+        state.token_busy += token_cost
+        simulator.schedule(simulator.now + token_cost + occupancy, resume)
+
+    def _account_unfinished(
+        self,
+        queues: list[StationQueue],
+        stats: list[DeadlineStats],
+        end_time: float,
+    ) -> None:
+        """Count still-pending messages whose deadlines already passed."""
+        for queue in queues:
+            for message in queue.messages:
+                if message.deadline <= end_time and not message.complete:
+                    stats[message.stream_index].record_unfinished()

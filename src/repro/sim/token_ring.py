@@ -1,0 +1,148 @@
+"""Shared plumbing for the two ring-protocol simulators.
+
+Both simulators share: ring geometry (how long the token takes to travel
+between stations), per-station queues of pending synchronous messages, and
+transmission bookkeeping.  Nothing protocol-specific lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.messages.message_set import MessageSet
+from repro.network.ring import RingNetwork
+
+__all__ = ["RingGeometry", "PendingMessage", "StationQueue"]
+
+
+@dataclass(frozen=True)
+class RingGeometry:
+    """Token travel times derived from a :class:`RingNetwork`.
+
+    One full lap of the token costs exactly ``Θ`` (walk time plus the token
+    transmission); a ``k``-hop journey costs ``k`` ring-fraction shares of
+    the walk time plus one token transmission (the token is emitted once
+    and then repeated bit-by-bit by intermediate stations).
+    """
+
+    ring: RingNetwork
+
+    @property
+    def n_stations(self) -> int:
+        """Stations on the ring."""
+        return self.ring.n_stations
+
+    def hops(self, src: int, dst: int) -> int:
+        """Hops travelling downstream from ``src`` to ``dst`` (0 for same)."""
+        n = self.ring.n_stations
+        if not (0 <= src < n and 0 <= dst < n):
+            raise SimulationError(
+                f"station out of range: src={src!r}, dst={dst!r}, n={n!r}"
+            )
+        return (dst - src) % n
+
+    def token_walk_time(self, src: int, dst: int) -> float:
+        """Time for the token to travel from ``src`` to ``dst``.
+
+        A zero-hop journey is free; otherwise the per-hop share of the walk
+        time accumulates and the token transmission is paid once.  A full
+        lap therefore costs exactly ``Θ``.
+        """
+        k = self.hops(src, dst)
+        if k == 0:
+            return 0.0
+        return k * self.ring.walk_time / self.ring.n_stations + self.ring.token_time
+
+    def single_hop_time(self) -> float:
+        """Token travel time to the immediate downstream neighbour."""
+        return self.token_walk_time(0, 1 % max(self.ring.n_stations, 1))
+
+
+@dataclass
+class PendingMessage:
+    """One synchronous message awaiting (or under) transmission.
+
+    Attributes:
+        stream_index: which stream of the message set produced it.
+        station: the ring station it sits at.
+        arrival_time: when it arrived.
+        deadline: absolute deadline (arrival + period).
+        payload_bits: total payload to transmit.
+        remaining_bits: payload bits still untransmitted.
+        priority: scheduling priority (smaller = more urgent; the PDP uses
+            the RM index, the TTP ignores it).
+        completion_time: set when the last bit finishes.
+    """
+
+    stream_index: int
+    station: int
+    arrival_time: float
+    deadline: float
+    payload_bits: float
+    remaining_bits: float
+    priority: int
+    completion_time: float | None = None
+
+    @property
+    def complete(self) -> bool:
+        """True when fully transmitted."""
+        return self.remaining_bits <= 1e-9
+
+    def consume(self, bits: float) -> None:
+        """Mark ``bits`` of payload as transmitted."""
+        if bits < 0:
+            raise SimulationError(f"cannot transmit negative bits: {bits!r}")
+        self.remaining_bits = max(0.0, self.remaining_bits - bits)
+
+
+@dataclass
+class StationQueue:
+    """FIFO queue of pending synchronous messages at one station.
+
+    The paper's model has one synchronous stream per station, so messages
+    in a station queue share a stream and FIFO order preserves both
+    arrival order and deadline order.
+    """
+
+    station: int
+    messages: list[PendingMessage] = field(default_factory=list)
+
+    def push(self, message: PendingMessage) -> None:
+        """Enqueue a newly arrived message."""
+        if message.station != self.station:
+            raise SimulationError(
+                f"message for station {message.station!r} pushed to queue "
+                f"of station {self.station!r}"
+            )
+        self.messages.append(message)
+
+    def head(self) -> PendingMessage | None:
+        """The message currently eligible for transmission, if any."""
+        return self.messages[0] if self.messages else None
+
+    def pop_complete(self) -> PendingMessage | None:
+        """Remove and return the head if it has finished transmission."""
+        head = self.head()
+        if head is not None and head.complete:
+            return self.messages.pop(0)
+        return None
+
+    @property
+    def backlog_bits(self) -> float:
+        """Total untransmitted payload bits queued at this station."""
+        return sum(m.remaining_bits for m in self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+def build_station_queues(message_set: MessageSet, n_stations: int) -> list[StationQueue]:
+    """One queue per ring station; streams must fit on the ring."""
+    for stream in message_set:
+        if stream.station >= n_stations:
+            raise SimulationError(
+                f"stream assigned to station {stream.station!r} but the ring "
+                f"has only {n_stations!r} stations"
+            )
+    return [StationQueue(station=i) for i in range(n_stations)]

@@ -1,0 +1,169 @@
+"""Instrumentation: deadline accounting and protocol statistics.
+
+The validation story needs exactly three things from a simulation run:
+did any synchronous message miss its deadline, how close did messages come
+(response times), and — for the timed token protocol — how the actual
+token rotation times behaved against the TTRT bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["DeadlineStats", "RotationStats", "SimulationReport"]
+
+
+@dataclass
+class DeadlineStats:
+    """Per-stream deadline accounting.
+
+    Attributes:
+        stream_index: which stream this tracks.
+        completed: messages fully transmitted.
+        missed: messages that completed after their deadline *or* were
+            still incomplete at their deadline when the run ended.
+        max_response: largest observed (completion - arrival) time.
+        total_response: sum of response times (for means).
+        responses: individual response-time samples, populated only when
+            the simulator is configured to collect them (bounded by
+            ``sample_limit``; beyond it, aggregate stats keep accumulating
+            but no further samples are stored).
+        sample_limit: cap on stored samples; None disables collection.
+    """
+
+    stream_index: int
+    completed: int = 0
+    missed: int = 0
+    max_response: float = 0.0
+    total_response: float = 0.0
+    responses: list[float] = field(default_factory=list)
+    sample_limit: int | None = None
+
+    def record_completion(
+        self, arrival: float, deadline: float, completion: float
+    ) -> None:
+        """Account one finished message."""
+        if completion < arrival:
+            raise SimulationError(
+                f"completion {completion!r} precedes arrival {arrival!r}"
+            )
+        response = completion - arrival
+        self.completed += 1
+        self.total_response += response
+        self.max_response = max(self.max_response, response)
+        if self.sample_limit is not None and len(self.responses) < self.sample_limit:
+            self.responses.append(response)
+        if completion > deadline + 1e-12:
+            self.missed += 1
+
+    def record_unfinished(self) -> None:
+        """Account a message still pending past its deadline at run end."""
+        self.missed += 1
+
+    @property
+    def mean_response(self) -> float:
+        """Average response time over completed messages (0 when none)."""
+        return self.total_response / self.completed if self.completed else 0.0
+
+    def response_percentile(self, q: float) -> float:
+        """Percentile (0–100) of the *collected* response samples.
+
+        Requires sample collection to be enabled and non-empty; raises
+        :class:`SimulationError` otherwise rather than guessing.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(f"percentile must be in [0, 100], got {q!r}")
+        if not self.responses:
+            raise SimulationError(
+                "no response samples collected; enable collect_responses on "
+                "the simulator config"
+            )
+        ordered = sorted(self.responses)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q / 100.0 * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+@dataclass
+class RotationStats:
+    """Token rotation time statistics at one observation station."""
+
+    station: int
+    count: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+    minimum: float = float("inf")
+
+    def record(self, rotation_time: float) -> None:
+        """Account one observed token rotation."""
+        if rotation_time < 0:
+            raise SimulationError(
+                f"rotation time must be non-negative, got {rotation_time!r}"
+            )
+        self.count += 1
+        self.total += rotation_time
+        self.maximum = max(self.maximum, rotation_time)
+        self.minimum = min(self.minimum, rotation_time)
+
+    @property
+    def mean(self) -> float:
+        """Average rotation time (0 when never observed)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate outcome of one simulation run.
+
+    Attributes:
+        duration: simulated time span, seconds.
+        streams: per-stream deadline statistics, indexed by stream.
+        rotations: token rotation statistics per observed station
+            (populated by the TTP simulator).
+        sync_busy_time: medium time spent on synchronous payload+overhead.
+        async_busy_time: medium time spent on asynchronous frames.
+        token_time: medium time spent walking/passing the token.
+    """
+
+    duration: float
+    streams: list[DeadlineStats] = field(default_factory=list)
+    rotations: list[RotationStats] = field(default_factory=list)
+    sync_busy_time: float = 0.0
+    async_busy_time: float = 0.0
+    token_time: float = 0.0
+
+    @property
+    def total_missed(self) -> int:
+        """Deadline misses across all streams."""
+        return sum(s.missed for s in self.streams)
+
+    @property
+    def total_completed(self) -> int:
+        """Completed messages across all streams."""
+        return sum(s.completed for s in self.streams)
+
+    @property
+    def deadline_safe(self) -> bool:
+        """True when no stream missed any deadline."""
+        return self.total_missed == 0
+
+    @property
+    def sync_utilization(self) -> float:
+        """Fraction of the run the medium carried synchronous traffic."""
+        return self.sync_busy_time / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def async_utilization(self) -> float:
+        """Fraction of the run the medium carried asynchronous traffic."""
+        return self.async_busy_time / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def max_rotation(self) -> float:
+        """Largest token rotation observed anywhere (0 when untracked)."""
+        return max((r.maximum for r in self.rotations), default=0.0)

@@ -1,0 +1,339 @@
+"""Simulation of the timed token protocol (FDDI, Section 5).
+
+The simulator implements the FDDI capacity-allocation timer rules in
+event-driven form:
+
+* Every station keeps a token-rotation timer (TRT).  When the token
+  arrives *early* (TRT below TTRT), the station banks the earliness as
+  asynchronous credit (its token holding time, THT) and resets TRT; when
+  the token is *late* (TRT expired since the last visit, Late_Ct > 0), the
+  lateness is absorbed — no asynchronous credit — and TRT keeps running.
+* On every visit the station may transmit synchronous traffic for up to
+  its synchronous bandwidth ``h_i`` regardless of lateness.
+* Asynchronous frames (saturating background, the worst case) are sent
+  only against earliness credit; a frame that *starts* inside the credit
+  is always finished — the **asynchronous overrun** of up to one frame
+  time per visit that the ``δ = Θ + F`` overhead term accounts for.
+* Token passing is charged ``Θ / n`` per hop so that one full rotation
+  costs exactly the ``Θ`` of the analysis (DESIGN.md, substitution table).
+
+Synchronous messages are transmitted one frame per token visit, each frame
+carrying the frame overhead plus up to ``h_i - F_ovhd`` of payload — the
+framing assumed by the paper's equation (7).
+
+The allocation (``h_i`` values, TTRT) comes from
+:class:`repro.analysis.ttp.TTPAllocation`, so a simulation run validates
+precisely the configuration the analysis certified.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.ttp import TTPAllocation
+from repro.errors import ConfigurationError, SimulationError
+from repro.messages.message_set import MessageSet
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+from repro.sim.engine import Simulator
+from repro.sim.token_ring import StationQueue
+from repro.sim.trace import DeadlineStats, RotationStats, SimulationReport
+from repro.sim.traffic import (
+    ArrivalPhasing,
+    PoissonAsyncTraffic,
+    SynchronousTraffic,
+)
+
+__all__ = ["TTPSimConfig", "TTPRingSimulator"]
+
+
+@dataclass(frozen=True)
+class TTPSimConfig:
+    """Configuration of one TTP simulation run.
+
+    Attributes:
+        phasing: first-arrival phasing of the synchronous streams.
+        phasing_seed: RNG seed for random phasing.
+        async_saturating: when True every station always has asynchronous
+            frames ready (maximal token lateness — the worst case).
+        async_frame_bits: on-wire size of an asynchronous frame (payload +
+            overhead); defaults to the synchronous frame format's total.
+        track_rotations: record token rotation statistics per station.
+        collect_responses: store individual response-time samples on the
+            per-stream stats (bounded by ``response_sample_limit``).
+        response_sample_limit: cap on stored samples per stream.
+        async_poisson: Poisson asynchronous arrivals (queued per station,
+            served against earliness credit) instead of the saturating
+            model; only meaningful with ``async_saturating=False``.
+    """
+
+    phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS
+    phasing_seed: int = 0
+    async_saturating: bool = True
+    async_frame_bits: float | None = None
+    track_rotations: bool = True
+    collect_responses: bool = False
+    response_sample_limit: int = 10_000
+    async_poisson: PoissonAsyncTraffic | None = None
+
+    def __post_init__(self) -> None:
+        if self.async_poisson is not None and self.async_saturating:
+            raise ConfigurationError(
+                "async_poisson requires async_saturating=False; the two "
+                "asynchronous models are mutually exclusive"
+            )
+
+
+class TTPRingSimulator:
+    """Discrete-event simulator of the timed token protocol.
+
+    Usage::
+
+        analysis = TTPAnalysis(ring, frame)
+        allocation = analysis.allocate(message_set)
+        sim = TTPRingSimulator(ring, frame, message_set, allocation)
+        report = sim.run(duration_s=2.0)
+        assert report.deadline_safe
+        assert report.max_rotation <= 2 * allocation.ttrt_s + tolerance
+    """
+
+    def __init__(
+        self,
+        ring: RingNetwork,
+        frame: FrameFormat,
+        message_set: MessageSet,
+        allocation: TTPAllocation,
+        config: TTPSimConfig = TTPSimConfig(),
+    ):
+        if len(message_set) == 0:
+            raise ConfigurationError("cannot simulate an empty message set")
+        if len(allocation.bandwidths_s) != len(message_set):
+            raise ConfigurationError(
+                f"allocation covers {len(allocation.bandwidths_s)} streams "
+                f"but the message set has {len(message_set)}"
+            )
+        self._ring = ring
+        self._frame = frame
+        self._message_set = message_set
+        self._allocation = allocation
+        self._config = config
+        async_bits = (
+            frame.total_bits
+            if config.async_frame_bits is None
+            else float(config.async_frame_bits)
+        )
+        self._async_frame_time = ring.transmission_time(async_bits)
+        self._hop_cost = ring.theta / ring.n_stations
+
+        # Map station -> (stream index, h_i); one stream per station.
+        self._station_stream: dict[int, int] = {}
+        for index, stream in enumerate(message_set):
+            if stream.station >= ring.n_stations:
+                raise ConfigurationError(
+                    f"stream at station {stream.station!r} does not fit a "
+                    f"{ring.n_stations!r}-station ring"
+                )
+            if stream.station in self._station_stream:
+                raise ConfigurationError(
+                    f"two streams mapped to station {stream.station!r}; the "
+                    "TTP model has one synchronous stream per station"
+                )
+            self._station_stream[stream.station] = index
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, duration_s: float, max_events: int = 50_000_000) -> SimulationReport:
+        """Simulate ``duration_s`` seconds of ring time."""
+        if duration_s <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration_s!r}")
+
+        n = self._ring.n_stations
+        ttrt = self._allocation.ttrt_s
+        traffic = SynchronousTraffic(
+            self._message_set, self._config.phasing, self._config.phasing_seed
+        )
+        arrivals = traffic.arrivals_until(duration_s)
+        arrival_cursor = 0
+
+        async_queues: list[list[float]] = [[] for _ in range(n)]
+        async_cursor = 0
+        async_arrivals: list[tuple[float, int]] = []
+        if self._config.async_poisson is not None:
+            async_arrivals = self._config.async_poisson.arrivals_until(
+                duration_s, n, self._ring.bandwidth_bps
+            )
+
+        queues = [StationQueue(station=i) for i in range(n)]
+        sample_limit = (
+            self._config.response_sample_limit
+            if self._config.collect_responses
+            else None
+        )
+        stats = [
+            DeadlineStats(stream_index=i, sample_limit=sample_limit)
+            for i in range(len(self._message_set))
+        ]
+        rotations = (
+            [RotationStats(station=i) for i in range(n)]
+            if self._config.track_rotations
+            else []
+        )
+
+        # FDDI timer state per station.  trt_start[i] is when station i's
+        # TRT last restarted; last_visit[i] the previous token arrival.
+        trt_start = [0.0] * n
+        last_visit: list[float | None] = [None] * n
+        busy = {"sync": 0.0, "async": 0.0, "token": 0.0}
+        sim = Simulator()
+
+        def ingest_arrivals(now: float) -> None:
+            nonlocal arrival_cursor, async_cursor
+            while (
+                arrival_cursor < len(arrivals)
+                and arrivals[arrival_cursor].arrival_time <= now + 1e-15
+            ):
+                message = arrivals[arrival_cursor]
+                queues[message.station].push(message)
+                arrival_cursor += 1
+            while (
+                async_cursor < len(async_arrivals)
+                and async_arrivals[async_cursor][0] <= now + 1e-15
+            ):
+                __, station = async_arrivals[async_cursor]
+                async_queues[station].append(async_arrivals[async_cursor][0])
+                async_cursor += 1
+
+        def token_arrival(station: int):
+            def handler(simulator: Simulator) -> None:
+                now = simulator.now
+                ingest_arrivals(now)
+
+                if self._config.track_rotations and last_visit[station] is not None:
+                    rotations[station].record(now - last_visit[station])
+                last_visit[station] = now
+
+                # --- FDDI timer rules -------------------------------------
+                elapsed = now - trt_start[station]
+                if elapsed >= ttrt - 1e-15:
+                    # TRT expired at least once since the last reset: the
+                    # token is late.  Late_Ct clears, TRT keeps running from
+                    # its most recent expiry, and no asynchronous credit is
+                    # granted this visit.
+                    expiries = int(elapsed // ttrt)
+                    trt_start[station] += expiries * ttrt
+                    async_credit = 0.0
+                else:
+                    async_credit = ttrt - elapsed
+                    trt_start[station] = now
+
+                # --- synchronous transmission ------------------------------
+                sync_time = self._transmit_sync(
+                    simulator, station, queues, stats, now
+                )
+                busy["sync"] += sync_time
+
+                # --- asynchronous transmission (with overrun) ----------------
+                async_time = 0.0
+                if self._config.async_saturating and self._async_frame_time > 0:
+                    # Frames are sent while credit remains; the last one may
+                    # start with a sliver of credit and overruns to complete
+                    # (the asynchronous-overrun allowance).
+                    if async_credit > 1e-15:
+                        frames = math.ceil(
+                            async_credit / self._async_frame_time - 1e-12
+                        )
+                        async_time = frames * self._async_frame_time
+                elif self._config.async_poisson is not None:
+                    poisson_frame_time = self._ring.transmission_time(
+                        self._config.async_poisson.frame_bits
+                    )
+                    credit = async_credit
+                    queue = async_queues[station]
+                    while credit > 1e-15 and queue and queue[0] <= now + 1e-15:
+                        queue.pop(0)
+                        async_time += poisson_frame_time
+                        credit -= poisson_frame_time
+                busy["async"] += async_time
+
+                # --- pass the token ------------------------------------------
+                busy["token"] += self._hop_cost
+                departure = now + sync_time + async_time + self._hop_cost
+                next_station = (station + 1) % n
+                if departure < duration_s:
+                    simulator.schedule(departure, token_arrival(next_station))
+
+            return handler
+
+        sim.schedule(0.0, token_arrival(0))
+        sim.run_until(duration_s, max_events=max_events)
+
+        self._account_unfinished(queues, stats, duration_s)
+        return SimulationReport(
+            duration=duration_s,
+            streams=stats,
+            rotations=rotations,
+            sync_busy_time=busy["sync"],
+            async_busy_time=busy["async"],
+            token_time=busy["token"],
+        )
+
+    # -- transmissions ---------------------------------------------------------------
+
+    def _transmit_sync(
+        self,
+        simulator: Simulator,
+        station: int,
+        queues: list[StationQueue],
+        stats: list[DeadlineStats],
+        now: float,
+    ) -> float:
+        """Transmit synchronous frames within the station's ``h_i`` budget.
+
+        One frame per message chunk; each frame pays the frame overhead.
+        Returns the medium time consumed.
+        """
+        stream_index = self._station_stream.get(station)
+        if stream_index is None:
+            return 0.0
+        budget = self._allocation.bandwidths_s[stream_index]
+        overhead = self._frame.overhead_time(self._ring.bandwidth_bps)
+        queue = queues[station]
+        used = 0.0
+
+        while budget - used > overhead + 1e-15:
+            head = queue.head()
+            if head is None or head.arrival_time > now + used + 1e-15:
+                break
+            payload_budget_bits = (budget - used - overhead) * self._ring.bandwidth_bps
+            chunk = min(head.remaining_bits, payload_budget_bits)
+            if chunk <= 0 and head.remaining_bits > 0:
+                break
+            head.consume(chunk)
+            used += overhead + chunk / self._ring.bandwidth_bps
+            if head.complete:
+                finish = now + used
+                head.completion_time = finish
+                stats[head.stream_index].record_completion(
+                    head.arrival_time, head.deadline, finish
+                )
+                popped = queue.pop_complete()
+                if popped is not head:
+                    raise SimulationError(
+                        "queue head mismatch on completion; scheduling bug"
+                    )
+            else:
+                break  # budget exhausted mid-message
+        return used
+
+    def _account_unfinished(
+        self,
+        queues: list[StationQueue],
+        stats: list[DeadlineStats],
+        end_time: float,
+    ) -> None:
+        """Count still-pending messages whose deadlines already passed."""
+        for queue in queues:
+            for message in queue.messages:
+                if message.deadline <= end_time and not message.complete:
+                    stats[message.stream_index].record_unfinished()

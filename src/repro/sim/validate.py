@@ -1,0 +1,108 @@
+"""Cross-validation between the analyses and the simulators.
+
+The schedulability criteria are *sufficient*: a set they accept must never
+miss a deadline, under any phasing and any asynchronous interference.  The
+functions here run the matching simulator under adversarial conditions
+(critical-instant phasing, saturating asynchronous traffic) and check that
+direction.  The converse direction (sets the analysis rejects *may* still
+survive a particular simulation) is reported but never asserted — the
+tests are not necessary conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.pdp import PDPAnalysis
+from repro.analysis.ttp import TTPAnalysis
+from repro.messages.message_set import MessageSet
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig, TokenWalkModel
+from repro.sim.trace import SimulationReport
+from repro.sim.traffic import ArrivalPhasing
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+
+__all__ = ["CrossValidation", "cross_validate_pdp", "cross_validate_ttp"]
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """Outcome of one analysis-versus-simulation comparison.
+
+    Attributes:
+        analysis_schedulable: the theorem's verdict.
+        report: the simulation run's statistics.
+        consistent: False only in the genuine failure mode — the analysis
+            accepted the set but the simulator missed a deadline.
+    """
+
+    analysis_schedulable: bool
+    report: SimulationReport
+
+    @property
+    def consistent(self) -> bool:
+        """True unless an analysis-accepted set missed a deadline in sim."""
+        return not (self.analysis_schedulable and not self.report.deadline_safe)
+
+
+def _default_duration(message_set: MessageSet, periods: float) -> float:
+    """A run long enough to exercise every stream several times."""
+    return periods * message_set.max_period
+
+
+def cross_validate_pdp(
+    analysis: PDPAnalysis,
+    message_set: MessageSet,
+    duration_periods: float = 4.0,
+    phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS,
+) -> CrossValidation:
+    """Check Theorem 4.1 against the PDP simulator.
+
+    The simulator is configured with the ``AVERAGE`` token-walk model —
+    the ``Θ/2`` expected token cost the theorem itself assumes — plus
+    saturating asynchronous traffic and (by default) critical-instant
+    phasing.
+    """
+    schedulable = analysis.is_schedulable(message_set)
+    simulator = PDPRingSimulator(
+        analysis.ring,
+        analysis.frame,
+        message_set,
+        PDPSimConfig(
+            variant=analysis.variant,
+            phasing=phasing,
+            async_saturating=True,
+            token_walk=TokenWalkModel.AVERAGE,
+        ),
+    )
+    report = simulator.run(_default_duration(message_set, duration_periods))
+    return CrossValidation(analysis_schedulable=schedulable, report=report)
+
+
+def cross_validate_ttp(
+    analysis: TTPAnalysis,
+    message_set: MessageSet,
+    duration_periods: float = 4.0,
+    phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS,
+) -> CrossValidation:
+    """Check Theorem 5.1 against the TTP simulator.
+
+    Runs the simulator with the exact allocation the analysis certified
+    (when one exists) under saturating asynchronous traffic.  An
+    unallocatable set (``q_i < 2``) is reported as analysis-unschedulable
+    with a zero-length report, since there is no allocation to simulate.
+    """
+    result = analysis.analyze(message_set)
+    if result.allocation is None:
+        return CrossValidation(
+            analysis_schedulable=result.schedulable,
+            report=SimulationReport(duration=0.0),
+        )
+    simulator = TTPRingSimulator(
+        analysis.ring,
+        analysis.frame,
+        message_set,
+        result.allocation,
+        TTPSimConfig(phasing=phasing, async_saturating=True),
+    )
+    report = simulator.run(_default_duration(message_set, duration_periods))
+    return CrossValidation(analysis_schedulable=result.schedulable, report=report)

@@ -1,0 +1,179 @@
+"""Unit conventions and conversion helpers.
+
+The library uses one internal convention everywhere:
+
+* time ............ seconds (``float``)
+* data size ....... bits (``int`` or ``float``)
+* bandwidth ....... bits per second (``float``)
+* distance ........ meters (``float``)
+
+The paper (and networking practice) quotes bandwidth in Mbps, periods in
+milliseconds, payloads in bytes, and station latencies in bits.  The helpers
+here perform those conversions explicitly so that call sites read like the
+paper: ``mbps(100)``, ``milliseconds(100)``, ``bytes_to_bits(64)``.
+
+Only trivial arithmetic lives here; keeping it in one module means a unit
+mistake is a one-line fix rather than a scavenger hunt.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "bits",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "kilobits",
+    "megabits",
+    "mbps",
+    "gbps",
+    "kbps",
+    "bps_to_mbps",
+    "seconds",
+    "milliseconds",
+    "microseconds",
+    "nanoseconds",
+    "seconds_to_ms",
+    "seconds_to_us",
+    "transmission_time",
+    "propagation_delay",
+    "meters",
+    "kilometers",
+]
+
+#: Speed of light in vacuum, meters per second.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+# ---------------------------------------------------------------------------
+# Data sizes
+# ---------------------------------------------------------------------------
+
+def bits(value: float) -> float:
+    """Identity helper so call sites can be explicit about units."""
+    return float(value)
+
+
+def bytes_to_bits(value: float) -> float:
+    """Convert a size in bytes to bits."""
+    return float(value) * 8.0
+
+
+def bits_to_bytes(value: float) -> float:
+    """Convert a size in bits to bytes."""
+    return float(value) / 8.0
+
+
+def kilobits(value: float) -> float:
+    """Convert kilobits (10^3 bits) to bits."""
+    return float(value) * 1e3
+
+
+def megabits(value: float) -> float:
+    """Convert megabits (10^6 bits) to bits."""
+    return float(value) * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth
+# ---------------------------------------------------------------------------
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bits per second."""
+    return float(value) * 1e9
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bits per second."""
+    return float(value) * 1e3
+
+
+def bps_to_mbps(value: float) -> float:
+    """Convert bits per second to megabits per second (for reporting)."""
+    return float(value) / 1e6
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+def seconds(value: float) -> float:
+    """Identity helper so call sites can be explicit about units."""
+    return float(value)
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def nanoseconds(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return float(value) * 1e-9
+
+
+def seconds_to_ms(value: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return float(value) * 1e3
+
+
+def seconds_to_us(value: float) -> float:
+    """Convert seconds to microseconds (for reporting)."""
+    return float(value) * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Distance
+# ---------------------------------------------------------------------------
+
+def meters(value: float) -> float:
+    """Identity helper so call sites can be explicit about units."""
+    return float(value)
+
+
+def kilometers(value: float) -> float:
+    """Convert kilometers to meters."""
+    return float(value) * 1e3
+
+
+# ---------------------------------------------------------------------------
+# Derived quantities
+# ---------------------------------------------------------------------------
+
+def transmission_time(size_bits: float, bandwidth_bps: float) -> float:
+    """Time in seconds to clock ``size_bits`` onto a ``bandwidth_bps`` link.
+
+    Raises ``ValueError`` for a non-positive bandwidth: a zero bandwidth is
+    always a configuration bug, never a meaningful limit.
+    """
+    if bandwidth_bps <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+    if size_bits < 0.0:
+        raise ValueError(f"size must be non-negative, got {size_bits!r}")
+    return float(size_bits) / float(bandwidth_bps)
+
+
+def propagation_delay(distance_m: float, velocity_factor: float = 1.0) -> float:
+    """Signal propagation time in seconds over ``distance_m`` meters.
+
+    ``velocity_factor`` is the fraction of the vacuum speed of light at
+    which the signal travels (0.75 for the fiber/copper assumption used in
+    the paper's Section 6.2).
+    """
+    if distance_m < 0.0:
+        raise ValueError(f"distance must be non-negative, got {distance_m!r}")
+    if not 0.0 < velocity_factor <= 1.0:
+        raise ValueError(
+            f"velocity factor must be in (0, 1], got {velocity_factor!r}"
+        )
+    return float(distance_m) / (SPEED_OF_LIGHT * float(velocity_factor))

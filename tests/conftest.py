@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Conventions used throughout the tests:
+
+* ``small_ring_*`` fixtures use 8 stations so exact values stay
+  hand-checkable; paper-scale (100 stations) appears only in the slower
+  integration tests.
+* All randomness flows through seeded ``numpy.random.Generator`` objects;
+  no test depends on global RNG state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PaperParameters
+from repro.messages.generators import MessageSetSampler, PeriodDistribution
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.frames import FrameFormat
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.units import bytes_to_bits, mbps, milliseconds
+
+
+@pytest.fixture
+def frame() -> FrameFormat:
+    """The paper's frame format: 64 B payload, 112 b overhead."""
+    return paper_frame_format()
+
+
+@pytest.fixture
+def small_ring_802_5():
+    """An 8-station IEEE 802.5 ring at 10 Mbps."""
+    return ieee_802_5_ring(mbps(10), n_stations=8)
+
+
+@pytest.fixture
+def small_ring_fddi():
+    """An 8-station FDDI ring at 100 Mbps."""
+    return fddi_ring(mbps(100), n_stations=8)
+
+
+@pytest.fixture
+def harmonic_set() -> MessageSet:
+    """Four harmonic streams (easy to reason about by hand)."""
+    return MessageSet(
+        [
+            SynchronousStream(period_s=milliseconds(20), payload_bits=8_000, station=0),
+            SynchronousStream(period_s=milliseconds(40), payload_bits=16_000, station=1),
+            SynchronousStream(period_s=milliseconds(80), payload_bits=16_000, station=2),
+            SynchronousStream(period_s=milliseconds(160), payload_bits=32_000, station=3),
+        ]
+    )
+
+
+@pytest.fixture
+def light_set() -> MessageSet:
+    """Eight streams with comfortable slack at 10+ Mbps."""
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(25 + 15 * i),
+            payload_bits=bytes_to_bits(512),
+            station=i,
+        )
+        for i in range(8)
+    )
+
+
+@pytest.fixture
+def sampler() -> MessageSetSampler:
+    """A small sampler matching the paper's distributions (8 streams)."""
+    return MessageSetSampler(
+        n_streams=8,
+        periods=PeriodDistribution(mean_period_s=0.1, ratio=10.0),
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for Monte Carlo tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fast_params() -> PaperParameters:
+    """Paper parameters scaled down for quick experiment tests."""
+    return PaperParameters().scaled_down(n_stations=10, monte_carlo_sets=5)

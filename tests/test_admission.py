@@ -1,0 +1,155 @@
+"""Online admission controller: policies, lifecycle, invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.admission import AdmissionController, AdmissionPolicy
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.errors import ConfigurationError, MessageSetError
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.units import mbps, milliseconds
+
+
+FRAME = paper_frame_format()
+
+
+def pdp_controller(n=8, bandwidth=16.0, policy=AdmissionPolicy.HYBRID):
+    analysis = PDPAnalysis(
+        ieee_802_5_ring(mbps(bandwidth), n_stations=n), FRAME, PDPVariant.MODIFIED
+    )
+    return AdmissionController(analysis, policy)
+
+
+def ttp_controller(n=8, bandwidth=100.0, policy=AdmissionPolicy.HYBRID):
+    analysis = TTPAnalysis(fddi_ring(mbps(bandwidth), n_stations=n), FRAME)
+    return AdmissionController(analysis, policy)
+
+
+class TestLifecycle:
+    def test_admit_and_release(self):
+        controller = pdp_controller()
+        decision = controller.request(milliseconds(50), 8000)
+        assert decision.admitted
+        assert controller.admitted_count == 1
+        controller.release(decision.stream_id)
+        assert controller.admitted_count == 0
+
+    def test_station_reuse_after_release(self):
+        controller = pdp_controller(n=1)
+        first = controller.request(milliseconds(50), 8000)
+        assert first.admitted
+        assert not controller.request(milliseconds(50), 8000).admitted
+        controller.release(first.stream_id)
+        second = controller.request(milliseconds(50), 8000)
+        assert second.admitted
+        assert second.station == first.station
+
+    def test_capacity_rejection(self):
+        controller = pdp_controller(n=2)
+        assert controller.request(milliseconds(50), 100).admitted
+        assert controller.request(milliseconds(60), 100).admitted
+        denial = controller.request(milliseconds(70), 100)
+        assert not denial.admitted
+        assert denial.tested_by == "capacity"
+
+    def test_release_unknown_id(self):
+        with pytest.raises(MessageSetError):
+            pdp_controller().release(42)
+
+    def test_unique_ids(self):
+        controller = pdp_controller()
+        a = controller.request(milliseconds(50), 100)
+        b = controller.request(milliseconds(60), 100)
+        assert a.stream_id != b.stream_id
+
+    def test_rejected_request_leaves_state(self):
+        controller = pdp_controller(n=4, bandwidth=1.0)
+        controller.request(milliseconds(30), 8000)
+        before = controller.utilization()
+        denial = controller.request(milliseconds(10), 5_000_000)
+        assert not denial.admitted
+        assert controller.utilization() == before
+
+    def test_rejects_non_analysis(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(object())
+
+
+class TestPolicies:
+    def test_exact_policy_admits_heavy_harmonic_load(self):
+        """An exact controller admits loads the sufficient bound refuses."""
+        exact = pdp_controller(n=4, bandwidth=100.0, policy=AdmissionPolicy.EXACT)
+        sufficient = pdp_controller(
+            n=4, bandwidth=100.0, policy=AdmissionPolicy.SUFFICIENT
+        )
+        specs = [(milliseconds(20 * 2**i), 120_000 * 2**i) for i in range(4)]
+        exact_admits = sum(
+            exact.request(p, c).admitted for p, c in specs
+        )
+        sufficient_admits = sum(
+            sufficient.request(p, c).admitted for p, c in specs
+        )
+        assert exact_admits >= sufficient_admits
+
+    def test_hybrid_matches_exact_decisions(self):
+        """HYBRID must admit exactly what EXACT admits (it only changes
+        which test runs, never the verdict)."""
+        rng = np.random.default_rng(3)
+        requests = [
+            (float(rng.uniform(0.02, 0.2)), float(rng.uniform(1e3, 3e5)))
+            for _ in range(12)
+        ]
+        hybrid = pdp_controller(n=12, bandwidth=10.0, policy=AdmissionPolicy.HYBRID)
+        exact = pdp_controller(n=12, bandwidth=10.0, policy=AdmissionPolicy.EXACT)
+        for period, payload in requests:
+            assert (
+                hybrid.request(period, payload).admitted
+                == exact.request(period, payload).admitted
+            )
+
+    def test_hybrid_uses_cheap_path_when_light(self):
+        controller = pdp_controller()
+        decision = controller.request(milliseconds(100), 1000)
+        assert decision.admitted
+        assert decision.tested_by == "sufficient"
+
+    def test_ttp_controller_works(self):
+        controller = ttp_controller()
+        decision = controller.request(milliseconds(50), 20_000)
+        assert decision.admitted
+        assert controller.analysis.is_schedulable(controller.current_set())
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000),
+           policy=st.sampled_from(list(AdmissionPolicy)))
+    def test_admitted_set_always_schedulable(self, seed, policy):
+        """Whatever the request sequence, the admitted set stays feasible
+        (for SUFFICIENT, it stays inside the sufficient region, which
+        implies exact feasibility)."""
+        rng = np.random.default_rng(seed)
+        controller = ttp_controller(n=6, policy=policy)
+        for _ in range(10):
+            period = float(rng.uniform(0.02, 0.3))
+            payload = float(rng.uniform(1e3, 5e5))
+            controller.request(period, payload)
+            if controller.admitted_count and rng.random() < 0.3:
+                victim = next(iter(controller._streams))
+                controller.release(victim)
+        if controller.admitted_count:
+            assert controller.analysis.is_schedulable(controller.current_set())
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_would_admit_agrees_with_request(self, seed):
+        rng = np.random.default_rng(seed)
+        controller = pdp_controller(n=6)
+        for _ in range(6):
+            period = float(rng.uniform(0.02, 0.2))
+            payload = float(rng.uniform(1e3, 4e5))
+            predicted = controller.would_admit(period, payload)
+            actual = controller.request(period, payload).admitted
+            assert predicted == actual

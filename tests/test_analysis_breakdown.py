@@ -1,0 +1,150 @@
+"""Saturation search: bisection correctness and the closed-form fast path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.breakdown import (
+    BreakdownResult,
+    breakdown_scale,
+    breakdown_utilization,
+)
+from repro.errors import MessageSetError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.units import mbps
+
+
+def make_set(payloads=(1000, 2000), periods=(0.01, 0.02)) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(period_s=p, payload_bits=c, station=i)
+        for i, (c, p) in enumerate(zip(payloads, periods))
+    )
+
+
+def utilization_predicate(threshold: float, bandwidth: float):
+    """Schedulable iff U(M) <= threshold — a predicate with a known boundary."""
+    def predicate(message_set: MessageSet) -> bool:
+        return message_set.utilization(bandwidth) <= threshold
+    return predicate
+
+
+class TestBisection:
+    def test_finds_known_boundary(self):
+        message_set = make_set()
+        base_u = message_set.utilization(mbps(1))
+        scale, _ = breakdown_scale(
+            message_set, utilization_predicate(0.5, mbps(1)), rel_tol=1e-6
+        )
+        assert scale == pytest.approx(0.5 / base_u, rel=1e-5)
+
+    def test_boundary_from_above(self):
+        """Start unschedulable (scale 1 above threshold) and search down."""
+        message_set = make_set(payloads=(800_000, 800_000))
+        base_u = message_set.utilization(mbps(1))
+        assert base_u > 0.5
+        scale, _ = breakdown_scale(
+            message_set, utilization_predicate(0.5, mbps(1)), rel_tol=1e-6
+        )
+        assert scale == pytest.approx(0.5 / base_u, rel=1e-5)
+
+    def test_always_unschedulable_returns_zero(self):
+        scale, _ = breakdown_scale(make_set(), lambda m: False)
+        assert scale == 0.0
+
+    def test_never_saturating_returns_inf(self):
+        scale, _ = breakdown_scale(make_set(), lambda m: True)
+        assert scale == float("inf")
+
+    def test_zero_payload_set_classified_directly(self):
+        empty = make_set(payloads=(0, 0))
+        scale, evals = breakdown_scale(empty, lambda m: True)
+        assert scale == float("inf")
+        assert evals == 1
+        scale, _ = breakdown_scale(empty, lambda m: False)
+        assert scale == 0.0
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(MessageSetError):
+            breakdown_scale(MessageSet([]), lambda m: True)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(MessageSetError):
+            breakdown_scale(make_set(), lambda m: True, rel_tol=0.0)
+
+    def test_rejects_non_predicate(self):
+        with pytest.raises(MessageSetError):
+            breakdown_scale(make_set(), 42)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        threshold=st.floats(min_value=0.01, max_value=5.0),
+        tol=st.sampled_from([1e-3, 1e-5]),
+    )
+    def test_result_brackets_boundary(self, threshold, tol):
+        """The returned scale is schedulable; scale/(1-tol) overshoots."""
+        message_set = make_set()
+        predicate = utilization_predicate(threshold, mbps(1))
+        scale, _ = breakdown_scale(message_set, predicate, rel_tol=tol)
+        assert predicate(message_set.scaled(scale))
+        assert not predicate(message_set.scaled(scale * (1 + 2 * tol)))
+
+
+class TestClosedFormPath:
+    class FakeAnalysis:
+        """Implements the SupportsSaturationScale protocol."""
+
+        def saturation_scale(self, message_set: MessageSet) -> float:
+            return 2.5
+
+        def is_schedulable(self, message_set: MessageSet) -> bool:
+            return True
+
+        def __call__(self, message_set):  # pragma: no cover - never used
+            raise AssertionError("closed form should bypass the call path")
+
+    def test_uses_closed_form(self):
+        scale, evals = breakdown_scale(make_set(), self.FakeAnalysis())
+        assert scale == 2.5
+        assert evals == 1
+
+
+class TestAnalysisObjectPath:
+    class PredicateOnly:
+        """An analysis without a closed form: must route via is_schedulable."""
+
+        def __init__(self, threshold, bandwidth):
+            self._pred = utilization_predicate(threshold, bandwidth)
+            self.calls = 0
+
+        def is_schedulable(self, message_set):
+            self.calls += 1
+            return self._pred(message_set)
+
+    def test_uses_is_schedulable(self):
+        analysis = self.PredicateOnly(0.5, mbps(1))
+        scale, _ = breakdown_scale(make_set(), analysis, rel_tol=1e-4)
+        assert analysis.calls > 1
+        assert scale > 0
+
+
+class TestBreakdownUtilization:
+    def test_utilization_at_boundary(self):
+        message_set = make_set()
+        result = breakdown_utilization(
+            message_set, utilization_predicate(0.5, mbps(1)), mbps(1), rel_tol=1e-6
+        )
+        assert isinstance(result, BreakdownResult)
+        assert result.saturated
+        assert result.utilization == pytest.approx(0.5, rel=1e-4)
+
+    def test_degenerate_zero(self):
+        result = breakdown_utilization(make_set(), lambda m: False, mbps(1))
+        assert result.scale == 0.0
+        assert result.utilization == 0.0
+        assert not result.saturated
+
+    def test_degenerate_inf(self):
+        result = breakdown_utilization(make_set(), lambda m: True, mbps(1))
+        assert result.scale == float("inf")
+        assert result.utilization == 0.0
+        assert not result.saturated

@@ -1,0 +1,105 @@
+"""Monte Carlo estimator: determinism, statistics, degenerate handling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    AverageBreakdownEstimate,
+    average_breakdown_utilization,
+    breakdown_samples,
+)
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.errors import ConfigurationError
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.units import mbps
+
+
+BW = mbps(100)
+
+
+@pytest.fixture
+def ttp_analysis():
+    return TTPAnalysis(fddi_ring(BW, n_stations=8), paper_frame_format())
+
+
+@pytest.fixture
+def pdp_analysis():
+    return PDPAnalysis(
+        ieee_802_5_ring(mbps(10), n_stations=8),
+        paper_frame_format(),
+        PDPVariant.MODIFIED,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_estimate(self, ttp_analysis, sampler):
+        a = average_breakdown_utilization(ttp_analysis, sampler, BW, 10, 42)
+        b = average_breakdown_utilization(ttp_analysis, sampler, BW, 10, 42)
+        assert a.samples == b.samples
+
+    def test_generator_and_seed_agree(self, ttp_analysis, sampler):
+        a = average_breakdown_utilization(
+            ttp_analysis, sampler, BW, 5, np.random.default_rng(7)
+        )
+        b = average_breakdown_utilization(ttp_analysis, sampler, BW, 5, 7)
+        assert a.samples == b.samples
+
+    def test_different_seeds_differ(self, ttp_analysis, sampler):
+        a = average_breakdown_utilization(ttp_analysis, sampler, BW, 5, 1)
+        b = average_breakdown_utilization(ttp_analysis, sampler, BW, 5, 2)
+        assert a.samples != b.samples
+
+
+class TestStatistics:
+    def test_estimate_fields(self, ttp_analysis, sampler):
+        estimate = average_breakdown_utilization(ttp_analysis, sampler, BW, 20, 0)
+        assert estimate.n_sets == 20
+        assert 0.0 < estimate.mean < 1.0
+        assert estimate.std > 0.0
+        assert estimate.stderr == pytest.approx(estimate.std / np.sqrt(20))
+
+    def test_confidence_interval_brackets_mean(self, ttp_analysis, sampler):
+        estimate = average_breakdown_utilization(ttp_analysis, sampler, BW, 20, 0)
+        low, high = estimate.confidence_interval()
+        assert low < estimate.mean < high
+
+    def test_single_sample_has_infinite_stderr(self):
+        estimate = AverageBreakdownEstimate(
+            mean=0.5, std=0.0, n_sets=1, samples=(0.5,)
+        )
+        assert estimate.stderr == float("inf")
+        assert estimate.confidence_interval() == (float("-inf"), float("inf"))
+
+    def test_breakdown_in_unit_interval(self, ttp_analysis, sampler):
+        """Breakdown utilizations can never exceed 1 (capacity)."""
+        estimate = average_breakdown_utilization(ttp_analysis, sampler, BW, 20, 3)
+        assert all(0.0 <= s <= 1.0 for s in estimate.samples)
+
+    def test_pdp_breakdown_in_unit_interval(self, pdp_analysis, sampler):
+        estimate = average_breakdown_utilization(
+            pdp_analysis, sampler, mbps(10), 10, 3
+        )
+        assert all(0.0 <= s <= 1.0 + 1e-3 for s in estimate.samples)
+
+
+class TestDegenerateHandling:
+    def test_always_unschedulable_counts_zeroes(self, sampler, rng):
+        samples, degenerate = breakdown_samples(
+            lambda m: False, sampler, BW, 5, rng
+        )
+        assert samples == [0.0] * 5
+        assert degenerate == 5
+
+    def test_rejects_zero_sets(self, sampler, rng):
+        with pytest.raises(ConfigurationError):
+            breakdown_samples(lambda m: True, sampler, BW, 0, rng)
+
+    def test_empty_estimate_when_all_infinite(self, sampler):
+        """A predicate that never saturates yields an empty estimate."""
+        estimate = average_breakdown_utilization(
+            lambda m: True, sampler, BW, 3, 0
+        )
+        assert estimate.n_sets == 0
+        assert estimate.degenerate_sets == 3
+        assert estimate.mean == 0.0

@@ -1,0 +1,224 @@
+"""Theorem 4.1: augmented lengths, blocking, and the PDP schedulability test.
+
+The hand-computed cases use synthetic rings with zero propagation distance
+so that ``Θ`` is an exact rational number of bit-times.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pdp import (
+    PDPAnalysis,
+    PDPVariant,
+    pdp_augmented_length,
+    pdp_blocking_time,
+)
+from repro.analysis.rm import response_time_analysis
+from repro.errors import MessageSetError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+from repro.units import mbps
+
+
+def make_ring(latency_bits_per_station: float, bandwidth: float = 1e6) -> RingNetwork:
+    """A 4-station ring with zero propagation: Θ is exactly rational."""
+    return RingNetwork(
+        n_stations=4,
+        station_spacing_m=0.0,
+        station_bit_delay=latency_bits_per_station,
+        token_bits=24.0,
+        bandwidth_bps=bandwidth,
+        velocity_factor=0.75,
+    )
+
+
+FRAME = FrameFormat(info_bits=512, overhead_bits=112)
+US = 1e-6  # one microsecond at 1 Mbps == one bit-time
+
+
+class TestBlocking:
+    def test_low_bandwidth_frame_dominates(self):
+        ring = make_ring(25.0)  # Θ = 124 bit-times < F = 624
+        assert pdp_blocking_time(ring, FRAME) == pytest.approx(2 * 624 * US)
+
+    def test_high_latency_theta_dominates(self):
+        ring = make_ring(200.0)  # Θ = 824 bit-times > F = 624
+        assert pdp_blocking_time(ring, FRAME) == pytest.approx(2 * 824 * US)
+
+
+class TestAugmentedLengthLowBandwidth:
+    """F > Θ regime: ring with Θ = 124 µs, F = 624 µs at 1 Mbps."""
+
+    RING = make_ring(25.0)
+
+    def test_zero_payload_is_free(self):
+        for variant in PDPVariant:
+            assert pdp_augmented_length(0.0, self.RING, FRAME, variant) == 0.0
+
+    def test_standard_two_frames(self):
+        # 1000 bits: L=1, K=2; last chunk = 1000-512+112 = 600 bits > Θ.
+        # C' = 1*624 + 2*(124/2) + 600 = 1348 µs.
+        value = pdp_augmented_length(1000.0, self.RING, FRAME, PDPVariant.STANDARD)
+        assert value == pytest.approx(1348 * US)
+
+    def test_modified_two_frames(self):
+        # Token paid once: C' = 624 + 62 + 600 = 1286 µs.
+        value = pdp_augmented_length(1000.0, self.RING, FRAME, PDPVariant.MODIFIED)
+        assert value == pytest.approx(1286 * US)
+
+    def test_tiny_last_chunk_floors_at_theta(self):
+        # 513 bits: last chunk = 1+112 = 113 bits < Θ = 124 -> floor at Θ.
+        # standard: 624 + 2*62 + 124 = 872 µs.
+        value = pdp_augmented_length(513.0, self.RING, FRAME, PDPVariant.STANDARD)
+        assert value == pytest.approx(872 * US)
+
+    def test_exact_full_frames_have_no_last_term(self):
+        # 1024 bits = exactly 2 frames: standard C' = 2*624 + 2*62 = 1372.
+        value = pdp_augmented_length(1024.0, self.RING, FRAME, PDPVariant.STANDARD)
+        assert value == pytest.approx(1372 * US)
+
+    def test_single_short_frame(self):
+        # 100 bits: L=0, K=1; chunk = 212 > Θ: standard C' = 62 + 212 = 274.
+        value = pdp_augmented_length(100.0, self.RING, FRAME, PDPVariant.STANDARD)
+        assert value == pytest.approx(274 * US)
+
+
+class TestAugmentedLengthHighLatency:
+    """F <= Θ regime: ring with Θ = 824 µs, F = 624 µs at 1 Mbps."""
+
+    RING = make_ring(200.0)
+
+    def test_standard(self):
+        # 1000 bits -> K=2: C' = 2*824 + 2*412 = 2472 µs.
+        value = pdp_augmented_length(1000.0, self.RING, FRAME, PDPVariant.STANDARD)
+        assert value == pytest.approx(2472 * US)
+
+    def test_modified(self):
+        # C' = 2*824 + 412 = 2060 µs.
+        value = pdp_augmented_length(1000.0, self.RING, FRAME, PDPVariant.MODIFIED)
+        assert value == pytest.approx(2060 * US)
+
+    def test_single_frame_variants_coincide(self):
+        # K=1: both variants pay one Θ + Θ/2.
+        std = pdp_augmented_length(100.0, self.RING, FRAME, PDPVariant.STANDARD)
+        mod = pdp_augmented_length(100.0, self.RING, FRAME, PDPVariant.MODIFIED)
+        assert std == pytest.approx(mod) == pytest.approx((824 + 412) * US)
+
+
+class TestAugmentedLengthProperties:
+    def test_rejects_negative_payload(self):
+        with pytest.raises(MessageSetError):
+            pdp_augmented_length(-1.0, make_ring(25.0), FRAME, PDPVariant.STANDARD)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        payload=st.floats(min_value=0.0, max_value=1e6),
+        bump=st.floats(min_value=0.0, max_value=1e5),
+        delay=st.floats(min_value=0.0, max_value=500.0),
+        bandwidth=st.floats(min_value=1e5, max_value=1e9),
+    )
+    def test_monotone_in_payload(self, payload, bump, delay, bandwidth):
+        """C'_i never decreases as the message grows — the property that
+        makes the saturation bisection valid."""
+        ring = make_ring(delay, bandwidth)
+        for variant in PDPVariant:
+            assert pdp_augmented_length(
+                payload + bump, ring, FRAME, variant
+            ) >= pdp_augmented_length(payload, ring, FRAME, variant) - 1e-15
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payload=st.floats(min_value=1.0, max_value=1e6),
+        delay=st.floats(min_value=0.0, max_value=500.0),
+        bandwidth=st.floats(min_value=1e5, max_value=1e9),
+    )
+    def test_modified_never_worse_than_standard(self, payload, delay, bandwidth):
+        ring = make_ring(delay, bandwidth)
+        std = pdp_augmented_length(payload, ring, FRAME, PDPVariant.STANDARD)
+        mod = pdp_augmented_length(payload, ring, FRAME, PDPVariant.MODIFIED)
+        assert mod <= std + 1e-15
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=st.floats(min_value=1.0, max_value=1e6))
+    def test_augmented_exceeds_raw(self, payload):
+        """Overheads only ever add: C'_i >= C_i."""
+        ring = make_ring(25.0)
+        raw = payload / ring.bandwidth_bps
+        assert pdp_augmented_length(
+            payload, ring, FRAME, PDPVariant.MODIFIED
+        ) >= raw - 1e-15
+
+
+class TestPDPAnalysis:
+    def make_analysis(self, variant=PDPVariant.STANDARD) -> PDPAnalysis:
+        return PDPAnalysis(make_ring(25.0), FRAME, variant)
+
+    def make_set(self, payloads, periods) -> MessageSet:
+        return MessageSet(
+            SynchronousStream(period_s=p, payload_bits=c, station=i)
+            for i, (c, p) in enumerate(zip(payloads, periods))
+        )
+
+    def test_empty_set_schedulable(self):
+        assert self.make_analysis().is_schedulable(MessageSet([]))
+
+    def test_light_set_schedulable(self):
+        message_set = self.make_set([500, 500], [0.1, 0.2])
+        assert self.make_analysis().is_schedulable(message_set)
+
+    def test_overloaded_set_unschedulable(self):
+        message_set = self.make_set([60_000, 60_000], [0.1, 0.1])
+        assert not self.make_analysis().is_schedulable(message_set)
+
+    def test_analyze_reports_per_stream(self):
+        message_set = self.make_set([500, 500], [0.1, 0.2])
+        result = self.make_analysis().analyze(message_set)
+        assert result.schedulable
+        assert len(result.details) == 2
+        assert result.worst_ratio < 1.0
+        assert len(result.augmented_lengths) == 2
+
+    def test_analyze_handles_unsorted_input(self):
+        """The analysis must RM-sort internally."""
+        message_set = self.make_set([500, 500], [0.2, 0.1])
+        result = self.make_analysis().analyze(message_set)
+        # Details come back in RM order: shortest period first.
+        assert result.details[0].critical_point <= result.details[1].critical_point
+
+    def test_matches_manual_rta(self):
+        """Theorem 4.1 verdict == RTA over the augmented lengths + blocking."""
+        analysis = self.make_analysis(PDPVariant.MODIFIED)
+        message_set = self.make_set([2000, 3000, 9000], [0.02, 0.05, 0.1])
+        ordered = message_set.rate_monotonic()
+        lengths = analysis.augmented_lengths(ordered)
+        responses = response_time_analysis(
+            list(lengths), list(ordered.periods), analysis.blocking
+        )
+        rta_ok = all(r <= p for r, p in zip(responses, ordered.periods))
+        assert analysis.is_schedulable(message_set) == rta_ok
+
+    def test_with_ring_rebinds_bandwidth(self):
+        analysis = self.make_analysis()
+        faster = analysis.with_ring(analysis.ring.with_bandwidth(mbps(100)))
+        assert faster.ring.bandwidth_bps == mbps(100)
+        assert faster.variant == analysis.variant
+
+    def test_cache_is_bounded(self):
+        analysis = self.make_analysis()
+        for i in range(10):
+            message_set = self.make_set([10.0], [0.01 * (i + 1)])
+            analysis.is_schedulable(message_set)
+        assert len(analysis._test_cache) <= PDPAnalysis._CACHE_SIZE
+
+    def test_modified_schedules_superset_of_standard(self):
+        """Anything the standard protocol guarantees, the modified one does."""
+        std = self.make_analysis(PDPVariant.STANDARD)
+        mod = self.make_analysis(PDPVariant.MODIFIED)
+        for scale in (0.5, 1.0, 2.0, 4.0, 8.0):
+            message_set = self.make_set(
+                [1000 * scale, 2000 * scale], [0.02, 0.05]
+            )
+            if std.is_schedulable(message_set):
+                assert mod.is_schedulable(message_set)

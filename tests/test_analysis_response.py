@@ -1,0 +1,157 @@
+"""Response-time bounds: consistency with the theorems and the simulators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.response import pdp_response_bounds, ttp_response_bounds
+from repro.analysis.ttp import TTPAnalysis
+from repro.errors import ConfigurationError
+from repro.messages.generators import MessageSetSampler, PeriodDistribution
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig, TokenWalkModel
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+from repro.units import mbps, milliseconds
+
+
+FRAME = paper_frame_format()
+
+
+def make_set(specs) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(period), payload_bits=payload, station=i
+        )
+        for i, (period, payload) in enumerate(specs)
+    )
+
+
+class TestPDPBounds:
+    def make_analysis(self, n, bandwidth=16.0):
+        return PDPAnalysis(
+            ieee_802_5_ring(mbps(bandwidth), n_stations=n),
+            FRAME,
+            PDPVariant.MODIFIED,
+        )
+
+    def test_empty_set(self):
+        assert pdp_response_bounds(self.make_analysis(1), MessageSet([])) == []
+
+    def test_order_matches_input(self):
+        """Bounds come back in the caller's stream order even though the
+        computation runs in RM order."""
+        workload = make_set([(80, 4000), (20, 2000), (50, 3000)])
+        bounds = pdp_response_bounds(self.make_analysis(3), workload)
+        assert [b.stream_index for b in bounds] == [0, 1, 2]
+        assert [b.period_s for b in bounds] == list(workload.periods)
+
+    def test_highest_priority_fastest(self):
+        workload = make_set([(20, 2000), (50, 2000), (80, 2000)])
+        bounds = pdp_response_bounds(self.make_analysis(3), workload)
+        assert bounds[0].bound_s <= bounds[1].bound_s <= bounds[2].bound_s
+
+    def test_consistent_with_theorem(self):
+        """Finite bounds for every stream <=> Theorem 4.1 accepts the set."""
+        analysis = self.make_analysis(4)
+        for payload in (2000, 200_000, 800_000):
+            workload = make_set(
+                [(20, payload), (40, payload), (60, payload), (100, payload)]
+            )
+            bounds = pdp_response_bounds(analysis, workload)
+            all_meet = all(b.meets_deadline for b in bounds)
+            assert all_meet == analysis.is_schedulable(workload)
+
+    def test_slack_sign(self):
+        workload = make_set([(50, 2000)])
+        bound = pdp_response_bounds(self.make_analysis(1), workload)[0]
+        assert bound.meets_deadline == (bound.slack_s >= 0)
+
+    def test_simulation_respects_bounds(self):
+        """Observed worst responses never exceed the analytic bounds."""
+        workload = make_set([(20, 4000), (40, 12_000), (80, 30_000)])
+        analysis = self.make_analysis(3, bandwidth=10.0)
+        bounds = pdp_response_bounds(analysis, workload)
+        assert all(b.meets_deadline for b in bounds)
+        simulator = PDPRingSimulator(
+            analysis.ring,
+            FRAME,
+            workload,
+            PDPSimConfig(
+                variant=PDPVariant.MODIFIED,
+                token_walk=TokenWalkModel.AVERAGE,
+            ),
+        )
+        report = simulator.run(0.8)
+        for stats, bound in zip(report.streams, bounds):
+            assert stats.max_response <= bound.bound_s + 1e-9
+
+
+class TestTTPBounds:
+    def make_analysis(self, n, bandwidth=100.0):
+        return TTPAnalysis(fddi_ring(mbps(bandwidth), n_stations=n), FRAME)
+
+    def test_empty_set(self):
+        assert ttp_response_bounds(self.make_analysis(1), MessageSet([])) == []
+
+    def test_unallocatable_raises(self):
+        from repro.analysis.ttrt import FixedTTRT
+
+        analysis = TTPAnalysis(
+            fddi_ring(mbps(100), n_stations=1), FRAME, FixedTTRT(0.04)
+        )
+        with pytest.raises(ConfigurationError):
+            ttp_response_bounds(analysis, make_set([(50, 100)]))
+
+    def test_allocation_mismatch_rejected(self):
+        analysis = self.make_analysis(2)
+        allocation = analysis.allocate(make_set([(50, 1000)]))
+        with pytest.raises(ConfigurationError):
+            ttp_response_bounds(
+                analysis, make_set([(50, 1000), (60, 1000)]), allocation
+            )
+
+    def test_local_scheme_meets_deadlines(self):
+        """For a Theorem 5.1-accepted set every bound proves its deadline
+        within the ``+ h_i`` tail tolerance."""
+        workload = make_set([(30, 10_000), (50, 30_000), (90, 50_000)])
+        analysis = self.make_analysis(3)
+        assert analysis.is_schedulable(workload)
+        allocation = analysis.analyze(workload).allocation
+        bounds = ttp_response_bounds(analysis, workload, allocation)
+        for index, bound in enumerate(bounds):
+            assert bound.bound_s <= bound.period_s + allocation.bandwidths_s[index] + 1e-12
+
+    def test_simulation_respects_bounds(self):
+        workload = make_set([(30, 10_000), (50, 30_000), (90, 50_000)])
+        analysis = self.make_analysis(3)
+        allocation = analysis.analyze(workload).allocation
+        bounds = ttp_response_bounds(analysis, workload, allocation)
+        simulator = TTPRingSimulator(
+            analysis.ring, FRAME, workload, allocation, TTPSimConfig()
+        )
+        report = simulator.run(0.8)
+        for stats, bound in zip(report.streams, bounds):
+            assert stats.max_response <= bound.bound_s + 1e-9
+
+    def test_random_sets_simulation_under_bound(self):
+        """Property over sampled workloads: sim max response <= bound."""
+        sampler = MessageSetSampler(
+            n_streams=5, periods=PeriodDistribution(0.08, 4.0)
+        )
+        analysis = self.make_analysis(5)
+        for seed in range(4):
+            workload = sampler.sample(np.random.default_rng(seed))
+            scale = analysis.saturation_scale(workload)
+            if not (0 < scale < float("inf")):
+                continue
+            near = workload.scaled(scale * 0.8)
+            allocation = analysis.analyze(near).allocation
+            bounds = ttp_response_bounds(analysis, near, allocation)
+            simulator = TTPRingSimulator(
+                analysis.ring, FRAME, near, allocation, TTPSimConfig()
+            )
+            report = simulator.run(3.0 * near.max_period)
+            for stats, bound in zip(report.streams, bounds):
+                assert stats.max_response <= bound.bound_s + 1e-9

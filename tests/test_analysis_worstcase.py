@@ -1,0 +1,130 @@
+"""Minimum breakdown utilization: vertex property, the 33% story, search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import ttp_guaranteed_utilization
+from repro.analysis.breakdown import breakdown_utilization
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.analysis.ttrt import FixedTTRT
+from repro.analysis.worstcase import (
+    pdp_minimum_breakdown,
+    ttp_breakdown_of_set,
+    ttp_minimum_breakdown,
+)
+from repro.errors import ConfigurationError
+from repro.messages.generators import MessageSetSampler, PeriodDistribution
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.units import mbps
+
+
+FRAME = paper_frame_format()
+
+
+class TestTTPWorstCase:
+    def test_classic_one_third_with_fixed_ttrt(self):
+        """With TTRT fixed at P_min/2 and the period domain reaching past
+        3·TTRT, the adversary lands at q = 2 and the minimum breakdown
+        approaches the 33% bound (discounted by overheads)."""
+        low = 0.020
+        ttrt = low / 2
+        analysis = TTPAnalysis(
+            fddi_ring(mbps(1000), n_stations=4), FRAME, FixedTTRT(ttrt)
+        )
+        result = ttp_minimum_breakdown(analysis, (low, 0.2), 4, grid_points=800)
+        bound = ttp_guaranteed_utilization(
+            ttrt, analysis.delta, 4, analysis.frame_overhead_time
+        )
+        # Above the guarantee (soundness) but within 10% of it (tightness).
+        assert result.utilization >= bound - 1e-9
+        assert result.utilization <= bound * 1.10
+
+    def test_sqrt_rule_defends_the_worst_case(self):
+        """The sqrt rule's small TTRT pushes every period to large q, so
+        its minimum breakdown over the same domain is far above 1/3 —
+        the run-time payoff of the paper's TTRT heuristic."""
+        analysis = TTPAnalysis(fddi_ring(mbps(1000), n_stations=4), FRAME)
+        result = ttp_minimum_breakdown(analysis, (0.02, 0.2), 4)
+        assert result.utilization > 0.6
+
+    def test_witness_is_reproducible(self):
+        """The reported utilization is exactly the witness set's breakdown."""
+        analysis = TTPAnalysis(fddi_ring(mbps(100), n_stations=4), FRAME)
+        result = ttp_minimum_breakdown(analysis, (0.02, 0.1), 4, grid_points=100)
+        assert ttp_breakdown_of_set(analysis, result.message_set) == pytest.approx(
+            result.utilization
+        )
+
+    def test_minimum_below_random_samples(self):
+        """Adversarial minimum lower-bounds breakdowns of sampled sets."""
+        analysis = TTPAnalysis(fddi_ring(mbps(100), n_stations=6), FRAME)
+        dist = PeriodDistribution(mean_period_s=0.1, ratio=5.0)
+        low, high = dist.bounds
+        worst = ttp_minimum_breakdown(analysis, (low, high), 6).utilization
+        sampler = MessageSetSampler(n_streams=6, periods=dist)
+        rng = np.random.default_rng(1)
+        for message_set in sampler.sample_many(rng, 10):
+            assert ttp_breakdown_of_set(analysis, message_set) >= worst - 1e-9
+
+    def test_rejects_bad_bounds(self):
+        analysis = TTPAnalysis(fddi_ring(mbps(100), n_stations=2), FRAME)
+        with pytest.raises(ConfigurationError):
+            ttp_minimum_breakdown(analysis, (0.1, 0.05), 2)
+
+    def test_rejects_zero_streams(self):
+        analysis = TTPAnalysis(fddi_ring(mbps(100), n_stations=2), FRAME)
+        with pytest.raises(ConfigurationError):
+            ttp_minimum_breakdown(analysis, (0.02, 0.1), 0)
+
+
+class TestPDPWorstCase:
+    def make_analysis(self):
+        return PDPAnalysis(
+            ieee_802_5_ring(mbps(10), n_stations=5), FRAME, PDPVariant.MODIFIED
+        )
+
+    def test_witness_is_valid(self):
+        """The search's reported value matches the witness set's actual
+        breakdown utilization."""
+        analysis = self.make_analysis()
+        result = pdp_minimum_breakdown(
+            analysis, (0.02, 0.2), 5, restarts=3, iterations=15, rng=0
+        )
+        check = breakdown_utilization(
+            result.message_set, analysis, analysis.ring.bandwidth_bps, 1e-3
+        )
+        assert check.utilization == pytest.approx(result.utilization, rel=0.02)
+
+    def test_minimum_below_average(self):
+        """The adversarial witness must undercut typical random sets."""
+        analysis = self.make_analysis()
+        result = pdp_minimum_breakdown(
+            analysis, (0.02, 0.2), 5, restarts=4, iterations=25, rng=1
+        )
+        sampler = MessageSetSampler(
+            n_streams=5,
+            periods=PeriodDistribution(mean_period_s=0.11, ratio=10.0),
+        )
+        rng = np.random.default_rng(2)
+        sampled = [
+            breakdown_utilization(
+                m, analysis, analysis.ring.bandwidth_bps, 1e-3
+            ).utilization
+            for m in sampler.sample_many(rng, 8)
+        ]
+        assert result.utilization <= np.mean(sampled)
+
+    def test_deterministic_given_seed(self):
+        analysis = self.make_analysis()
+        a = pdp_minimum_breakdown(
+            analysis, (0.02, 0.2), 4, restarts=2, iterations=10, rng=7
+        )
+        b = pdp_minimum_breakdown(
+            analysis, (0.02, 0.2), 4, restarts=2, iterations=10, rng=7
+        )
+        assert a.utilization == b.utilization
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            pdp_minimum_breakdown(self.make_analysis(), (0.0, 0.1), 3)

@@ -1,0 +1,82 @@
+"""Documentation lint: referenced files and modules actually exist.
+
+DESIGN.md, EXPERIMENTS.md, THEORY.md, and README.md point at modules,
+tests, and benchmarks by path; refactors must not silently orphan those
+references.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOCS = [
+    ROOT / "README.md",
+    ROOT / "DESIGN.md",
+    ROOT / "EXPERIMENTS.md",
+    ROOT / "docs" / "THEORY.md",
+    ROOT / "docs" / "USAGE.md",
+]
+
+#: Paths that docs may reference before they exist locally (generated).
+GENERATED = {"report.md", "figure1.csv", "figure1_full.csv", "out.csv"}
+
+
+def referenced_paths(text: str) -> set[str]:
+    """File-looking references: backticked paths ending in .py or .md."""
+    candidates = set()
+    for match in re.findall(r"`([A-Za-z0-9_\-./]+\.(?:py|md))`", text):
+        candidates.add(match)
+    # 'a/b.py::test' style references.
+    for match in re.findall(r"`([A-Za-z0-9_\-./]+\.py)::", text):
+        candidates.add(match)
+    return candidates
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_doc_exists(doc):
+    assert doc.exists(), doc
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_referenced_files_exist(doc):
+    text = doc.read_text(encoding="utf-8")
+    missing = []
+    for path in sorted(referenced_paths(text)):
+        name = pathlib.PurePosixPath(path).name
+        if name in GENERATED:
+            continue
+        candidates = [
+            ROOT / path,
+            ROOT / "src" / "repro" / path,
+            ROOT / "src" / path,
+            ROOT / "tests" / path,
+            ROOT / "benchmarks" / path,
+            ROOT / "docs" / path,
+        ]
+        if not any(c.exists() for c in candidates):
+            missing.append(path)
+    assert not missing, f"{doc.name} references missing files: {missing}"
+
+
+def test_module_references_import():
+    """`repro.x.y`-style dotted references in the docs import cleanly."""
+    import importlib
+
+    pattern = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
+    failures = []
+    for doc in DOCS:
+        for match in pattern.findall(doc.read_text(encoding="utf-8")):
+            module = match
+            while module:
+                try:
+                    importlib.import_module(module)
+                    break
+                except ModuleNotFoundError:
+                    # Maybe the last component is an attribute.
+                    if "." not in module:
+                        failures.append((doc.name, match))
+                        break
+                    module = module.rsplit(".", 1)[0]
+    assert not failures, f"unimportable doc references: {failures}"

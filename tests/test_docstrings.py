@@ -1,0 +1,56 @@
+"""Documentation hygiene: every public item carries a docstring.
+
+The deliverable spec requires doc comments on every public item; this
+test makes that a regression-checked invariant rather than a hope.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    """Every module in the repro package."""
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    """Every public function/class defined in the module is documented,
+    as is every public method of every public class."""
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere; checked at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not (
+                    attr.__doc__ and attr.__doc__.strip()
+                ):
+                    undocumented.append(
+                        f"{module.__name__}.{name}.{attr_name}"
+                    )
+    assert not undocumented, f"undocumented public items: {undocumented}"

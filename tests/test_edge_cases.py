@@ -1,0 +1,223 @@
+"""Edge cases across the whole library: degenerate but legal inputs.
+
+Each case here was chosen because it sits on a boundary the main tests
+glide past: zero payloads inside otherwise-normal sets, single-station
+rings, equal periods everywhere, overhead-free frames, periods at exact
+TTRT multiples, and extreme bandwidths.
+"""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_scale, breakdown_utilization
+from repro.analysis.pdp import PDPAnalysis, PDPVariant, pdp_augmented_length
+from repro.analysis.rm import ExactRMTest
+from repro.analysis.ttp import TTPAnalysis, local_scheme_allocation
+from repro.analysis.ttrt import FixedTTRT
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.units import kbps, mbps, gbps, milliseconds
+
+
+FRAME = paper_frame_format()
+
+
+class TestZeroPayloadStreams:
+    def make_mixed(self) -> MessageSet:
+        return MessageSet(
+            [
+                SynchronousStream(period_s=0.02, payload_bits=0, station=0),
+                SynchronousStream(period_s=0.05, payload_bits=8000, station=1),
+                SynchronousStream(period_s=0.08, payload_bits=0, station=2),
+            ]
+        )
+
+    def test_pdp_zero_streams_cost_nothing(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=3)
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.STANDARD)
+        lengths = analysis.augmented_lengths(self.make_mixed())
+        assert lengths[0] == 0.0
+        assert lengths[2] == 0.0
+        assert lengths[1] > 0.0
+
+    def test_pdp_schedulability_ignores_empty_streams(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=3)
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.MODIFIED)
+        mixed = self.make_mixed()
+        only_loaded = MessageSet([mixed[1]])
+        assert analysis.is_schedulable(mixed) == analysis.is_schedulable(
+            only_loaded
+        )
+
+    def test_ttp_zero_streams_still_pay_overhead(self):
+        """The local scheme reserves h_i = F_ovhd even for an empty stream
+        (its station still gets a frame slot per rotation)."""
+        alloc = local_scheme_allocation(
+            self.make_mixed(), 0.005, mbps(10), 1e-5, 1e-4
+        )
+        assert alloc.bandwidths_s[0] == pytest.approx(1e-5)
+
+    def test_breakdown_with_zero_members(self):
+        ring = fddi_ring(mbps(100), n_stations=3)
+        analysis = TTPAnalysis(ring, FRAME)
+        result = breakdown_utilization(
+            self.make_mixed(), analysis, mbps(100)
+        )
+        assert result.saturated
+
+
+class TestSingleStation:
+    def test_pdp_single_stream(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=1)
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.STANDARD)
+        workload = MessageSet(
+            [SynchronousStream(period_s=0.05, payload_bits=10_000, station=0)]
+        )
+        assert analysis.is_schedulable(workload)
+        details = analysis.analyze(workload).details
+        assert len(details) == 1
+
+    def test_ttp_single_stream(self):
+        ring = fddi_ring(mbps(100), n_stations=1)
+        analysis = TTPAnalysis(ring, FRAME)
+        workload = MessageSet(
+            [SynchronousStream(period_s=0.05, payload_bits=10_000, station=0)]
+        )
+        assert analysis.is_schedulable(workload)
+
+    def test_single_station_ring_geometry(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=1)
+        assert ring.theta > 0
+
+
+class TestEqualPeriods:
+    def test_exact_test_handles_identical_periods(self):
+        test = ExactRMTest([0.05] * 5)
+        assert test.is_schedulable([0.009] * 5)
+        assert not test.is_schedulable([0.011] * 5)
+
+    def test_full_utilization_boundary(self):
+        """Equal periods: schedulable iff sum of costs <= period."""
+        test = ExactRMTest([1.0, 1.0, 1.0])
+        assert test.is_schedulable([0.4, 0.3, 0.3])
+        assert not test.is_schedulable([0.4, 0.3, 0.31])
+
+    def test_ttp_equal_periods(self):
+        ring = fddi_ring(mbps(100), n_stations=4)
+        analysis = TTPAnalysis(ring, FRAME)
+        workload = MessageSet(
+            SynchronousStream(period_s=0.05, payload_bits=50_000, station=i)
+            for i in range(4)
+        )
+        assert analysis.is_schedulable(workload)
+
+
+class TestOverheadFreeFrames:
+    FRAME0 = FrameFormat(info_bits=512, overhead_bits=0)
+
+    def test_pdp_augmented_still_floors_at_theta(self):
+        """Even with no overhead bits the header-return floor applies."""
+        ring = ieee_802_5_ring(mbps(1000), n_stations=10)
+        value = pdp_augmented_length(100.0, ring, self.FRAME0, PDPVariant.MODIFIED)
+        assert value >= ring.theta
+
+    def test_ttp_no_overhead_theorem(self):
+        ring = fddi_ring(mbps(100), n_stations=4)
+        analysis = TTPAnalysis(ring, self.FRAME0)
+        assert analysis.frame_overhead_time == 0.0
+        workload = MessageSet(
+            SynchronousStream(period_s=0.05, payload_bits=1000, station=i)
+            for i in range(4)
+        )
+        assert analysis.is_schedulable(workload)
+
+
+class TestExactTTRTMultiples:
+    def test_period_exactly_twice_ttrt(self):
+        """P = 2 TTRT gives q = 2, the minimum legal visit count."""
+        workload = MessageSet(
+            [SynchronousStream(period_s=0.020, payload_bits=1000, station=0)]
+        )
+        ring = fddi_ring(mbps(100), n_stations=1)
+        analysis = TTPAnalysis(ring, FRAME, FixedTTRT(0.010))
+        result = analysis.analyze(workload)
+        assert result.allocation is not None
+        assert result.allocation.token_visits == (2,)
+
+    def test_period_just_below_twice_ttrt(self):
+        workload = MessageSet(
+            [SynchronousStream(period_s=0.0199, payload_bits=1000, station=0)]
+        )
+        ring = fddi_ring(mbps(100), n_stations=1)
+        analysis = TTPAnalysis(ring, FRAME, FixedTTRT(0.010))
+        assert not analysis.is_schedulable(workload)
+
+
+class TestExtremeBandwidths:
+    def make_workload(self, n=4) -> MessageSet:
+        return MessageSet(
+            SynchronousStream(
+                period_s=milliseconds(40 + 20 * i), payload_bits=2000, station=i
+            )
+            for i in range(n)
+        )
+
+    def test_dialup_bandwidth(self):
+        """56 kbps: frames take ~11 ms each; the analyses stay coherent."""
+        ring = ieee_802_5_ring(kbps(56), n_stations=4)
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.MODIFIED)
+        result = analysis.analyze(self.make_workload())
+        assert result.worst_ratio > 0  # evaluates without blowing up
+
+    def test_terabit_bandwidth(self):
+        """At 1 Tbps everything is propagation-dominated; the PDP ceiling
+        collapses while the TTP remains viable."""
+        bandwidth = gbps(1000)
+        pdp = PDPAnalysis(
+            ieee_802_5_ring(bandwidth, n_stations=4), FRAME, PDPVariant.MODIFIED
+        )
+        ttp = TTPAnalysis(fddi_ring(bandwidth, n_stations=4), FRAME)
+        workload = self.make_workload()
+        pdp_scale, __ = breakdown_scale(workload, pdp, rel_tol=1e-3)
+        ttp_scale = ttp.saturation_scale(workload)
+        assert ttp_scale > pdp_scale
+
+    def test_theta_dominates_everything_at_terabit(self):
+        ring = ieee_802_5_ring(gbps(1000), n_stations=4)
+        assert ring.theta == pytest.approx(ring.propagation_delay_s, rel=1e-3)
+
+
+class TestFractionalPayloads:
+    def test_non_integer_bits_accepted(self):
+        """Monte Carlo scaling produces fractional bit counts; the whole
+        pipeline must treat them smoothly."""
+        workload = MessageSet(
+            [SynchronousStream(period_s=0.05, payload_bits=1234.5678, station=0)]
+        )
+        ring = ieee_802_5_ring(mbps(10), n_stations=1)
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.STANDARD)
+        assert analysis.is_schedulable(workload)
+        scale, __ = breakdown_scale(workload, analysis, rel_tol=1e-3)
+        assert scale > 1.0
+
+
+class TestRingWithZeroDistance:
+    def test_collocated_stations(self):
+        """Zero spacing (a backplane ring): propagation vanishes but the
+        bit-delay latency keeps Θ positive."""
+        ring = RingNetwork(
+            n_stations=8,
+            station_spacing_m=0.0,
+            station_bit_delay=4.0,
+            token_bits=24.0,
+            bandwidth_bps=mbps(10),
+        )
+        assert ring.propagation_delay_s == 0.0
+        assert ring.theta > 0.0
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.MODIFIED)
+        workload = MessageSet(
+            [SynchronousStream(period_s=0.05, payload_bits=8000, station=0)]
+        )
+        assert analysis.is_schedulable(workload)

@@ -1,0 +1,45 @@
+"""Smoke tests: every example runs clean and prints its key conclusions.
+
+Examples are the library's public face; a refactor that silently breaks
+them is a release-blocking regression even if the unit tests stay green.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "admission_control.py": ["admitted", "provably schedulable"],
+    "quickstart.py": ["SCHEDULABLE", "timed token (FDDI)"],
+    "figure1_reproduction.py": ["shape checks", "PASS"],
+    "avionics_bus.py": ["deadline misses: 0", "OK"],
+    "factory_cell.py": ["missed 0 deadlines", "frame-size tuning"],
+    "protocol_race.py": ["recommendation", "timed token protocol"],
+    "space_station.py": ["min bandwidth", "missed 0"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr}"
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (
+            f"{script} output missing {marker!r}:\n{result.stdout[-2000:]}"
+        )
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS), (
+        "examples/ and the smoke-test table are out of sync"
+    )

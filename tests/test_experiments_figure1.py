@@ -1,0 +1,95 @@
+"""Figure 1 harness: shape assertions at a scaled-down configuration.
+
+This is the headline reproduction test: on a small ring (fast enough for
+CI) every qualitative property of the paper's figure must hold.
+"""
+
+import pytest
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.figure1 import (
+    PAPER_BANDWIDTHS_MBPS,
+    Figure1Result,
+    run_figure1,
+)
+
+
+@pytest.fixture(scope="module")
+def figure1() -> Figure1Result:
+    params = PaperParameters().scaled_down(n_stations=16, monte_carlo_sets=8)
+    return run_figure1(params)
+
+
+class TestShape:
+    def test_all_shape_checks_pass(self, figure1):
+        report = figure1.shape_report()
+        failures = [name for name, ok in report.items() if not ok]
+        assert not failures, f"shape checks failed: {failures}"
+
+    def test_crossover_in_paper_band(self, figure1):
+        """The paper locates the handover between 10 and 100 Mbps; accept a
+        neighbouring grid point on either side for a small ring."""
+        crossover = figure1.crossover_bandwidth()
+        assert crossover is not None
+        assert 4.0 <= crossover <= 160.0
+
+    def test_pdp_peaks_in_low_mbps_decade(self, figure1):
+        assert 1.0 <= figure1.peak_bandwidth("pdp_standard") <= 63.0
+        assert 1.0 <= figure1.peak_bandwidth("pdp_modified") <= 100.0
+
+    def test_ttp_high_bandwidth_plateau(self, figure1):
+        """FDDI approaches but never exceeds full utilization."""
+        ttp = figure1.series("ttp")
+        assert 0.8 < ttp[-1] <= 1.0
+
+    def test_pdp_collapses_at_gigabit(self, figure1):
+        """Both 802.5 curves fall below 20% of their peak at 1 Gbps."""
+        for name in ("pdp_standard", "pdp_modified"):
+            series = figure1.series(name)
+            assert series[-1] < 0.25 * max(series)
+
+    def test_all_values_are_utilizations(self, figure1):
+        for name in ("pdp_standard", "pdp_modified", "ttp"):
+            assert all(0.0 <= v <= 1.0 for v in figure1.series(name))
+
+
+class TestDataset:
+    def test_grid_covered(self, figure1):
+        assert figure1.bandwidths == list(PAPER_BANDWIDTHS_MBPS)
+
+    def test_rows_align(self, figure1):
+        rows = figure1.rows()
+        assert len(rows) == len(PAPER_BANDWIDTHS_MBPS)
+        assert all(len(r) == 7 for r in rows)
+
+    def test_table_renders(self, figure1):
+        table = figure1.to_table()
+        assert "BW (Mbps)" in table
+        assert "FDDI" in table
+
+    def test_plot_renders(self, figure1):
+        plot = figure1.to_ascii_plot()
+        assert "Figure 1" in plot
+
+    def test_estimates_carry_uncertainty(self, figure1):
+        point = figure1.points[5]
+        assert point.pdp_modified.n_sets == 8
+        assert point.pdp_modified.stderr >= 0.0
+
+
+class TestDeterminism:
+    def test_same_parameters_same_result(self):
+        params = PaperParameters().scaled_down(n_stations=8, monte_carlo_sets=3)
+        a = run_figure1(params, bandwidths_mbps=(10.0, 100.0))
+        b = run_figure1(params, bandwidths_mbps=(10.0, 100.0))
+        assert a.points == b.points
+
+    def test_paired_sampling_across_protocols(self):
+        """All protocols at one bandwidth see identical workloads: the same
+        seed drives each estimate."""
+        params = PaperParameters().scaled_down(n_stations=8, monte_carlo_sets=3)
+        result = run_figure1(params, bandwidths_mbps=(100.0,))
+        point = result.points[0]
+        # Different protocols, same number of non-degenerate samples drawn
+        # from the same population (weak but cheap pairing evidence).
+        assert point.pdp_standard.n_sets == point.ttp.n_sets

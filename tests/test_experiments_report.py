@@ -1,0 +1,61 @@
+"""The one-shot markdown report generator."""
+
+import pytest
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.report import _markdown_table, generate_report
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = _markdown_table(["a", "b"], [[1.0, "x"]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1.0000 | x |"
+
+    def test_int_and_str_cells(self):
+        table = _markdown_table(["n"], [[3], ["word"]])
+        assert "| 3 |" in table
+        assert "| word |" in table
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> str:
+        params = PaperParameters().scaled_down(n_stations=6, monte_carlo_sets=3)
+        return generate_report(params, title="Test report")
+
+    def test_title_and_config(self, report):
+        assert report.startswith("# Test report")
+        assert "n=6 stations" in report
+
+    def test_all_sections_present(self, report):
+        for heading in (
+            "## Figure 1",
+            "## TTRT sensitivity",
+            "## Frame-size trade-off",
+            "## Period robustness",
+            "## SBA scheme comparison",
+            "## Ring-size sensitivity",
+            "## Throughput division",
+            "## Crossover frontier",
+        ):
+            assert heading in report, heading
+
+    def test_shape_checks_recorded(self, report):
+        assert report.count("PASS — ") + report.count("FAIL — ") == 6
+
+    def test_is_valid_markdown_tables(self, report):
+        """Every table row has the same column count as its header."""
+        lines = report.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("|---"):
+                header_cols = lines[index - 1].count("|")
+                probe = index + 1
+                while probe < len(lines) and lines[probe].startswith("|"):
+                    assert lines[probe].count("|") == header_cols
+                    probe += 1
+
+    def test_timing_footer(self, report):
+        assert "Generated in" in report

@@ -1,0 +1,82 @@
+"""Reporting helpers: tables, ASCII plots, CSV."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import ascii_plot, format_csv, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bb"], [[1.0, "x"], [2.5, "yy"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # All lines equal width-ish (header padding applied).
+        assert "1.0000" in lines[2]
+
+    def test_float_format(self):
+        table = format_table(["v"], [[0.123456]], float_format="{:.2f}")
+        assert "0.12" in table
+
+    def test_nan_rendering(self):
+        assert "nan" in format_table(["v"], [[float("nan")]])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1.0]])
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        plot = ascii_plot([1, 2, 3], {"up": [0.1, 0.2, 0.3]}, width=20, height=5)
+        assert "*" in plot
+        assert "up" in plot
+
+    def test_title(self):
+        plot = ascii_plot([1, 2], {"s": [1.0, 2.0]}, title="hello")
+        assert plot.startswith("hello")
+
+    def test_log_axis_labels(self):
+        plot = ascii_plot([1, 1000], {"s": [0.0, 1.0]}, logx=True)
+        assert "1e+03" in plot
+
+    def test_multiple_series_distinct_markers(self):
+        plot = ascii_plot(
+            [1, 2], {"a": [0.0, 0.1], "b": [1.0, 0.9]}, width=20, height=5
+        )
+        assert "*" in plot and "o" in plot
+
+    def test_nan_values_skipped(self):
+        plot = ascii_plot([1, 2, 3], {"s": [0.1, float("nan"), 0.3]})
+        assert plot  # renders without error
+
+    def test_constant_series_handled(self):
+        assert ascii_plot([1, 2], {"s": [0.5, 0.5]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([], {})
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot([1], {"s": [float("nan")]})
+
+
+class TestCSV:
+    def test_format(self):
+        text = format_csv(["a", "b"], [[1.5, "x"], [2.0, "y"]])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1.5,x"
+
+    def test_write(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ["v"], [[0.25]])
+        assert path.read_text() == "v\n0.25\n"

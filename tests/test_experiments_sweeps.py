@@ -1,0 +1,151 @@
+"""Ablation sweeps: structural checks and headline orderings (small scale)."""
+
+import pytest
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.sweeps import (
+    frame_size_sweep,
+    period_sweep,
+    ring_size_sweep,
+    sba_comparison,
+    ttrt_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def params() -> PaperParameters:
+    return PaperParameters().scaled_down(n_stations=10, monte_carlo_sets=5)
+
+
+class TestTTRTSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        small = PaperParameters().scaled_down(n_stations=10, monte_carlo_sets=5)
+        return ttrt_sweep(small, bandwidth_mbps=10.0)
+
+    def test_has_policy_rows(self, sweep):
+        policies = sweep.column("policy")
+        assert "sqrt-rule" in policies
+        assert "half-min" in policies
+        assert "optimal" in policies
+
+    def test_optimal_dominates_everything(self, sweep):
+        utils = dict(zip(sweep.column("policy"), sweep.column("avg breakdown util")))
+        best_other = max(v for k, v in utils.items() if k != "optimal")
+        assert utils["optimal"] >= best_other - 1e-6
+
+    def test_sqrt_rule_beats_half_min(self, sweep):
+        """The paper's Section 5.2 claim: values well below P_min/2 win."""
+        utils = dict(zip(sweep.column("policy"), sweep.column("avg breakdown util")))
+        assert utils["sqrt-rule"] > utils["half-min"]
+
+    def test_sensitivity_is_visible(self, sweep):
+        """Breakdown utilization varies strongly across TTRT values, with an
+        interior optimum (Section 5.2's sensitivity claim)."""
+        fixed = [
+            u
+            for p, u in zip(sweep.column("policy"), sweep.column("avg breakdown util"))
+            if str(p).startswith("fixed")
+        ]
+        assert max(fixed) > min(fixed) + 0.1
+        peak = fixed.index(max(fixed))
+        assert 0 < peak < len(fixed) - 1
+
+
+class TestFrameSizeSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        small = PaperParameters().scaled_down(n_stations=10, monte_carlo_sets=5)
+        return frame_size_sweep(
+            small, bandwidth_mbps=10.0, payload_bytes=(16, 64, 256, 1024)
+        )
+
+    def test_covers_both_variants(self, sweep):
+        variants = set(sweep.column("variant"))
+        assert variants == {"ieee-802.5", "modified-802.5"}
+
+    def test_interior_tradeoff_exists(self, sweep):
+        """Neither the smallest nor an extreme frame is uniformly best for
+        the standard protocol — the Section 4.2 trade-off."""
+        rows = [
+            (size, util)
+            for variant, size, util in zip(
+                sweep.column("variant"),
+                sweep.column("payload (bytes)"),
+                sweep.column("avg breakdown util"),
+            )
+            if variant == "ieee-802.5"
+        ]
+        utils = [u for _, u in rows]
+        assert max(utils) > utils[0]  # 16 B frames are not optimal
+
+
+class TestPeriodSweep:
+    def test_grid_complete(self, params):
+        sweep = period_sweep(
+            params, 10.0, mean_periods_s=(0.05, 0.1), ratios=(2.0, 10.0)
+        )
+        assert len(sweep.rows) == 4
+
+    def test_structural_claims_stable(self, params):
+        """The orderings that hold across every period configuration:
+        modified always dominates standard, and FDDI benefits from longer
+        periods (more rotations to amortize TTRT against)."""
+        sweep = period_sweep(
+            params, 2.0, mean_periods_s=(0.05, 0.1, 0.2), ratios=(2.0, 10.0)
+        )
+        for row in sweep.rows:
+            __, __, std, mod, __ = row
+            assert mod >= std - 1e-6
+        for ratio in (2.0, 10.0):
+            fddi_by_period = [
+                row[4] for row in sweep.rows if row[1] == ratio
+            ]
+            assert fddi_by_period == sorted(fddi_by_period)
+
+    def test_pdp_wins_low_bandwidth_at_short_periods(self, params):
+        """With the paper's ratio of 10 and short-to-moderate mean periods
+        the PDP dominates at 2 Mbps even on a small ring."""
+        sweep = period_sweep(
+            params, 2.0, mean_periods_s=(0.05, 0.1), ratios=(10.0,)
+        )
+        for row in sweep.rows:
+            __, __, std, mod, fddi = row
+            assert max(std, mod) > fddi
+
+
+class TestSBAComparison:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        small = PaperParameters().scaled_down(n_stations=10, monte_carlo_sets=5)
+        return sba_comparison(small, bandwidth_mbps=100.0)
+
+    def test_all_schemes_present(self, sweep):
+        names = set(sweep.column("scheme"))
+        assert names == {
+            "local",
+            "full-length",
+            "proportional",
+            "normalized-proportional",
+            "equal-partition",
+        }
+
+    def test_proportional_is_zero(self, sweep):
+        utils = dict(zip(sweep.column("scheme"), sweep.column("avg breakdown util")))
+        assert utils["proportional"] == 0.0
+
+    def test_local_is_competitive(self, sweep):
+        """The paper's chosen scheme is at or near the top of the family."""
+        utils = dict(zip(sweep.column("scheme"), sweep.column("avg breakdown util")))
+        best = max(utils.values())
+        assert utils["local"] >= 0.8 * best
+
+
+class TestRingSizeSweep:
+    def test_rows_per_size(self, params):
+        sweep = ring_size_sweep(params, 100.0, station_counts=(5, 10))
+        assert [row[0] for row in sweep.rows] == [5, 10]
+
+    def test_table_renders(self, params):
+        sweep = ring_size_sweep(params, 100.0, station_counts=(5,))
+        assert "stations" in sweep.to_table()

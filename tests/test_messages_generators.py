@@ -1,0 +1,150 @@
+"""Workload generators: period distribution algebra and sampler behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.messages.generators import (
+    MessageSetSampler,
+    PeriodDistribution,
+    equal_payload_weights,
+    period_proportional_payload_weights,
+    uniform_payload_weights,
+    uniform_period_bounds,
+)
+
+
+class TestPeriodBounds:
+    def test_paper_parameters(self):
+        """Mean 100 ms, ratio 10 -> [18.18, 181.8] ms."""
+        low, high = uniform_period_bounds(0.1, 10.0)
+        assert low == pytest.approx(0.2 / 11)
+        assert high == pytest.approx(10 * 0.2 / 11)
+
+    def test_mean_recovered(self):
+        low, high = uniform_period_bounds(0.1, 10.0)
+        assert (low + high) / 2 == pytest.approx(0.1)
+
+    def test_ratio_recovered(self):
+        low, high = uniform_period_bounds(0.25, 7.0)
+        assert high / low == pytest.approx(7.0)
+
+    def test_ratio_one_degenerates(self):
+        low, high = uniform_period_bounds(0.1, 1.0)
+        assert low == high == pytest.approx(0.1)
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ConfigurationError):
+            uniform_period_bounds(0.0, 10.0)
+
+    def test_rejects_ratio_below_one(self):
+        with pytest.raises(ConfigurationError):
+            uniform_period_bounds(0.1, 0.5)
+
+    @given(
+        mean=st.floats(min_value=1e-4, max_value=10.0),
+        ratio=st.floats(min_value=1.0, max_value=1e3),
+    )
+    def test_bounds_always_consistent(self, mean, ratio):
+        low, high = uniform_period_bounds(mean, ratio)
+        assert 0 < low <= high
+        assert (low + high) / 2 == pytest.approx(mean, rel=1e-9)
+
+
+class TestPeriodDistribution:
+    def test_samples_within_bounds(self):
+        dist = PeriodDistribution(mean_period_s=0.1, ratio=10.0)
+        rng = np.random.default_rng(0)
+        samples = dist.sample(rng, 1000)
+        low, high = dist.bounds
+        assert np.all(samples >= low)
+        assert np.all(samples <= high)
+
+    def test_sample_mean_near_target(self):
+        dist = PeriodDistribution(mean_period_s=0.1, ratio=10.0)
+        samples = dist.sample(np.random.default_rng(1), 20_000)
+        assert np.mean(samples) == pytest.approx(0.1, rel=0.02)
+
+    def test_equal_periods_when_ratio_one(self):
+        dist = PeriodDistribution(mean_period_s=0.05, ratio=1.0)
+        samples = dist.sample(np.random.default_rng(2), 10)
+        assert np.all(samples == 0.05)
+
+
+class TestWeightLaws:
+    def test_uniform_weights_positive(self):
+        rng = np.random.default_rng(3)
+        weights = uniform_payload_weights(rng, np.ones(1000))
+        assert np.all(weights > 0)
+        assert np.all(weights <= 1)
+
+    def test_equal_weights(self):
+        weights = equal_payload_weights(np.random.default_rng(4), np.ones(5))
+        assert np.all(weights == 1.0)
+
+    def test_proportional_weights(self):
+        periods = np.array([0.01, 0.02, 0.04])
+        weights = period_proportional_payload_weights(
+            np.random.default_rng(5), periods
+        )
+        assert np.allclose(weights, periods)
+
+
+class TestSampler:
+    def test_rejects_zero_streams(self):
+        with pytest.raises(ConfigurationError):
+            MessageSetSampler(
+                n_streams=0, periods=PeriodDistribution(0.1, 10.0)
+            )
+
+    def test_sample_shape(self, sampler, rng):
+        message_set = sampler.sample(rng)
+        assert len(message_set) == 8
+        assert [s.station for s in message_set] == list(range(8))
+
+    def test_deterministic_given_seed(self, sampler):
+        a = sampler.sample(np.random.default_rng(7))
+        b = sampler.sample(np.random.default_rng(7))
+        assert a == b
+
+    def test_different_seeds_differ(self, sampler):
+        a = sampler.sample(np.random.default_rng(7))
+        b = sampler.sample(np.random.default_rng(8))
+        assert a != b
+
+    def test_sample_many_independent(self, sampler, rng):
+        sets = sampler.sample_many(rng, 5)
+        assert len(sets) == 5
+        assert len({s for s in sets}) == 5  # all distinct
+
+    def test_sample_many_zero(self, sampler, rng):
+        assert sampler.sample_many(rng, 0) == []
+
+    def test_reference_payload_scale(self, rng):
+        sampler = MessageSetSampler(
+            n_streams=50,
+            periods=PeriodDistribution(0.1, 10.0),
+            reference_payload_bits=1000.0,
+        )
+        message_set = sampler.sample(rng)
+        mean_payload = np.mean(message_set.payloads_bits)
+        assert mean_payload == pytest.approx(1000.0, rel=1e-6)
+
+    def test_equal_weight_law(self, rng):
+        sampler = MessageSetSampler(
+            n_streams=4,
+            periods=PeriodDistribution(0.1, 1.0),
+            weight_law=equal_payload_weights,
+        )
+        message_set = sampler.sample(rng)
+        assert len(set(message_set.payloads_bits)) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_all_payloads_positive(self, seed):
+        sampler = MessageSetSampler(
+            n_streams=16, periods=PeriodDistribution(0.1, 10.0)
+        )
+        message_set = sampler.sample(np.random.default_rng(seed))
+        assert all(p > 0 for p in message_set.payloads_bits)

@@ -1,0 +1,103 @@
+"""MessageSet: sequence behaviour, aggregates, RM ordering."""
+
+import pytest
+
+from repro.errors import MessageSetError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.units import mbps, milliseconds
+
+
+def make_set() -> MessageSet:
+    return MessageSet(
+        [
+            SynchronousStream(period_s=milliseconds(40), payload_bits=4000, station=0),
+            SynchronousStream(period_s=milliseconds(10), payload_bits=1000, station=1),
+            SynchronousStream(period_s=milliseconds(20), payload_bits=2000, station=2),
+        ]
+    )
+
+
+class TestSequenceProtocol:
+    def test_len(self):
+        assert len(make_set()) == 3
+
+    def test_getitem(self):
+        assert make_set()[1].station == 1
+
+    def test_slice_returns_message_set(self):
+        subset = make_set()[:2]
+        assert isinstance(subset, MessageSet)
+        assert len(subset) == 2
+
+    def test_iteration_preserves_order(self):
+        assert [s.station for s in make_set()] == [0, 1, 2]
+
+    def test_equality_and_hash(self):
+        assert make_set() == make_set()
+        assert hash(make_set()) == hash(make_set())
+
+    def test_inequality(self):
+        assert make_set() != make_set().scaled(2.0)
+
+    def test_rejects_non_streams(self):
+        with pytest.raises(MessageSetError):
+            MessageSet([1, 2, 3])
+
+    def test_empty_set_allowed(self):
+        assert len(MessageSet([])) == 0
+
+
+class TestAggregates:
+    def test_periods(self):
+        assert make_set().periods == (0.040, 0.010, 0.020)
+
+    def test_payloads(self):
+        assert make_set().payloads_bits == (4000, 1000, 2000)
+
+    def test_min_max_period(self):
+        assert make_set().min_period == pytest.approx(0.010)
+        assert make_set().max_period == pytest.approx(0.040)
+
+    def test_min_period_empty_raises(self):
+        with pytest.raises(MessageSetError):
+            MessageSet([]).min_period
+
+    def test_utilization_equation_3(self):
+        # At 1 Mbps: 4000/40ms + 1000/10ms + 2000/20ms bits/s = 0.3.
+        assert make_set().utilization(mbps(1)) == pytest.approx(0.3)
+
+    def test_total_payload_bits(self):
+        assert make_set().total_payload_bits() == 7000
+
+
+class TestRateMonotonic:
+    def test_sorts_by_period(self):
+        ordered = make_set().rate_monotonic()
+        assert [s.period_s for s in ordered] == sorted(make_set().periods)
+
+    def test_ordered_check(self):
+        assert not make_set().is_rate_monotonic_ordered()
+        assert make_set().rate_monotonic().is_rate_monotonic_ordered()
+
+    def test_original_untouched(self):
+        original = make_set()
+        original.rate_monotonic()
+        assert [s.station for s in original] == [0, 1, 2]
+
+    def test_empty_is_trivially_ordered(self):
+        assert MessageSet([]).is_rate_monotonic_ordered()
+
+
+class TestTransformations:
+    def test_scaled(self):
+        doubled = make_set().scaled(2.0)
+        assert doubled.payloads_bits == (8000, 2000, 4000)
+        assert doubled.periods == make_set().periods
+
+    def test_scaled_utilization_linear(self):
+        assert make_set().scaled(0.5).utilization(mbps(1)) == pytest.approx(0.15)
+
+    def test_assigned_to_stations(self):
+        renumbered = make_set().rate_monotonic().assigned_to_stations()
+        assert [s.station for s in renumbered] == [0, 1, 2]

@@ -1,0 +1,64 @@
+"""Message-set transformations: scaling and utilization targeting."""
+
+import pytest
+
+from repro.errors import MessageSetError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.messages.transforms import scale_payloads, set_utilization, with_payloads
+from repro.units import mbps
+
+
+@pytest.fixture
+def workload() -> MessageSet:
+    return MessageSet(
+        [
+            SynchronousStream(period_s=0.01, payload_bits=1000, station=0),
+            SynchronousStream(period_s=0.02, payload_bits=3000, station=1),
+        ]
+    )
+
+
+class TestScalePayloads:
+    def test_scales_all(self, workload):
+        scaled = scale_payloads(workload, 3.0)
+        assert scaled.payloads_bits == (3000, 9000)
+
+    def test_zero_scale(self, workload):
+        assert scale_payloads(workload, 0.0).total_payload_bits() == 0
+
+
+class TestSetUtilization:
+    def test_hits_target(self, workload):
+        target = 0.42
+        adjusted = set_utilization(workload, mbps(1), target)
+        assert adjusted.utilization(mbps(1)) == pytest.approx(target)
+
+    def test_preserves_proportions(self, workload):
+        adjusted = set_utilization(workload, mbps(1), 0.5)
+        ratio_before = workload.payloads_bits[1] / workload.payloads_bits[0]
+        ratio_after = adjusted.payloads_bits[1] / adjusted.payloads_bits[0]
+        assert ratio_after == pytest.approx(ratio_before)
+
+    def test_zero_target(self, workload):
+        assert set_utilization(workload, mbps(1), 0.0).total_payload_bits() == 0
+
+    def test_rejects_negative_target(self, workload):
+        with pytest.raises(MessageSetError):
+            set_utilization(workload, mbps(1), -0.1)
+
+    def test_rejects_zero_set_positive_target(self, workload):
+        empty = workload.scaled(0.0)
+        with pytest.raises(MessageSetError):
+            set_utilization(empty, mbps(1), 0.5)
+
+
+class TestWithPayloads:
+    def test_replaces(self, workload):
+        replaced = with_payloads(workload, [7, 9])
+        assert replaced.payloads_bits == (7, 9)
+        assert replaced.periods == workload.periods
+
+    def test_length_mismatch_raises(self, workload):
+        with pytest.raises(MessageSetError):
+            with_payloads(workload, [1, 2, 3])

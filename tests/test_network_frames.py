@@ -1,0 +1,121 @@
+"""FrameFormat: sizes, times, and the K_i / L_i splitting arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.frames import FrameFormat
+
+
+@pytest.fixture
+def fmt() -> FrameFormat:
+    return FrameFormat(info_bits=512, overhead_bits=112)
+
+
+class TestConstruction:
+    def test_rejects_zero_info(self):
+        with pytest.raises(ConfigurationError):
+            FrameFormat(info_bits=0, overhead_bits=112)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            FrameFormat(info_bits=512, overhead_bits=-1)
+
+    def test_zero_overhead_allowed(self):
+        fmt = FrameFormat(info_bits=512, overhead_bits=0)
+        assert fmt.overhead_fraction == 0.0
+
+    def test_is_frozen(self, fmt):
+        with pytest.raises(AttributeError):
+            fmt.info_bits = 1024
+
+
+class TestSizes:
+    def test_total_bits(self, fmt):
+        assert fmt.total_bits == 624
+
+    def test_overhead_fraction(self, fmt):
+        assert fmt.overhead_fraction == pytest.approx(112 / 624)
+
+
+class TestTimes:
+    def test_frame_time(self, fmt):
+        assert fmt.frame_time(1e6) == pytest.approx(624e-6)
+
+    def test_info_time(self, fmt):
+        assert fmt.info_time(1e6) == pytest.approx(512e-6)
+
+    def test_overhead_time(self, fmt):
+        assert fmt.overhead_time(1e6) == pytest.approx(112e-6)
+
+    def test_partial_frame_time(self, fmt):
+        assert fmt.partial_frame_time(100, 1e6) == pytest.approx(212e-6)
+
+    def test_partial_frame_rejects_oversized_payload(self, fmt):
+        with pytest.raises(ConfigurationError):
+            fmt.partial_frame_time(513, 1e6)
+
+
+class TestSplit:
+    def test_empty_message(self, fmt):
+        split = fmt.split(0)
+        assert split.total_frames == 0
+        assert split.full_frames == 0
+        assert split.last_frame_info_bits == 0.0
+        assert not split.has_short_last_frame
+
+    def test_exact_single_frame(self, fmt):
+        split = fmt.split(512)
+        assert (split.full_frames, split.total_frames) == (1, 1)
+        assert split.last_frame_info_bits == 512
+        assert not split.has_short_last_frame
+
+    def test_one_bit_over_a_frame(self, fmt):
+        split = fmt.split(513)
+        assert (split.full_frames, split.total_frames) == (1, 2)
+        assert split.last_frame_info_bits == pytest.approx(1.0)
+        assert split.has_short_last_frame
+
+    def test_tiny_message(self, fmt):
+        split = fmt.split(1)
+        assert (split.full_frames, split.total_frames) == (0, 1)
+        assert split.has_short_last_frame
+
+    def test_exact_multiple(self, fmt):
+        split = fmt.split(512 * 7)
+        assert (split.full_frames, split.total_frames) == (7, 7)
+
+    def test_rejects_negative_payload(self, fmt):
+        with pytest.raises(ConfigurationError):
+            fmt.split(-1)
+
+    def test_frames_needed_matches_split(self, fmt):
+        assert fmt.frames_needed(1500) == fmt.split(1500).total_frames
+
+    def test_message_wire_bits(self, fmt):
+        # 1500 bits -> 3 frames -> 1500 + 3*112 wire bits.
+        assert fmt.message_wire_bits(1500) == 1500 + 3 * 112
+
+    @given(payload=st.floats(min_value=0.0, max_value=1e7,
+                             allow_nan=False, allow_infinity=False))
+    def test_split_invariants(self, payload):
+        """K_i is L_i or L_i + 1; payload is conserved across frames."""
+        fmt = FrameFormat(info_bits=512, overhead_bits=112)
+        split = fmt.split(payload)
+        assert split.total_frames in (split.full_frames, split.full_frames + 1)
+        if payload > 0:
+            assert split.total_frames >= 1
+            reconstructed = (
+                split.full_frames * 512 + split.last_frame_info_bits
+                if split.has_short_last_frame
+                else split.full_frames * 512
+            )
+            assert reconstructed == pytest.approx(payload, rel=1e-9)
+
+    @given(
+        payload=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        bump=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_frames_needed_monotone(self, payload, bump):
+        fmt = FrameFormat(info_bits=512, overhead_bits=112)
+        assert fmt.frames_needed(payload + bump) >= fmt.frames_needed(payload)

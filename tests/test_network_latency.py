@@ -1,0 +1,86 @@
+"""Latency decomposition and the wasted-bandwidth analysis of Section 6.2."""
+
+import pytest
+
+from repro.network.frames import FrameFormat
+from repro.network.latency import (
+    effective_frame_time,
+    latency_breakdown,
+    theta_crossover_bandwidth,
+    wasted_fraction_high_bandwidth,
+    wasted_fraction_low_bandwidth,
+)
+from repro.network.standards import ieee_802_5_ring, paper_frame_format
+from repro.units import mbps
+
+
+@pytest.fixture
+def frame() -> FrameFormat:
+    return paper_frame_format()
+
+
+class TestBreakdown:
+    def test_components_sum_to_theta(self, frame):
+        ring = ieee_802_5_ring(mbps(10))
+        decomposition = latency_breakdown(ring)
+        assert decomposition.theta == pytest.approx(
+            decomposition.propagation
+            + decomposition.station_latency
+            + decomposition.token_time
+        )
+
+    def test_latency_bits_match_ring(self):
+        ring = ieee_802_5_ring(mbps(10))
+        assert latency_breakdown(ring).latency_bits == ring.latency_bits
+
+
+class TestEffectiveFrameTime:
+    def test_low_bandwidth_frame_dominates(self, frame):
+        ring = ieee_802_5_ring(mbps(1))
+        assert effective_frame_time(ring, frame) == pytest.approx(
+            frame.frame_time(ring.bandwidth_bps)
+        )
+
+    def test_high_bandwidth_theta_dominates(self, frame):
+        ring = ieee_802_5_ring(mbps(1000))
+        assert effective_frame_time(ring, frame) == pytest.approx(ring.theta)
+
+
+class TestWastedFractions:
+    def test_low_bandwidth_fraction_is_constant(self, frame):
+        # F_ovhd / F_info is bandwidth independent.
+        assert wasted_fraction_low_bandwidth(frame) == pytest.approx(112 / 512)
+
+    def test_high_bandwidth_fraction_grows(self, frame):
+        fractions = [
+            wasted_fraction_high_bandwidth(ieee_802_5_ring(mbps(b)), frame)
+            for b in (100, 300, 1000)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_high_bandwidth_fraction_approaches_one(self, frame):
+        ring = ieee_802_5_ring(1e13)
+        assert wasted_fraction_high_bandwidth(ring, frame) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestCrossover:
+    def test_crossover_separates_regimes(self, frame):
+        """Below the crossover bandwidth F > Θ; above it Θ > F."""
+        ring = ieee_802_5_ring(mbps(10))
+        crossover = theta_crossover_bandwidth(ring, frame)
+        below = ring.with_bandwidth(crossover * 0.5)
+        above = ring.with_bandwidth(crossover * 2.0)
+        assert frame.frame_time(below.bandwidth_bps) > below.theta
+        assert frame.frame_time(above.bandwidth_bps) < above.theta
+
+    def test_crossover_in_plausible_range(self, frame):
+        """For the paper's ring the F = Θ handover is in the Mbps decade."""
+        ring = ieee_802_5_ring(mbps(10))
+        crossover = theta_crossover_bandwidth(ring, frame)
+        assert mbps(1) < crossover < mbps(100)
+
+    def test_infinite_when_frame_never_dominates(self):
+        # Q (424 latency bits) exceeds the whole frame: always Θ > F.
+        ring = ieee_802_5_ring(mbps(10))
+        tiny = FrameFormat(info_bits=64, overhead_bits=16)
+        assert theta_crossover_bandwidth(ring, tiny) == float("inf")

@@ -1,0 +1,63 @@
+"""Standard presets: the constants of the paper's Section 6.2."""
+
+import pytest
+
+from repro.network.standards import (
+    FDDI_STATION_BIT_DELAY,
+    FDDI_TOKEN_BITS,
+    IEEE_802_5_STATION_BIT_DELAY,
+    IEEE_802_5_TOKEN_BITS,
+    PAPER_FRAME_OVERHEAD_BITS,
+    fddi_ring,
+    ieee_802_5_ring,
+    paper_frame_format,
+)
+from repro.units import mbps
+
+
+class TestConstants:
+    def test_paper_bit_delays(self):
+        assert IEEE_802_5_STATION_BIT_DELAY == 4.0
+        assert FDDI_STATION_BIT_DELAY == 75.0
+
+    def test_paper_overhead(self):
+        assert PAPER_FRAME_OVERHEAD_BITS == 112.0
+
+    def test_token_lengths(self):
+        assert IEEE_802_5_TOKEN_BITS == 24.0
+        assert FDDI_TOKEN_BITS == 88.0
+
+
+class TestPresets:
+    def test_802_5_defaults(self):
+        ring = ieee_802_5_ring(mbps(4))
+        assert ring.n_stations == 100
+        assert ring.station_spacing_m == 100.0
+        assert ring.station_bit_delay == 4.0
+        assert ring.velocity_factor == 0.75
+        assert ring.bandwidth_bps == mbps(4)
+
+    def test_fddi_defaults(self):
+        ring = fddi_ring(mbps(100))
+        assert ring.station_bit_delay == 75.0
+        assert ring.token_bits == 88.0
+
+    def test_fddi_has_larger_theta_same_bandwidth(self):
+        """FDDI interfaces buffer more bits, so Θ_FDDI > Θ_802.5."""
+        assert fddi_ring(mbps(10)).theta > ieee_802_5_ring(mbps(10)).theta
+
+    def test_custom_station_count(self):
+        assert ieee_802_5_ring(mbps(10), n_stations=16).n_stations == 16
+
+    def test_frame_format_paper_values(self):
+        frame = paper_frame_format()
+        assert frame.info_bits == 512.0
+        assert frame.overhead_bits == 112.0
+
+    def test_frame_format_custom_payload(self):
+        assert paper_frame_format(payload_bytes=128).info_bits == 1024.0
+
+    def test_propagation_magnitude(self):
+        """10 km of fiber at 0.75c is ~44.5 µs — the constant P of eq. 14."""
+        ring = ieee_802_5_ring(mbps(10))
+        assert ring.propagation_delay_s == pytest.approx(44.5e-6, rel=0.01)

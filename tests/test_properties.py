@@ -1,0 +1,187 @@
+"""Cross-module property tests (hypothesis) — the library's invariants.
+
+Where the per-module tests pin values, these pin *relationships* that must
+hold across arbitrary workloads and network configurations:
+
+1. schedulability is monotone in payloads, bandwidth helps TTP, etc.;
+2. every analysis agrees with its own closed forms and reports;
+3. simulators conserve messages and never complete a message early.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.breakdown import breakdown_scale
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.frames import FrameFormat
+from repro.network.standards import fddi_ring, ieee_802_5_ring
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig
+from repro.sim.traffic import SynchronousTraffic
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+from repro.units import mbps
+
+
+FRAME = FrameFormat(info_bits=512, overhead_bits=112)
+
+
+@st.composite
+def workloads(draw, max_streams=6):
+    """Random message sets with periods 10–300 ms and mixed payloads."""
+    n = draw(st.integers(min_value=1, max_value=max_streams))
+    streams = []
+    for i in range(n):
+        period = draw(st.floats(min_value=0.01, max_value=0.3))
+        payload = draw(st.floats(min_value=1.0, max_value=200_000.0))
+        streams.append(
+            SynchronousStream(period_s=period, payload_bits=payload, station=i)
+        )
+    return MessageSet(streams)
+
+
+bandwidths = st.sampled_from([2.0, 10.0, 50.0, 200.0, 1000.0])
+
+
+class TestSchedulabilityMonotonicity:
+    @settings(max_examples=80, deadline=None)
+    @given(workload=workloads(), bandwidth=bandwidths,
+           variant=st.sampled_from(list(PDPVariant)))
+    def test_pdp_shrinking_preserves(self, workload, bandwidth, variant):
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(bandwidth), n_stations=len(workload)),
+            FRAME, variant,
+        )
+        if analysis.is_schedulable(workload):
+            assert analysis.is_schedulable(workload.scaled(0.3))
+
+    @settings(max_examples=80, deadline=None)
+    @given(workload=workloads(), bandwidth=bandwidths)
+    def test_ttp_shrinking_preserves(self, workload, bandwidth):
+        analysis = TTPAnalysis(
+            fddi_ring(mbps(bandwidth), n_stations=len(workload)), FRAME
+        )
+        if analysis.is_schedulable(workload):
+            assert analysis.is_schedulable(workload.scaled(0.3))
+
+    @settings(max_examples=60, deadline=None)
+    @given(workload=workloads())
+    def test_ttp_bandwidth_helps(self, workload):
+        """A TTP-schedulable set stays schedulable at 10x the bandwidth
+        (payloads fixed in bits: higher bandwidth strictly shrinks C_i and
+        δ while TTRT selection adapts)."""
+        slow = TTPAnalysis(
+            fddi_ring(mbps(20), n_stations=len(workload)), FRAME
+        )
+        fast = TTPAnalysis(
+            fddi_ring(mbps(200), n_stations=len(workload)), FRAME
+        )
+        if slow.is_schedulable(workload):
+            assert fast.is_schedulable(workload)
+
+    @settings(max_examples=60, deadline=None)
+    @given(workload=workloads(), bandwidth=bandwidths)
+    def test_modified_accepts_standard_sets(self, workload, bandwidth):
+        ring = ieee_802_5_ring(mbps(bandwidth), n_stations=len(workload))
+        std = PDPAnalysis(ring, FRAME, PDPVariant.STANDARD)
+        mod = PDPAnalysis(ring, FRAME, PDPVariant.MODIFIED)
+        if std.is_schedulable(workload):
+            assert mod.is_schedulable(workload)
+
+
+class TestClosedFormAgreement:
+    @settings(max_examples=40, deadline=None)
+    @given(workload=workloads(), bandwidth=bandwidths)
+    def test_ttp_boundary_is_exact(self, workload, bandwidth):
+        """saturation_scale is a true boundary of is_schedulable."""
+        analysis = TTPAnalysis(
+            fddi_ring(mbps(bandwidth), n_stations=len(workload)), FRAME
+        )
+        scale = analysis.saturation_scale(workload)
+        if scale == 0.0:
+            assert not analysis.is_schedulable(workload.scaled(1e-9))
+        elif scale != float("inf"):
+            assert analysis.is_schedulable(workload.scaled(scale * (1 - 1e-9)))
+            assert not analysis.is_schedulable(workload.scaled(scale * (1 + 1e-6)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(workload=workloads(max_streams=4), bandwidth=bandwidths,
+           variant=st.sampled_from(list(PDPVariant)))
+    def test_pdp_breakdown_brackets(self, workload, bandwidth, variant):
+        """The bisected PDP breakdown scale is a genuine boundary."""
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(bandwidth), n_stations=len(workload)),
+            FRAME, variant,
+        )
+        scale, _ = breakdown_scale(workload, analysis, rel_tol=1e-4)
+        if 0.0 < scale < float("inf"):
+            assert analysis.is_schedulable(workload.scaled(scale))
+            assert not analysis.is_schedulable(workload.scaled(scale * 1.001))
+
+    @settings(max_examples=40, deadline=None)
+    @given(workload=workloads(), bandwidth=bandwidths,
+           variant=st.sampled_from(list(PDPVariant)))
+    def test_analyze_report_matches_verdict(self, workload, bandwidth, variant):
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(bandwidth), n_stations=len(workload)),
+            FRAME, variant,
+        )
+        result = analysis.analyze(workload)
+        assert result.schedulable == analysis.is_schedulable(workload)
+        assert result.schedulable == (result.worst_ratio <= 1.0 + 1e-12)
+
+
+class TestSimulatorConservation:
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads(max_streams=4), seed=st.integers(0, 100))
+    def test_pdp_message_accounting(self, workload, seed):
+        """Completions never exceed arrivals, and every stream's counters
+        are bounded by its own arrival count."""
+        ring = ieee_802_5_ring(mbps(50), n_stations=len(workload))
+        simulator = PDPRingSimulator(
+            ring, FRAME, workload, PDPSimConfig(phasing_seed=seed)
+        )
+        duration = 2.1 * workload.max_period
+        report = simulator.run(duration)
+        arrivals = SynchronousTraffic(workload).arrivals_until(duration)
+        per_stream_arrivals = [0] * len(workload)
+        for arrival in arrivals:
+            per_stream_arrivals[arrival.stream_index] += 1
+        assert report.total_completed <= len(arrivals)
+        for stream_stats, count in zip(report.streams, per_stream_arrivals):
+            assert stream_stats.completed <= count
+            # missed = late completions + unfinished; both bounded.
+            assert stream_stats.missed <= count
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads(max_streams=4))
+    def test_ttp_busy_time_bounded(self, workload):
+        """Medium accounting never exceeds wall-clock simulated time."""
+        ring = fddi_ring(mbps(100), n_stations=len(workload))
+        analysis = TTPAnalysis(ring, FRAME)
+        result = analysis.analyze(workload)
+        if result.allocation is None:
+            return
+        simulator = TTPRingSimulator(
+            ring, FRAME, workload, result.allocation, TTPSimConfig()
+        )
+        duration = 2.0 * workload.max_period
+        report = simulator.run(duration)
+        total_busy = (
+            report.sync_busy_time + report.async_busy_time + report.token_time
+        )
+        # The final in-flight transmission may straddle the horizon, so
+        # allow one rotation of slack.
+        assert total_busy <= duration + result.allocation.ttrt_s + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(workload=workloads(max_streams=4))
+    def test_responses_never_negative(self, workload):
+        ring = ieee_802_5_ring(mbps(50), n_stations=len(workload))
+        simulator = PDPRingSimulator(ring, FRAME, workload, PDPSimConfig())
+        report = simulator.run(1.5 * workload.max_period)
+        for stream in report.streams:
+            assert stream.max_response >= 0.0
+            assert stream.total_response >= 0.0

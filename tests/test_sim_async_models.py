@@ -1,0 +1,175 @@
+"""Poisson asynchronous traffic and response-sample collection."""
+
+import pytest
+
+from repro.analysis.ttp import TTPAnalysis
+from repro.errors import ConfigurationError, SimulationError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig
+from repro.sim.traffic import PoissonAsyncTraffic
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+from repro.units import mbps, milliseconds
+
+
+FRAME = paper_frame_format()
+
+
+def make_set(n=3) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(30 + 20 * i), payload_bits=4000, station=i
+        )
+        for i in range(n)
+    )
+
+
+class TestPoissonGenerator:
+    def test_arrival_rate_matches_load(self):
+        traffic = PoissonAsyncTraffic(offered_load=0.4, frame_bits=624, seed=1)
+        bandwidth = mbps(10)
+        arrivals = traffic.arrivals_until(5.0, 8, bandwidth)
+        frame_time = 624 / bandwidth
+        measured_load = len(arrivals) * frame_time / 5.0
+        assert measured_load == pytest.approx(0.4, rel=0.1)
+
+    def test_sorted_and_bounded(self):
+        traffic = PoissonAsyncTraffic(offered_load=0.2, frame_bits=624, seed=2)
+        arrivals = traffic.arrivals_until(1.0, 4, mbps(10))
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < 1.0 for t in times)
+        assert all(0 <= s < 4 for _, s in arrivals)
+
+    def test_zero_load_empty(self):
+        traffic = PoissonAsyncTraffic(offered_load=0.0, frame_bits=624)
+        assert traffic.arrivals_until(1.0, 4, mbps(10)) == []
+
+    def test_deterministic_per_seed(self):
+        a = PoissonAsyncTraffic(0.3, 624, seed=5).arrivals_until(1.0, 4, mbps(10))
+        b = PoissonAsyncTraffic(0.3, 624, seed=5).arrivals_until(1.0, 4, mbps(10))
+        assert a == b
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            PoissonAsyncTraffic(offered_load=-0.1, frame_bits=624)
+        with pytest.raises(ConfigurationError):
+            PoissonAsyncTraffic(offered_load=0.1, frame_bits=0)
+
+
+class TestPDPPoissonMode:
+    def test_mutually_exclusive_with_saturating(self):
+        with pytest.raises(ConfigurationError):
+            PDPSimConfig(
+                async_saturating=True,
+                async_poisson=PoissonAsyncTraffic(0.2, 624),
+            )
+
+    def test_async_utilization_tracks_offered_load(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=3)
+        simulator = PDPRingSimulator(
+            ring, FRAME, make_set(),
+            PDPSimConfig(
+                async_saturating=False,
+                async_poisson=PoissonAsyncTraffic(0.3, 624, seed=3),
+            ),
+        )
+        report = simulator.run(2.0)
+        # Light sync load: offered async should nearly all get through.
+        assert report.async_utilization == pytest.approx(0.3, abs=0.08)
+        assert report.deadline_safe
+
+    def test_lighter_than_saturating(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=3)
+        poisson = PDPRingSimulator(
+            ring, FRAME, make_set(),
+            PDPSimConfig(
+                async_saturating=False,
+                async_poisson=PoissonAsyncTraffic(0.2, 624, seed=3),
+            ),
+        ).run(1.0)
+        saturating = PDPRingSimulator(
+            ring, FRAME, make_set(), PDPSimConfig(async_saturating=True)
+        ).run(1.0)
+        assert poisson.async_utilization < saturating.async_utilization
+
+
+class TestTTPPoissonMode:
+    def build(self, config: TTPSimConfig):
+        ring = fddi_ring(mbps(100), n_stations=3)
+        workload = make_set()
+        analysis = TTPAnalysis(ring, FRAME)
+        allocation = analysis.allocate(workload)
+        return TTPRingSimulator(ring, FRAME, workload, allocation, config)
+
+    def test_mutually_exclusive_with_saturating(self):
+        with pytest.raises(ConfigurationError):
+            TTPSimConfig(
+                async_saturating=True,
+                async_poisson=PoissonAsyncTraffic(0.2, 624),
+            )
+
+    def test_async_utilization_tracks_offered_load(self):
+        simulator = self.build(
+            TTPSimConfig(
+                async_saturating=False,
+                async_poisson=PoissonAsyncTraffic(0.25, 624, seed=4),
+            )
+        )
+        report = simulator.run(2.0)
+        assert report.async_utilization == pytest.approx(0.25, abs=0.06)
+        assert report.deadline_safe
+
+
+class TestResponseCollection:
+    def test_pdp_collects_samples(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=3)
+        simulator = PDPRingSimulator(
+            ring, FRAME, make_set(), PDPSimConfig(collect_responses=True)
+        )
+        report = simulator.run(1.0)
+        for stats in report.streams:
+            assert len(stats.responses) == stats.completed
+            assert stats.response_percentile(100) == pytest.approx(
+                stats.max_response
+            )
+            assert stats.response_percentile(0) <= stats.response_percentile(99)
+
+    def test_collection_off_by_default(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=3)
+        report = PDPRingSimulator(
+            ring, FRAME, make_set(), PDPSimConfig()
+        ).run(0.3)
+        assert report.streams[0].responses == []
+        with pytest.raises(SimulationError):
+            report.streams[0].response_percentile(50)
+
+    def test_sample_limit_respected(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=3)
+        simulator = PDPRingSimulator(
+            ring, FRAME, make_set(),
+            PDPSimConfig(collect_responses=True, response_sample_limit=5),
+        )
+        report = simulator.run(2.0)
+        for stats in report.streams:
+            assert len(stats.responses) <= 5
+
+    def test_ttp_collects_samples(self):
+        ring = fddi_ring(mbps(100), n_stations=3)
+        workload = make_set()
+        analysis = TTPAnalysis(ring, FRAME)
+        simulator = TTPRingSimulator(
+            ring, FRAME, workload, analysis.allocate(workload),
+            TTPSimConfig(collect_responses=True),
+        )
+        report = simulator.run(1.0)
+        assert any(stats.responses for stats in report.streams)
+
+    def test_percentile_validates_range(self):
+        from repro.sim.trace import DeadlineStats
+
+        stats = DeadlineStats(stream_index=0, sample_limit=10)
+        stats.record_completion(0.0, 1.0, 0.5)
+        with pytest.raises(SimulationError):
+            stats.response_percentile(101)

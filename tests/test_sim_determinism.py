@@ -1,0 +1,175 @@
+"""Determinism and kernel-fuzzing tests.
+
+Reproducibility is a core promise of the library: identical
+configurations must yield bit-identical simulation reports, and the event
+kernel must maintain its ordering invariants under arbitrary
+schedule/cancel interleavings.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.pdp import PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim.engine import Simulator
+from repro.sim.ieee8025 import IEEE8025Config, IEEE8025Simulator
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig
+from repro.sim.traffic import ArrivalPhasing
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+from repro.units import mbps, milliseconds
+
+
+FRAME = paper_frame_format()
+
+
+def make_set(n=4) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(25 + 15 * i), payload_bits=6000, station=i
+        )
+        for i in range(n)
+    )
+
+
+def report_fingerprint(report) -> tuple:
+    """A hashable digest of everything observable in a report."""
+    return (
+        report.duration,
+        report.sync_busy_time,
+        report.async_busy_time,
+        report.token_time,
+        tuple(
+            (s.completed, s.missed, s.max_response, s.total_response)
+            for s in report.streams
+        ),
+        tuple((r.count, r.total, r.maximum) for r in report.rotations),
+    )
+
+
+class TestSimulatorDeterminism:
+    def test_pdp_identical_runs(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=4)
+
+        def run():
+            simulator = PDPRingSimulator(
+                ring, FRAME, make_set(),
+                PDPSimConfig(phasing=ArrivalPhasing.RANDOM, phasing_seed=9),
+            )
+            return simulator.run(0.4)
+
+        assert report_fingerprint(run()) == report_fingerprint(run())
+
+    def test_ttp_identical_runs(self):
+        ring = fddi_ring(mbps(100), n_stations=4)
+        workload = make_set()
+        allocation = TTPAnalysis(ring, FRAME).allocate(workload)
+
+        def run():
+            simulator = TTPRingSimulator(
+                ring, FRAME, workload, allocation, TTPSimConfig()
+            )
+            return simulator.run(0.4)
+
+        assert report_fingerprint(run()) == report_fingerprint(run())
+
+    def test_ieee8025_identical_runs(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=4)
+
+        def run():
+            simulator = IEEE8025Simulator(
+                ring, FRAME, make_set(),
+                IEEE8025Config(variant=PDPVariant.MODIFIED),
+            )
+            return simulator.run(0.4)
+
+        assert report_fingerprint(run()) == report_fingerprint(run())
+
+    def test_different_phasing_seeds_differ(self):
+        ring = ieee_802_5_ring(mbps(10), n_stations=4)
+
+        def run(seed):
+            simulator = PDPRingSimulator(
+                ring, FRAME, make_set(),
+                PDPSimConfig(phasing=ArrivalPhasing.RANDOM, phasing_seed=seed),
+            )
+            return simulator.run(0.4)
+
+        assert report_fingerprint(run(1)) != report_fingerprint(run(2))
+
+
+class TestKernelFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        plan=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),
+                st.booleans(),  # cancel this event later?
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_only_uncancelled_fire_in_order(self, plan):
+        sim = Simulator()
+        fired: list[tuple[float, int]] = []
+        handles = []
+        for index, (time, cancel) in enumerate(plan):
+            handle = sim.schedule(
+                time, lambda s, i=index, t=time: fired.append((t, i))
+            )
+            handles.append((handle, cancel))
+        for handle, cancel in handles:
+            if cancel:
+                handle.cancel()
+        sim.run()
+
+        expected = sorted(
+            (time, index)
+            for index, (time, cancel) in enumerate(plan)
+            if not cancel
+        )
+        assert sorted(fired) == expected
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30
+        )
+    )
+    def test_chained_scheduling_monotone_clock(self, delays):
+        sim = Simulator()
+        observed: list[float] = []
+        queue = list(delays)
+
+        def step(simulator):
+            observed.append(simulator.now)
+            if queue:
+                simulator.schedule_after(queue.pop(), step)
+
+        sim.schedule(0.0, step)
+        sim.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays) + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=20
+        ),
+        horizon=st.floats(min_value=0.0, max_value=5.0),
+    )
+    def test_run_until_partition(self, times, horizon):
+        """Events split cleanly into fired-before and pending-after."""
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, lambda s, tt=t: fired.append(tt))
+        sim.run_until(horizon)
+        assert sorted(fired) == sorted(t for t in times if t <= horizon)
+        assert sim.pending_events() == sum(1 for t in times if t > horizon)

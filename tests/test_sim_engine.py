@@ -1,0 +1,144 @@
+"""The discrete-event kernel: ordering, cancellation, budgets."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda s: log.append("b"))
+        sim.schedule(1.0, lambda s: log.append("a"))
+        sim.schedule(3.0, lambda s: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for name in "abcd":
+            sim.schedule(1.0, lambda s, n=name: log.append(n))
+        sim.run()
+        assert log == ["a", "b", "c", "d"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda s: seen.append(s.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_schedule_after(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda s: s.schedule_after(0.5, lambda s2: seen.append(s2.now)))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_rejects_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule(0.5, lambda s: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-1.0, lambda s: None)
+
+    def test_events_from_events(self):
+        """Cascading events (the token-passing pattern) run to exhaustion."""
+        sim = Simulator()
+        count = [0]
+
+        def hop(simulator):
+            count[0] += 1
+            if count[0] < 100:
+                simulator.schedule_after(0.1, hop)
+
+        sim.schedule(0.0, hop)
+        sim.run()
+        assert count[0] == 100
+        assert sim.now == pytest.approx(9.9)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        log = []
+        handle = sim.schedule(1.0, lambda s: log.append("x"))
+        handle.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self):
+        handle = Simulator().schedule(1.0, lambda s: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None).cancel()
+        assert sim.pending_events() == 1
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda s: log.append(1))
+        sim.schedule(5.0, lambda s: log.append(5))
+        sim.run_until(2.0)
+        assert log == [1]
+        assert sim.now == 2.0
+
+    def test_later_events_survive(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda s: log.append(5))
+        sim.run_until(2.0)
+        sim.run_until(10.0)
+        assert log == [5]
+
+    def test_rejects_backwards_horizon(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def loop(simulator):
+            simulator.schedule_after(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_run_budget(self):
+        sim = Simulator()
+
+        def loop(simulator):
+            simulator.schedule_after(0.1, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)
+
+
+class TestIntrospection:
+    def test_events_processed(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda s: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

@@ -1,0 +1,117 @@
+"""Property tests for the protocol-faithful 802.5 simulator.
+
+Randomized workloads exercise the priority/reservation/stacking machinery
+far beyond the hand-built cases: the protocol invariants (enforced
+internally) must never trip, accounting must stay conserved, and the
+faithful model must respect the same analytical envelopes as the
+abstract one wherever margin exists.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.breakdown import breakdown_scale
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import ieee_802_5_ring, paper_frame_format
+from repro.sim.ieee8025 import (
+    IEEE8025Config,
+    IEEE8025Simulator,
+    assign_service_levels,
+)
+from repro.sim.traffic import ArrivalPhasing, SynchronousTraffic
+from repro.units import mbps
+
+
+FRAME = paper_frame_format()
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    streams = []
+    for i in range(n):
+        period = draw(st.floats(min_value=0.02, max_value=0.2))
+        payload = draw(st.floats(min_value=100.0, max_value=60_000.0))
+        streams.append(
+            SynchronousStream(period_s=period, payload_bits=payload, station=i)
+        )
+    return MessageSet(streams)
+
+
+class TestLevelAssignmentProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(workload=workloads(), levels=st.integers(min_value=2, max_value=16))
+    def test_levels_in_range_and_monotone(self, workload, levels):
+        """Sync levels stay in [1, L-1] and never invert the RM order."""
+        assigned = assign_service_levels(workload, levels)
+        assert all(1 <= lv <= levels - 1 for lv in assigned)
+        ranked = sorted(
+            range(len(workload)),
+            key=lambda i: (
+                workload[i].period_s,
+                workload[i].payload_bits,
+                workload[i].station,
+            ),
+        )
+        ranked_levels = [assigned[i] for i in ranked]
+        assert ranked_levels == sorted(ranked_levels, reverse=True)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        workload=workloads(),
+        phasing=st.sampled_from(list(ArrivalPhasing)),
+        variant=st.sampled_from(list(PDPVariant)),
+    )
+    def test_accounting_conserved(self, workload, phasing, variant):
+        """Busy times fill the horizon (saturating async), completions
+        never exceed arrivals, and the internal protocol invariants
+        (priority-stack bound) never trip."""
+        ring = ieee_802_5_ring(mbps(16), n_stations=len(workload))
+        simulator = IEEE8025Simulator(
+            ring, FRAME, workload,
+            IEEE8025Config(variant=variant, phasing=phasing),
+        )
+        duration = 1.2 * workload.max_period
+        report = simulator.run(duration)
+
+        arrivals = len(SynchronousTraffic(workload, phasing).arrivals_until(duration))
+        assert report.total_completed <= arrivals
+        occupied = (
+            report.sync_busy_time + report.async_busy_time + report.token_time
+        )
+        # The last in-flight frame may straddle the horizon.
+        slack = max(FRAME.frame_time(ring.bandwidth_bps), ring.theta)
+        assert occupied <= duration + slack
+        assert occupied >= 0.9 * duration  # saturating async: no idling
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_margin_sets_stay_clean(self, seed):
+        """Random sets at half their analytic breakdown never miss in the
+        faithful simulator with ample priority levels."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        workload = MessageSet(
+            SynchronousStream(
+                period_s=float(rng.uniform(0.03, 0.15)),
+                payload_bits=float(rng.uniform(1000, 30_000)),
+                station=i,
+            )
+            for i in range(n)
+        )
+        ring = ieee_802_5_ring(mbps(16), n_stations=n)
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.STANDARD)
+        scale, __ = breakdown_scale(workload, analysis, rel_tol=1e-3)
+        if not (0 < scale < float("inf")):
+            return
+        near = workload.scaled(scale * 0.5)
+        simulator = IEEE8025Simulator(
+            ring, FRAME, near, IEEE8025Config(n_priority_levels=32)
+        )
+        report = simulator.run(2.0 * near.max_period)
+        assert report.deadline_safe

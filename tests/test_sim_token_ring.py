@@ -1,0 +1,147 @@
+"""Shared ring plumbing: geometry, message records, station queues."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import ieee_802_5_ring
+from repro.sim.token_ring import (
+    PendingMessage,
+    RingGeometry,
+    StationQueue,
+    build_station_queues,
+)
+from repro.units import mbps
+
+
+@pytest.fixture
+def geometry() -> RingGeometry:
+    return RingGeometry(ieee_802_5_ring(mbps(10), n_stations=10))
+
+
+class TestGeometry:
+    def test_hops_downstream(self, geometry):
+        assert geometry.hops(2, 5) == 3
+
+    def test_hops_wrap_around(self, geometry):
+        assert geometry.hops(8, 2) == 4
+
+    def test_hops_same_station(self, geometry):
+        assert geometry.hops(3, 3) == 0
+
+    def test_hops_range_check(self, geometry):
+        with pytest.raises(SimulationError):
+            geometry.hops(0, 10)
+
+    def test_zero_hop_walk_is_free(self, geometry):
+        assert geometry.token_walk_time(4, 4) == 0.0
+
+    def test_full_lap_costs_theta(self, geometry):
+        """n-1 hops + 1 hop = full lap; walking to the predecessor and one
+        more hop should sum to Θ (one walk + one token emission each)."""
+        ring = geometry.ring
+        lap_via_hops = geometry.token_walk_time(0, 9) + geometry.token_walk_time(9, 0)
+        # Two journeys pay the token emission twice; one full lap pays once.
+        assert lap_via_hops == pytest.approx(ring.walk_time + 2 * ring.token_time)
+
+    def test_walk_time_proportional_to_hops(self, geometry):
+        one = geometry.token_walk_time(0, 1)
+        three = geometry.token_walk_time(0, 3)
+        ring = geometry.ring
+        assert three - one == pytest.approx(2 * ring.walk_time / 10)
+
+
+class TestPendingMessage:
+    def make(self, payload=1000.0) -> PendingMessage:
+        return PendingMessage(
+            stream_index=0,
+            station=2,
+            arrival_time=1.0,
+            deadline=1.5,
+            payload_bits=payload,
+            remaining_bits=payload,
+            priority=3,
+        )
+
+    def test_not_complete_initially(self):
+        assert not self.make().complete
+
+    def test_consume_partial(self):
+        message = self.make()
+        message.consume(400)
+        assert message.remaining_bits == 600
+        assert not message.complete
+
+    def test_consume_to_completion(self):
+        message = self.make()
+        message.consume(1000)
+        assert message.complete
+
+    def test_consume_clamps_at_zero(self):
+        message = self.make()
+        message.consume(5000)
+        assert message.remaining_bits == 0.0
+
+    def test_consume_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            self.make().consume(-1)
+
+    def test_zero_payload_complete(self):
+        assert self.make(payload=0.0).complete
+
+
+class TestStationQueue:
+    def test_push_and_head(self):
+        queue = StationQueue(station=2)
+        message = PendingMessage(0, 2, 0.0, 1.0, 100, 100, 0)
+        queue.push(message)
+        assert queue.head() is message
+        assert len(queue) == 1
+
+    def test_push_wrong_station_rejected(self):
+        queue = StationQueue(station=2)
+        with pytest.raises(SimulationError):
+            queue.push(PendingMessage(0, 3, 0.0, 1.0, 100, 100, 0))
+
+    def test_fifo_order(self):
+        queue = StationQueue(station=0)
+        first = PendingMessage(0, 0, 0.0, 1.0, 100, 100, 0)
+        second = PendingMessage(0, 0, 0.5, 1.5, 100, 100, 0)
+        queue.push(first)
+        queue.push(second)
+        assert queue.head() is first
+
+    def test_pop_complete_only_when_done(self):
+        queue = StationQueue(station=0)
+        message = PendingMessage(0, 0, 0.0, 1.0, 100, 100, 0)
+        queue.push(message)
+        assert queue.pop_complete() is None
+        message.consume(100)
+        assert queue.pop_complete() is message
+        assert len(queue) == 0
+
+    def test_backlog(self):
+        queue = StationQueue(station=0)
+        queue.push(PendingMessage(0, 0, 0.0, 1.0, 100, 100, 0))
+        queue.push(PendingMessage(0, 0, 0.0, 1.0, 200, 150, 0))
+        assert queue.backlog_bits == 250
+
+    def test_empty_queue_head_none(self):
+        assert StationQueue(station=0).head() is None
+
+
+class TestBuildQueues:
+    def test_one_queue_per_station(self):
+        message_set = MessageSet(
+            [SynchronousStream(period_s=0.1, payload_bits=10, station=1)]
+        )
+        queues = build_station_queues(message_set, 4)
+        assert [q.station for q in queues] == [0, 1, 2, 3]
+
+    def test_rejects_station_overflow(self):
+        message_set = MessageSet(
+            [SynchronousStream(period_s=0.1, payload_bits=10, station=9)]
+        )
+        with pytest.raises(SimulationError):
+            build_station_queues(message_set, 4)

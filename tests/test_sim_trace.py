@@ -1,0 +1,96 @@
+"""Instrumentation records: deadline stats, rotations, reports."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.trace import DeadlineStats, RotationStats, SimulationReport
+
+
+class TestDeadlineStats:
+    def test_on_time_completion(self):
+        stats = DeadlineStats(stream_index=0)
+        stats.record_completion(arrival=1.0, deadline=2.0, completion=1.5)
+        assert stats.completed == 1
+        assert stats.missed == 0
+        assert stats.max_response == pytest.approx(0.5)
+
+    def test_late_completion_is_miss(self):
+        stats = DeadlineStats(stream_index=0)
+        stats.record_completion(arrival=1.0, deadline=2.0, completion=2.5)
+        assert stats.completed == 1
+        assert stats.missed == 1
+
+    def test_unfinished_is_miss(self):
+        stats = DeadlineStats(stream_index=0)
+        stats.record_unfinished()
+        assert stats.missed == 1
+        assert stats.completed == 0
+
+    def test_mean_response(self):
+        stats = DeadlineStats(stream_index=0)
+        stats.record_completion(0.0, 1.0, 0.2)
+        stats.record_completion(1.0, 2.0, 1.6)
+        assert stats.mean_response == pytest.approx(0.4)
+
+    def test_mean_response_empty(self):
+        assert DeadlineStats(stream_index=0).mean_response == 0.0
+
+    def test_rejects_time_travel(self):
+        with pytest.raises(SimulationError):
+            DeadlineStats(stream_index=0).record_completion(2.0, 3.0, 1.0)
+
+
+class TestRotationStats:
+    def test_record(self):
+        stats = RotationStats(station=0)
+        stats.record(0.01)
+        stats.record(0.03)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx(0.02)
+        assert stats.maximum == pytest.approx(0.03)
+        assert stats.minimum == pytest.approx(0.01)
+
+    def test_empty_mean(self):
+        assert RotationStats(station=0).mean == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            RotationStats(station=0).record(-0.1)
+
+
+class TestSimulationReport:
+    def make_report(self) -> SimulationReport:
+        good = DeadlineStats(stream_index=0)
+        good.record_completion(0.0, 1.0, 0.5)
+        bad = DeadlineStats(stream_index=1)
+        bad.record_completion(0.0, 1.0, 1.5)
+        rotation = RotationStats(station=0)
+        rotation.record(0.02)
+        return SimulationReport(
+            duration=10.0,
+            streams=[good, bad],
+            rotations=[rotation],
+            sync_busy_time=4.0,
+            async_busy_time=3.0,
+            token_time=1.0,
+        )
+
+    def test_totals(self):
+        report = self.make_report()
+        assert report.total_completed == 2
+        assert report.total_missed == 1
+        assert not report.deadline_safe
+
+    def test_utilizations(self):
+        report = self.make_report()
+        assert report.sync_utilization == pytest.approx(0.4)
+        assert report.async_utilization == pytest.approx(0.3)
+
+    def test_max_rotation(self):
+        assert self.make_report().max_rotation == pytest.approx(0.02)
+
+    def test_empty_report_is_safe(self):
+        report = SimulationReport(duration=1.0)
+        assert report.deadline_safe
+        assert report.max_rotation == 0.0
+        assert report.sync_utilization == 0.0

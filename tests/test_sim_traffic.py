@@ -1,0 +1,100 @@
+"""Traffic generation: phasings, priorities, arrival streams."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.sim.traffic import ArrivalPhasing, SynchronousTraffic
+
+
+@pytest.fixture
+def workload() -> MessageSet:
+    return MessageSet(
+        [
+            SynchronousStream(period_s=0.030, payload_bits=100, station=0),
+            SynchronousStream(period_s=0.010, payload_bits=200, station=1),
+            SynchronousStream(period_s=0.020, payload_bits=300, station=2),
+        ]
+    )
+
+
+class TestOffsets:
+    def test_simultaneous_all_zero(self, workload):
+        traffic = SynchronousTraffic(workload, ArrivalPhasing.SIMULTANEOUS)
+        assert traffic.offsets() == [0.0, 0.0, 0.0]
+
+    def test_staggered_spread(self, workload):
+        traffic = SynchronousTraffic(workload, ArrivalPhasing.STAGGERED)
+        offsets = traffic.offsets()
+        assert offsets[0] == 0.0
+        assert all(0 <= o < p for o, p in zip(offsets, workload.periods))
+
+    def test_random_within_period(self, workload):
+        traffic = SynchronousTraffic(workload, ArrivalPhasing.RANDOM, seed=3)
+        offsets = traffic.offsets()
+        assert all(0 <= o < p for o, p in zip(offsets, workload.periods))
+
+    def test_random_deterministic_per_seed(self, workload):
+        a = SynchronousTraffic(workload, ArrivalPhasing.RANDOM, seed=3).offsets()
+        b = SynchronousTraffic(workload, ArrivalPhasing.RANDOM, seed=3).offsets()
+        assert a == b
+
+
+class TestPriorities:
+    def test_rm_order(self, workload):
+        # Periods (30, 10, 20) ms -> priorities (2, 0, 1).
+        traffic = SynchronousTraffic(workload)
+        assert traffic.priorities() == [2, 0, 1]
+
+    def test_unique(self, workload):
+        priorities = SynchronousTraffic(workload).priorities()
+        assert sorted(priorities) == [0, 1, 2]
+
+    def test_ties_broken_deterministically(self):
+        tied = MessageSet(
+            [
+                SynchronousStream(period_s=0.01, payload_bits=100, station=0),
+                SynchronousStream(period_s=0.01, payload_bits=100, station=1),
+            ]
+        )
+        assert SynchronousTraffic(tied).priorities() == [0, 1]
+
+
+class TestArrivals:
+    def test_counts_match_periods(self, workload):
+        traffic = SynchronousTraffic(workload)
+        arrivals = traffic.arrivals_until(0.060)
+        by_stream = [0, 0, 0]
+        for a in arrivals:
+            by_stream[a.stream_index] += 1
+        assert by_stream == [2, 6, 3]
+
+    def test_sorted_by_time(self, workload):
+        arrivals = SynchronousTraffic(workload).arrivals_until(0.1)
+        times = [a.arrival_time for a in arrivals]
+        assert times == sorted(times)
+
+    def test_deadlines_are_period_ends(self, workload):
+        arrivals = SynchronousTraffic(workload).arrivals_until(0.1)
+        for a in arrivals:
+            period = workload[a.stream_index].period_s
+            assert a.deadline == pytest.approx(a.arrival_time + period)
+
+    def test_priority_carried(self, workload):
+        arrivals = SynchronousTraffic(workload).arrivals_until(0.02)
+        priorities = SynchronousTraffic(workload).priorities()
+        for a in arrivals:
+            assert a.priority == priorities[a.stream_index]
+
+    def test_rejects_negative_horizon(self, workload):
+        with pytest.raises(ConfigurationError):
+            SynchronousTraffic(workload).arrivals_until(-1.0)
+
+    def test_empty_horizon(self, workload):
+        assert SynchronousTraffic(workload).arrivals_until(0.0) == []
+
+    def test_payload_initialized(self, workload):
+        arrivals = SynchronousTraffic(workload).arrivals_until(0.01)
+        for a in arrivals:
+            assert a.remaining_bits == a.payload_bits

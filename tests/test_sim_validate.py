@@ -1,0 +1,102 @@
+"""Analysis-versus-simulation cross checks over random workloads.
+
+These are the soundness tests of the whole reproduction: for workloads
+randomly drawn from the paper's distributions and scaled near the analysis
+boundary, a theorem-accepted configuration must never miss a deadline in
+adversarial simulation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.analysis.breakdown import breakdown_scale
+from repro.messages.generators import MessageSetSampler, PeriodDistribution
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim.validate import cross_validate_pdp, cross_validate_ttp
+from repro.units import mbps
+
+
+FRAME = paper_frame_format()
+SAMPLER = MessageSetSampler(
+    n_streams=6, periods=PeriodDistribution(mean_period_s=0.08, ratio=5.0)
+)
+
+
+class TestPDPCrossValidation:
+    @pytest.mark.parametrize("variant", list(PDPVariant))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_consistency_near_boundary(self, variant, seed):
+        """Scale each random set to 90% of its breakdown point and check the
+        simulator confirms the guarantee."""
+        rng = np.random.default_rng(seed)
+        message_set = SAMPLER.sample(rng)
+        ring = ieee_802_5_ring(mbps(16), n_stations=len(message_set))
+        analysis = PDPAnalysis(ring, FRAME, variant)
+        scale, _ = breakdown_scale(message_set, analysis, rel_tol=1e-3)
+        if not (0 < scale < float("inf")):
+            pytest.skip("degenerate sample")
+        near = message_set.scaled(scale * 0.9)
+        validation = cross_validate_pdp(analysis, near, duration_periods=3.0)
+        assert validation.analysis_schedulable
+        assert validation.consistent
+        assert validation.report.deadline_safe
+
+    def test_wildly_unschedulable_sets_miss(self):
+        """Far beyond breakdown, the simulator must observe misses (the
+        criteria are not vacuously conservative)."""
+        rng = np.random.default_rng(7)
+        message_set = SAMPLER.sample(rng)
+        ring = ieee_802_5_ring(mbps(16), n_stations=len(message_set))
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.MODIFIED)
+        scale, _ = breakdown_scale(message_set, analysis, rel_tol=1e-3)
+        heavy = message_set.scaled(scale * 3.0)
+        validation = cross_validate_pdp(analysis, heavy, duration_periods=3.0)
+        assert not validation.analysis_schedulable
+        assert not validation.report.deadline_safe
+        assert validation.consistent  # consistency only binds the accept side
+
+
+class TestTTPCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_consistency_near_boundary(self, seed):
+        rng = np.random.default_rng(seed)
+        message_set = SAMPLER.sample(rng)
+        ring = fddi_ring(mbps(100), n_stations=len(message_set))
+        analysis = TTPAnalysis(ring, FRAME)
+        scale = analysis.saturation_scale(message_set)
+        if not (0 < scale < float("inf")):
+            pytest.skip("degenerate sample")
+        near = message_set.scaled(scale * 0.9)
+        validation = cross_validate_ttp(analysis, near, duration_periods=3.0)
+        assert validation.analysis_schedulable
+        assert validation.consistent
+        assert validation.report.deadline_safe
+
+    def test_rotation_bound_in_validation_runs(self):
+        rng = np.random.default_rng(11)
+        message_set = SAMPLER.sample(rng)
+        ring = fddi_ring(mbps(100), n_stations=len(message_set))
+        analysis = TTPAnalysis(ring, FRAME)
+        scale = analysis.saturation_scale(message_set)
+        near = message_set.scaled(scale * 0.9)
+        result = analysis.analyze(near)
+        validation = cross_validate_ttp(analysis, near, duration_periods=3.0)
+        assert validation.report.max_rotation <= 2 * result.allocation.ttrt_s + 1e-9
+
+    def test_unallocatable_set_handled(self):
+        """q_i < 2 sets produce a clean 'no allocation' validation record."""
+        from repro.analysis.ttrt import FixedTTRT
+        from repro.messages.message_set import MessageSet
+        from repro.messages.stream import SynchronousStream
+
+        workload = MessageSet(
+            [SynchronousStream(period_s=0.05, payload_bits=100, station=0)]
+        )
+        ring = fddi_ring(mbps(100), n_stations=1)
+        analysis = TTPAnalysis(ring, FRAME, FixedTTRT(0.04))
+        validation = cross_validate_ttp(analysis, workload)
+        assert not validation.analysis_schedulable
+        assert validation.consistent
+        assert validation.report.duration == 0.0

@@ -1,0 +1,122 @@
+"""Unit conversion helpers: exact values and input validation."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestDataSizes:
+    def test_bits_is_identity(self):
+        assert units.bits(512) == 512.0
+
+    def test_bytes_to_bits(self):
+        assert units.bytes_to_bits(64) == 512.0
+
+    def test_bits_to_bytes_roundtrip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(1500)) == 1500.0
+
+    def test_kilobits(self):
+        assert units.kilobits(2) == 2_000.0
+
+    def test_megabits(self):
+        assert units.megabits(1.5) == 1_500_000.0
+
+
+class TestBandwidth:
+    def test_mbps(self):
+        assert units.mbps(100) == 1e8
+
+    def test_gbps(self):
+        assert units.gbps(1) == 1e9
+
+    def test_kbps(self):
+        assert units.kbps(56) == 56_000.0
+
+    def test_bps_to_mbps_roundtrip(self):
+        assert units.bps_to_mbps(units.mbps(16)) == 16.0
+
+
+class TestTime:
+    def test_seconds_is_identity(self):
+        assert units.seconds(2.5) == 2.5
+
+    def test_milliseconds(self):
+        assert units.milliseconds(100) == pytest.approx(0.1)
+
+    def test_microseconds(self):
+        assert units.microseconds(250) == pytest.approx(250e-6)
+
+    def test_nanoseconds(self):
+        assert units.nanoseconds(1) == pytest.approx(1e-9)
+
+    def test_seconds_to_ms(self):
+        assert units.seconds_to_ms(0.02) == pytest.approx(20.0)
+
+    def test_seconds_to_us(self):
+        assert units.seconds_to_us(1e-3) == pytest.approx(1000.0)
+
+
+class TestDistance:
+    def test_meters_identity(self):
+        assert units.meters(100) == 100.0
+
+    def test_kilometers(self):
+        assert units.kilometers(10) == 10_000.0
+
+
+class TestTransmissionTime:
+    def test_simple_case(self):
+        # 1000 bits at 1 Mbps = 1 ms.
+        assert units.transmission_time(1000, 1e6) == pytest.approx(1e-3)
+
+    def test_zero_size_is_instant(self):
+        assert units.transmission_time(0, 1e6) == 0.0
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0.0)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, -5.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(-1, 1e6)
+
+
+class TestPropagationDelay:
+    def test_speed_of_light_constant(self):
+        assert units.SPEED_OF_LIGHT == pytest.approx(2.998e8, rel=1e-3)
+
+    def test_full_speed(self):
+        delay = units.propagation_delay(units.SPEED_OF_LIGHT)
+        assert delay == pytest.approx(1.0)
+
+    def test_velocity_factor(self):
+        # At 0.75c a 10 km ring takes 10000 / (0.75 * c) seconds.
+        expected = 10_000 / (0.75 * units.SPEED_OF_LIGHT)
+        assert units.propagation_delay(10_000, 0.75) == pytest.approx(expected)
+
+    def test_paper_ring_magnitude(self):
+        # 100 stations x 100 m at 0.75c is roughly 44 microseconds.
+        delay = units.propagation_delay(10_000, 0.75)
+        assert 40e-6 < delay < 50e-6
+
+    def test_zero_distance(self):
+        assert units.propagation_delay(0.0) == 0.0
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            units.propagation_delay(-1.0)
+
+    def test_rejects_bad_velocity_factor(self):
+        with pytest.raises(ValueError):
+            units.propagation_delay(100.0, 0.0)
+        with pytest.raises(ValueError):
+            units.propagation_delay(100.0, 1.5)
+
+    def test_velocity_factor_of_one_allowed(self):
+        assert math.isfinite(units.propagation_delay(100.0, 1.0))
