@@ -2,7 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples report fast-report figure1 all-experiments clean
+.PHONY: help install test bench bench-quick examples report fast-report figure1 all-experiments clean
+
+help:
+	@echo "Targets:"
+	@echo "  install          editable install of the package"
+	@echo "  test             run the unit test suite"
+	@echo "  bench            run every benchmark"
+	@echo "  bench-quick      perf canary: single Figure-1 point + analysis"
+	@echo "                   micro-benches -> BENCH_figure1.json (tracked"
+	@echo "                   across PRs for the perf trajectory)"
+	@echo "  examples         run every example script"
+	@echo "  figure1          full Figure 1 run, CSV output"
+	@echo "  report           full markdown report"
+	@echo "  fast-report      scaled-down report (seconds, same shapes)"
+	@echo "  all-experiments  every experiment at paper scale"
+	@echo "  clean            remove build artifacts and caches"
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +27,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	$(PYTHON) -m pytest \
+		benchmarks/test_bench_figure1.py::test_bench_figure1_single_point \
+		benchmarks/test_bench_analysis_micro.py \
+		--benchmark-only --benchmark-json=BENCH_figure1.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -10,6 +10,8 @@ printed as fixed-width tables alongside the timings.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments.config import PaperParameters
@@ -26,3 +28,14 @@ def bench_params() -> PaperParameters:
 def paper_params() -> PaperParameters:
     """The paper's full configuration (used only by opt-in slow benches)."""
     return PaperParameters()
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    """Worker processes for the experiment-grid benches.
+
+    Defaults to 1 (pure single-process timings, comparable across
+    machines); set ``REPRO_BENCH_JOBS`` to benchmark the parallel
+    executor — the reproduced numbers are identical either way.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))

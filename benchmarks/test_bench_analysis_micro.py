@@ -69,3 +69,42 @@ def test_bench_ttp_schedulability_100(benchmark):
     analysis = TTPAnalysis(fddi_ring(mbps(100)), FRAME)
     workload = _workload(100)
     benchmark(analysis.is_schedulable, workload)
+
+
+def test_bench_batch_lsd_evaluation_64x100(benchmark):
+    """64 cost vectors through one stacked is_schedulable_batch call."""
+    workload = _workload(100).rate_monotonic()
+    test = ExactRMTest(workload.periods)
+    base = np.asarray(workload.payloads_bits) / mbps(10)
+    scales = np.linspace(0.1, 3.0, 64)
+    costs = scales[:, None] * base[None, :]
+    benchmark(test.is_schedulable_batch, costs, 0.001)
+
+
+def test_bench_vectorized_augmented_lengths_64x100(benchmark):
+    """The vectorized C'_i kernel over a (64, 100) payload matrix."""
+    from repro.analysis.pdp import pdp_augmented_lengths
+
+    ring = ieee_802_5_ring(mbps(10))
+    payloads = np.asarray(_workload(100).payloads_bits)
+    scales = np.linspace(0.1, 3.0, 64)
+    matrix = scales[:, None] * payloads[None, :]
+    benchmark(
+        pdp_augmented_lengths, matrix, ring, FRAME, PDPVariant.STANDARD
+    )
+
+
+def test_bench_lockstep_bisection_10x20(benchmark):
+    """Batched saturation search over ten 20-stream sets in lockstep."""
+    from repro.analysis.breakdown import breakdown_scales_batch
+
+    analysis = PDPAnalysis(
+        ieee_802_5_ring(mbps(10), n_stations=20), FRAME, PDPVariant.MODIFIED
+    )
+    sampler = MessageSetSampler(
+        n_streams=20, periods=PeriodDistribution(mean_period_s=0.1, ratio=10.0)
+    )
+    workloads = sampler.sample_many(np.random.default_rng(0), 10)
+    benchmark(
+        lambda: breakdown_scales_batch(workloads, analysis, rel_tol=1e-3)
+    )

@@ -10,10 +10,14 @@ from __future__ import annotations
 from repro.experiments.figure1 import run_figure1
 
 
-def test_bench_figure1(benchmark, bench_params):
+def test_bench_figure1(benchmark, bench_params, bench_jobs):
     """Full three-protocol bandwidth sweep, 1–1000 Mbps."""
     result = benchmark.pedantic(
-        run_figure1, args=(bench_params,), rounds=1, iterations=1
+        run_figure1,
+        args=(bench_params,),
+        kwargs={"jobs": bench_jobs},
+        rounds=1,
+        iterations=1,
     )
 
     print()

@@ -17,7 +17,9 @@ which :func:`breakdown_scale` will use instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
 
 from repro.errors import MessageSetError
 from repro.messages.message_set import MessageSet
@@ -25,9 +27,12 @@ from repro.messages.message_set import MessageSet
 __all__ = [
     "SchedulabilityPredicate",
     "SupportsSaturationScale",
+    "SupportsBatchScaleProbe",
     "BreakdownResult",
     "breakdown_scale",
+    "breakdown_scales_batch",
     "breakdown_utilization",
+    "breakdown_utilizations_batch",
 ]
 
 #: A predicate deciding whether a message set is schedulable.
@@ -40,6 +45,27 @@ class SupportsSaturationScale(Protocol):
 
     def saturation_scale(self, message_set: MessageSet) -> float:
         """Largest payload scale that keeps ``message_set`` schedulable."""
+        ...  # pragma: no cover - protocol definition
+
+    def is_schedulable(self, message_set: MessageSet) -> bool:
+        """The ordinary schedulability test."""
+        ...  # pragma: no cover - protocol definition
+
+
+@runtime_checkable
+class SupportsBatchScaleProbe(Protocol):
+    """Analyses that can evaluate many (set, payload-scale) probes at once.
+
+    ``scale_prober(message_sets)`` prepares per-set state once and returns
+    ``probe(indices, scales) -> verdicts``; the lockstep batched bisection
+    issues one such call per search step instead of one scalar predicate
+    call per set per step.
+    """
+
+    def scale_prober(
+        self, message_sets: Sequence[MessageSet]
+    ) -> Callable[[Sequence[int], np.ndarray], np.ndarray]:
+        """Prepare a batched payload-scale predicate over ``message_sets``."""
         ...  # pragma: no cover - protocol definition
 
     def is_schedulable(self, message_set: MessageSet) -> bool:
@@ -153,6 +179,215 @@ def breakdown_scale(
     return _bisect_scale(message_set, test, rel_tol, max_doublings)
 
 
+# -- lockstep batched search --------------------------------------------------
+
+# Phases of the per-set search state machine.  The transitions replicate
+# _bisect_scale step for step, so the batched search returns bit-identical
+# scales as running breakdown_scale on each set independently.
+_INIT, _UP, _DOWN, _BISECT, _ZERO, _DONE = range(6)
+
+#: Speculative doubling probes per bracketing step.  The bracket phase
+#: asks for several successive doublings (or halvings) in one batched
+#: call and walks the verdicts sequentially, discarding the tail once the
+#: bracket closes.  Deep speculation here is cheap relative to the
+#: per-call overhead it removes: paper-scale sets rarely need more than
+#: a handful of doublings, so most of the chain resolves in one step.
+_SPEC_DOUBLINGS = 12
+
+#: Speculative bisection depth: each step probes the full dyadic
+#: candidate tree of this many future bisection levels in one batched
+#: call (2^levels - 1 scales), then replays the sequential walk over the
+#: precomputed verdicts.  The exact-test structure matrix — the dominant
+#: memory traffic at paper scale — is read once per *step* instead of
+#: once per level.  Five levels (31 candidate scales) resolves a
+#: rel_tol=1e-3 bisection in two steps; deeper trees waste FLOPs.
+_SPEC_BISECT_LEVELS = 5
+
+
+def _bisect_candidates(lo: float, hi: float, levels: int) -> list[float]:
+    """Every midpoint the next ``levels`` sequential bisection steps could
+    visit, in breadth-first order (children of index ``j`` at ``2j+1``,
+    ``2j+2``).
+
+    Each point is computed with the identical float expression the scalar
+    loop uses — ``(a + b) / 2.0`` on the walked bracket — so replaying
+    the walk over these candidates reproduces its iterates bit for bit.
+    """
+    brackets = [(lo, hi)]
+    points: list[float] = []
+    for _ in range(levels):
+        next_brackets: list[tuple[float, float]] = []
+        for a, b in brackets:
+            mid = (a + b) / 2.0
+            points.append(mid)
+            next_brackets.append((a, mid))
+            next_brackets.append((mid, b))
+        brackets = next_brackets
+    return points
+
+
+def _lockstep_bisect(
+    message_sets: Sequence[MessageSet],
+    predicate: SupportsBatchScaleProbe,
+    rel_tol: float,
+    max_doublings: int,
+) -> list[tuple[float, int]]:
+    """Advance every set's bracket simultaneously, one batched call per step.
+
+    Each step emits a *speculative chunk* of scales per active set — the
+    next few doublings while bracketing, the dyadic candidate tree while
+    bisecting — so one batched predicate call covers several sequential
+    iterations.  The walk over the returned verdicts replays
+    ``_bisect_scale`` exactly and discards unused speculation, which keeps
+    the scales bit-identical to the scalar search; only the reported
+    evaluation counts include the extra speculative probes.
+    """
+    n = len(message_sets)
+    probe = predicate.scale_prober(message_sets)
+    phase = [
+        _ZERO if ms.total_payload_bits() == 0 else _INIT for ms in message_sets
+    ]
+    lo = [0.0] * n
+    hi = [0.0] * n
+    doublings = [0] * n
+    evals = [0] * n
+    results: list[tuple[float, int]] = [(0.0, 0)] * n
+
+    while True:
+        indices: list[int] = []
+        scales: list[float] = []
+        owners: list[tuple[int, int, int]] = []  # (set, chunk start, length)
+        for i in range(n):
+            if phase[i] == _DONE:
+                continue
+            if phase[i] == _BISECT and hi[i] - lo[i] <= rel_tol * hi[i]:
+                results[i] = (lo[i], evals[i])
+                phase[i] = _DONE
+                continue
+            if phase[i] in (_INIT, _ZERO):
+                chunk = [1.0]
+            elif phase[i] == _UP:
+                # Successive doublings, exactly the values the scalar loop
+                # would compute (repeated * 2.0 is exact in binary).
+                chunk, scale = [], hi[i]
+                for _ in range(
+                    max(1, min(_SPEC_DOUBLINGS, max_doublings - doublings[i]))
+                ):
+                    chunk.append(scale)
+                    scale = scale * 2.0
+            elif phase[i] == _DOWN:
+                chunk, scale = [], lo[i]
+                for _ in range(
+                    max(1, min(_SPEC_DOUBLINGS, max_doublings - doublings[i]))
+                ):
+                    chunk.append(scale)
+                    scale = scale / 2.0
+            else:
+                chunk = _bisect_candidates(lo[i], hi[i], _SPEC_BISECT_LEVELS)
+            owners.append((i, len(scales), len(chunk)))
+            indices.extend([i] * len(chunk))
+            scales.extend(chunk)
+        if not owners:
+            return results
+
+        verdicts = probe(indices, np.asarray(scales))
+        for i, start, length in owners:
+            chunk = scales[start : start + length]
+            vchunk = verdicts[start : start + length]
+            evals[i] += length
+            if phase[i] == _ZERO:
+                results[i] = (float("inf") if vchunk[0] else 0.0, evals[i])
+                phase[i] = _DONE
+            elif phase[i] == _INIT:
+                if vchunk[0]:
+                    lo[i], hi[i], phase[i] = 1.0, 2.0, _UP
+                else:
+                    hi[i], lo[i], phase[i] = 1.0, 0.5, _DOWN
+                if max_doublings == 0:
+                    results[i] = (
+                        float("inf") if vchunk[0] else 0.0,
+                        evals[i],
+                    )
+                    phase[i] = _DONE
+            elif phase[i] == _UP:
+                for ok in vchunk:
+                    if not ok:
+                        phase[i] = _BISECT
+                        break
+                    lo[i], hi[i] = hi[i], hi[i] * 2.0
+                    doublings[i] += 1
+                    if doublings[i] == max_doublings:
+                        results[i] = (float("inf"), evals[i])
+                        phase[i] = _DONE
+                        break
+            elif phase[i] == _DOWN:
+                for ok in vchunk:
+                    if ok:
+                        phase[i] = _BISECT
+                        break
+                    hi[i], lo[i] = lo[i], lo[i] / 2.0
+                    doublings[i] += 1
+                    if doublings[i] == max_doublings:
+                        results[i] = (0.0, evals[i])
+                        phase[i] = _DONE
+                        break
+            else:  # _BISECT: walk the candidate tree along the verdicts
+                idx = 0
+                while idx < length:
+                    ok = bool(vchunk[idx])
+                    if ok:
+                        lo[i] = chunk[idx]
+                    else:
+                        hi[i] = chunk[idx]
+                    if hi[i] - lo[i] <= rel_tol * hi[i]:
+                        results[i] = (lo[i], evals[i])
+                        phase[i] = _DONE
+                        break
+                    idx = 2 * idx + 1 + (1 if ok else 0)
+
+
+def breakdown_scales_batch(
+    message_sets: Sequence[MessageSet],
+    predicate: SchedulabilityPredicate | SupportsSaturationScale | SupportsBatchScaleProbe,
+    rel_tol: float = 1e-4,
+    max_doublings: int = 128,
+) -> list[tuple[float, int]]:
+    """Breakdown scales of many message sets with batched evaluations.
+
+    Returns the **bit-identical scales** of ``[breakdown_scale(ms,
+    predicate, ...) for ms in message_sets]``, but executed in *lockstep*:
+    every step advances the bracket of every still-active set with a
+    single batched predicate call, and each set's chunk probes several
+    future iterations speculatively (one structure-matrix read covers a
+    whole dyadic subtree of bisection candidates).  The reported per-set
+    evaluation counts therefore *exceed* the scalar search's — they count
+    physical probes, including discarded speculation.
+
+    Dispatch, in order of preference:
+
+    * closed-form analyses (:class:`SupportsSaturationScale`, e.g. the
+      TTP) — one exact evaluation per set, nothing to batch;
+    * batch-probing analyses (:class:`SupportsBatchScaleProbe`, e.g.
+      :class:`~repro.analysis.pdp.PDPAnalysis`) — the lockstep search;
+    * anything else — per-set :func:`breakdown_scale` fallback.
+    """
+    if rel_tol <= 0:
+        raise MessageSetError(f"relative tolerance must be positive, got {rel_tol!r}")
+    for message_set in message_sets:
+        if len(message_set) == 0:
+            raise MessageSetError("cannot saturate an empty message set")
+    if not message_sets:
+        return []
+    if isinstance(predicate, SupportsSaturationScale):
+        return [(float(predicate.saturation_scale(ms)), 1) for ms in message_sets]
+    if isinstance(predicate, SupportsBatchScaleProbe):
+        return _lockstep_bisect(message_sets, predicate, rel_tol, max_doublings)
+    return [
+        breakdown_scale(ms, predicate, rel_tol, max_doublings)
+        for ms in message_sets
+    ]
+
+
 def breakdown_utilization(
     message_set: MessageSet,
     predicate: SchedulabilityPredicate | SupportsSaturationScale,
@@ -165,7 +400,32 @@ def breakdown_utilization(
     this is the quantity averaged by the Monte Carlo study of Section 6.
     """
     scale, evaluations = breakdown_scale(message_set, predicate, rel_tol)
+    return _result_from_scale(message_set, scale, evaluations, bandwidth_bps)
+
+
+def _result_from_scale(
+    message_set: MessageSet, scale: float, evaluations: int, bandwidth_bps: float
+) -> BreakdownResult:
     if scale <= 0.0 or scale == float("inf"):
         return BreakdownResult(scale=scale, utilization=0.0, evaluations=evaluations)
     utilization = message_set.scaled(scale).utilization(bandwidth_bps)
     return BreakdownResult(scale=scale, utilization=utilization, evaluations=evaluations)
+
+
+def breakdown_utilizations_batch(
+    message_sets: Sequence[MessageSet],
+    predicate: SchedulabilityPredicate | SupportsSaturationScale | SupportsBatchScaleProbe,
+    bandwidth_bps: float,
+    rel_tol: float = 1e-4,
+) -> list[BreakdownResult]:
+    """Batched counterpart of :func:`breakdown_utilization`.
+
+    Runs :func:`breakdown_scales_batch` over the whole population, then
+    evaluates the saturated utilizations exactly as the scalar path does
+    (one scaled-set construction per set, not per probe).
+    """
+    pairs = breakdown_scales_batch(message_sets, predicate, rel_tol)
+    return [
+        _result_from_scale(ms, scale, evaluations, bandwidth_bps)
+        for ms, (scale, evaluations) in zip(message_sets, pairs)
+    ]

@@ -19,14 +19,17 @@ import numpy as np
 
 from repro.analysis.breakdown import (
     SchedulabilityPredicate,
+    SupportsBatchScaleProbe,
     SupportsSaturationScale,
     breakdown_utilization,
+    breakdown_utilizations_batch,
 )
 from repro.errors import ConfigurationError
 from repro.messages.generators import MessageSetSampler
 
 __all__ = [
     "AverageBreakdownEstimate",
+    "BATCH_CHUNK_SETS",
     "average_breakdown_utilization",
     "breakdown_samples",
 ]
@@ -68,6 +71,14 @@ class AverageBreakdownEstimate:
         return (self.mean - half, self.mean + half)
 
 
+#: Maximum number of sets whose precomputed exact-test structures are held
+#: live at once by the lockstep batched search.  At paper scale (100
+#: streams) each structure runs to tens of megabytes, so the batch is
+#: processed in chunks; within a chunk every bisection step is one batched
+#: predicate call.
+BATCH_CHUNK_SETS = 16
+
+
 def breakdown_samples(
     predicate: SchedulabilityPredicate | SupportsSaturationScale,
     sampler: MessageSetSampler,
@@ -78,19 +89,50 @@ def breakdown_samples(
 ) -> tuple[list[float], int]:
     """Per-set breakdown utilizations for ``n_sets`` sampled workloads.
 
-    Returns ``(samples, degenerate_count)``.  Sets whose breakdown scale is
-    infinite (all-zero payloads) are skipped; sets with scale 0 contribute
-    a breakdown utilization of exactly 0 — the protocol cannot carry even
-    infinitesimal synchronous load under those overheads, which is real
-    behaviour (it happens to TTP at very low bandwidth), not a sampling
-    artifact.
+    Returns ``(samples, degenerate_count)``.  The two degenerate breakdown
+    scales are accounted *asymmetrically*, and both are counted in
+    ``degenerate_count``:
+
+    * scale ``inf`` (all-zero payloads): the set is **skipped** — it
+      contributes no sample and does not enter the mean;
+    * scale ``0``: the set is counted into ``degenerate_count`` **and**
+      appended to ``samples`` with utilization exactly 0, so it *does*
+      drag the mean down — the protocol cannot carry even infinitesimal
+      synchronous load under those overheads, which is real behaviour (it
+      happens to TTP at very low bandwidth), not a sampling artifact.
+
+    This double accounting is deliberate and load-bearing: Figure 1's
+    low-bandwidth means depend on scale-0 sets contributing zeros.
+    ``len(samples) + degenerate_count`` can therefore exceed ``n_sets``.
+
+    Analyses that support batched probing
+    (:class:`~repro.analysis.breakdown.SupportsBatchScaleProbe`) or
+    closed-form saturation are evaluated through the lockstep batched
+    search in chunks of :data:`BATCH_CHUNK_SETS`; the verdicts and scales
+    are identical to the scalar path either way.
     """
     if n_sets < 1:
         raise ConfigurationError(f"need at least one sample, got {n_sets!r}")
+    message_sets = sampler.sample_many(rng, n_sets)
+    if isinstance(predicate, (SupportsSaturationScale, SupportsBatchScaleProbe)):
+        results = []
+        for start in range(0, len(message_sets), BATCH_CHUNK_SETS):
+            results.extend(
+                breakdown_utilizations_batch(
+                    message_sets[start : start + BATCH_CHUNK_SETS],
+                    predicate,
+                    bandwidth_bps,
+                    rel_tol,
+                )
+            )
+    else:
+        results = [
+            breakdown_utilization(message_set, predicate, bandwidth_bps, rel_tol)
+            for message_set in message_sets
+        ]
     samples: list[float] = []
     degenerate = 0
-    for message_set in sampler.sample_many(rng, n_sets):
-        result = breakdown_utilization(message_set, predicate, bandwidth_bps, rel_tol)
+    for result in results:
         if result.scale == float("inf"):
             degenerate += 1
             continue

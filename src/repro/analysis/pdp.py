@@ -31,6 +31,8 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Callable, Sequence
+
 import numpy as np
 
 from repro.analysis.rm import ExactRMTest, StreamTestDetail
@@ -42,6 +44,7 @@ from repro.network.ring import RingNetwork
 __all__ = [
     "PDPVariant",
     "pdp_augmented_length",
+    "pdp_augmented_lengths",
     "pdp_blocking_time",
     "PDPAnalysis",
     "PDPSetResult",
@@ -115,6 +118,52 @@ def pdp_augmented_length(
     return l_i * frame_time + (k_i - l_i) * last_frame_time + token_cost
 
 
+def pdp_augmented_lengths(
+    payloads_bits: np.ndarray,
+    ring: RingNetwork,
+    frame: FrameFormat,
+    variant: PDPVariant,
+) -> np.ndarray:
+    """Vectorized :func:`pdp_augmented_length` over a whole payload array.
+
+    One call replaces an n-stream Python loop with a handful of array
+    operations; the arithmetic is identical term by term to the scalar
+    version (which serves as the oracle in property tests), so the two
+    agree bit for bit.  Accepts any array shape — the Monte Carlo batch
+    machinery passes ``(n_probes·n_streams,)`` concatenations and
+    ``(n_scales, n_streams)`` matrices alike.
+    """
+    arr = np.asarray(payloads_bits, dtype=float)
+    if np.any(arr < 0):
+        raise MessageSetError("payloads must be non-negative")
+
+    bandwidth = ring.bandwidth_bps
+    theta = ring.theta
+    total, full = frame.split_counts(arr)
+    frame_time = frame.frame_time(bandwidth)
+
+    if variant is PDPVariant.STANDARD:
+        token_cost = total * (theta / 2.0)
+    elif variant is PDPVariant.MODIFIED:
+        token_cost = np.where(arr > 0, theta / 2.0, 0.0)
+    else:  # pragma: no cover - enum is closed
+        raise MessageSetError(f"unknown PDP variant: {variant!r}")
+
+    if frame_time <= theta:
+        return total * theta + token_cost
+
+    payload_time = arr / bandwidth
+    info_time = frame.info_time(bandwidth)
+    ovhd_time = frame.overhead_time(bandwidth)
+    last_frame_time = np.maximum(payload_time - full * info_time + ovhd_time, theta)
+    lengths = full * frame_time + (total - full) * last_frame_time + token_cost
+    # A zero-payload message costs nothing (total == full == 0 already
+    # zeroes the frame terms; the max() above would still charge theta
+    # through the (K - L) factor being 0, so only token_cost needs care,
+    # handled per-variant above).
+    return lengths
+
+
 @dataclass(frozen=True)
 class PDPSetResult:
     """Outcome of the Theorem 4.1 test for a whole message set.
@@ -145,14 +194,23 @@ class PDPAnalysis:
     period vector and reuses it across payload scalings and bandwidth
     changes (via :meth:`with_ring`).  This makes saturation searches and
     bandwidth sweeps hundreds of times faster than rebuilding per query.
-    The cache is a small LRU (the precomputed matrices for a 100-stream set
-    run to tens of megabytes, so hoarding one per Monte Carlo sample would
-    exhaust memory).
+    The cache is an LRU (the precomputed matrices for a 100-stream set run
+    to tens of megabytes, so hoarding one per Monte Carlo sample would
+    exhaust memory); interleaved protocol comparisons over the same
+    workload population benefit from a larger, shared cache — pass
+    ``cache_size`` and ``shared_cache`` (see
+    :meth:`repro.experiments.config.PaperParameters.pdp_analysis`, which
+    shares one cache between the STANDARD and MODIFIED analyses because
+    both are evaluated on identical period vectors).
 
     Args:
         ring: the physical ring (bandwidth included).
         frame: the MAC frame format.
         variant: which protocol variant to analyse.
+        cache_size: LRU capacity in period vectors (default
+            :attr:`_CACHE_SIZE`).
+        shared_cache: an existing cache to attach to instead of a private
+            one, so several analyses reuse each other's structures.
     """
 
     _CACHE_SIZE = 4
@@ -162,11 +220,21 @@ class PDPAnalysis:
         ring: RingNetwork,
         frame: FrameFormat,
         variant: PDPVariant = PDPVariant.STANDARD,
+        *,
+        cache_size: int | None = None,
+        shared_cache: "OrderedDict[tuple[float, ...], ExactRMTest] | None" = None,
     ):
         self._ring = ring
         self._frame = frame
         self._variant = variant
-        self._test_cache: OrderedDict[tuple[float, ...], ExactRMTest] = OrderedDict()
+        self._cache_size = self._CACHE_SIZE if cache_size is None else int(cache_size)
+        if self._cache_size < 1:
+            raise MessageSetError(
+                f"cache size must be at least 1, got {cache_size!r}"
+            )
+        self._test_cache: OrderedDict[tuple[float, ...], ExactRMTest] = (
+            OrderedDict() if shared_cache is None else shared_cache
+        )
 
     # -- accessors ----------------------------------------------------------------
 
@@ -192,22 +260,22 @@ class PDPAnalysis:
 
     def with_ring(self, ring: RingNetwork) -> "PDPAnalysis":
         """A copy bound to a different ring (shares the period-structure cache)."""
-        clone = PDPAnalysis(ring, self._frame, self._variant)
-        clone._test_cache = self._test_cache
-        return clone
+        return PDPAnalysis(
+            ring,
+            self._frame,
+            self._variant,
+            cache_size=self._cache_size,
+            shared_cache=self._test_cache,
+        )
 
     # -- core computations ------------------------------------------------------------
 
     def augmented_lengths(self, message_set: MessageSet) -> np.ndarray:
         """``C'_i`` for every stream of ``message_set`` in *its own* order."""
-        return np.array(
-            [
-                pdp_augmented_length(
-                    s.payload_bits, self._ring, self._frame, self._variant
-                )
-                for s in message_set
-            ]
+        payloads = np.fromiter(
+            (s.payload_bits for s in message_set), dtype=float, count=len(message_set)
         )
+        return pdp_augmented_lengths(payloads, self._ring, self._frame, self._variant)
 
     def _exact_test_for(self, ordered: MessageSet) -> ExactRMTest:
         key = ordered.periods
@@ -215,7 +283,7 @@ class PDPAnalysis:
         if test is None:
             test = ExactRMTest(key)
             self._test_cache[key] = test
-            while len(self._test_cache) > self._CACHE_SIZE:
+            while len(self._test_cache) > self._cache_size:
                 self._test_cache.popitem(last=False)
         else:
             self._test_cache.move_to_end(key)
@@ -228,6 +296,99 @@ class PDPAnalysis:
         ordered = message_set.rate_monotonic()
         test = self._exact_test_for(ordered)
         return test.is_schedulable(self.augmented_lengths(ordered), self.blocking)
+
+    def schedulable_at_scales(
+        self, message_set: MessageSet, scales: Sequence[float]
+    ) -> np.ndarray:
+        """Theorem 4.1 verdicts for ``message_set`` at many payload scales.
+
+        One vectorized augmented-length evaluation over the
+        ``(n_scales, n_streams)`` payload matrix plus one
+        :meth:`ExactRMTest.is_schedulable_batch` call — the period
+        structure is shared by every row, so the whole batch costs little
+        more than a single scalar probe.
+        """
+        scale_arr = np.asarray(scales, dtype=float)
+        if np.any(scale_arr < 0):
+            raise MessageSetError("scales must be non-negative")
+        if len(message_set) == 0:
+            return np.ones(scale_arr.size, dtype=bool)
+        ordered = message_set.rate_monotonic()
+        test = self._exact_test_for(ordered)
+        payloads = np.asarray(ordered.payloads_bits, dtype=float)
+        costs = pdp_augmented_lengths(
+            scale_arr[:, None] * payloads[None, :],
+            self._ring,
+            self._frame,
+            self._variant,
+        )
+        return test.is_schedulable_batch(costs, self.blocking)
+
+    def scale_prober(
+        self, message_sets: Sequence[MessageSet]
+    ) -> "Callable[[Sequence[int], np.ndarray], np.ndarray]":
+        """A batched payload-scale predicate over a fixed population.
+
+        Prepares each set once (rate-monotonic ordering, cached
+        :class:`ExactRMTest` structure, payload vector) and returns
+        ``probe(indices, scales) -> verdicts``: for each position ``j``,
+        whether ``message_sets[indices[j]]`` with payloads scaled by
+        ``scales[j]`` passes Theorem 4.1.  A probe computes the augmented
+        lengths of *all* requested sets in one concatenated vectorized
+        call; probes of the same set (same period vector) are evaluated
+        through :meth:`ExactRMTest.is_schedulable_batch` as one stacked
+        operation.  This is the engine behind the lockstep batched
+        bisection of :func:`repro.analysis.breakdown.breakdown_scales_batch`.
+        """
+        prepared: list[tuple[np.ndarray, ExactRMTest | None]] = []
+        for message_set in message_sets:
+            if len(message_set) == 0:
+                prepared.append((np.empty(0), None))
+                continue
+            ordered = message_set.rate_monotonic()
+            payloads = np.asarray(ordered.payloads_bits, dtype=float)
+            prepared.append((payloads, self._exact_test_for(ordered)))
+        blocking = self.blocking
+
+        def probe(indices: Sequence[int], scales: np.ndarray) -> np.ndarray:
+            scale_arr = np.asarray(scales, dtype=float)
+            segments: list[np.ndarray] = []
+            offsets = [0]
+            for idx, scale in zip(indices, scale_arr):
+                segments.append(prepared[idx][0] * scale)
+                offsets.append(offsets[-1] + segments[-1].size)
+            if not segments:
+                return np.empty(0, dtype=bool)
+            lengths = pdp_augmented_lengths(
+                np.concatenate(segments), self._ring, self._frame, self._variant
+            )
+            verdicts = np.empty(len(segments), dtype=bool)
+            # Group probes that target the same set so they share one
+            # stacked is_schedulable_batch evaluation.
+            by_set: dict[int, list[int]] = {}
+            for j, idx in enumerate(indices):
+                by_set.setdefault(idx, []).append(j)
+            for idx, positions in by_set.items():
+                test = prepared[idx][1]
+                if test is None:
+                    for j in positions:
+                        verdicts[j] = True
+                    continue
+                if len(positions) == 1:
+                    j = positions[0]
+                    verdicts[j] = test._evaluate(
+                        lengths[offsets[j] : offsets[j + 1]], blocking
+                    )
+                else:
+                    stacked = np.stack(
+                        [lengths[offsets[j] : offsets[j + 1]] for j in positions]
+                    )
+                    verdicts[list(positions)] = test.is_schedulable_batch(
+                        stacked, blocking
+                    )
+            return verdicts
+
+        return probe
 
     def analyze(self, message_set: MessageSet) -> PDPSetResult:
         """Full per-stream report for ``message_set``."""

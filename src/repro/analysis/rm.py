@@ -89,9 +89,11 @@ class StreamTestDetail:
 class ExactRMTest:
     """The Lehoczky–Sha–Ding exact test with precomputed structure.
 
-    Construction cost is ``O(sum_i |R_i| * i)`` time and memory; evaluation
-    for one cost vector is a handful of vectorized operations per stream
-    with early exit on the first unschedulable stream.
+    Construction cost is ``O(sum_i |R_i| * n)`` time and memory (the
+    scheduling points of all streams are stacked into one flat demand
+    matrix); evaluating one cost vector is a single matrix–vector product
+    plus a per-stream OR-reduction, and a whole batch of cost vectors
+    (:meth:`is_schedulable_batch`) is a single matrix–matrix product.
 
     Args:
         periods: task periods in *non-decreasing* order (RM priority
@@ -110,37 +112,63 @@ class ExactRMTest:
                 "periods must be in non-decreasing (rate-monotonic) order"
             )
         self._periods = periods_arr
-        self._points: list[np.ndarray] = []
-        self._interference: list[np.ndarray] = []
         self._build_structure()
 
     # -- structure ---------------------------------------------------------------
 
     def _build_structure(self) -> None:
-        """Precompute scheduling points and interference matrices.
+        """Precompute scheduling points and the stacked demand matrix.
 
         For stream ``i`` the scheduling points are all multiples ``l·P_k``
         with ``k <= i`` and ``l·P_k <= P_i`` — the times at which a
-        higher-priority busy period can end.  The interference matrix has
-        one row per point ``t`` and one column per higher-priority stream
-        ``j``, holding ``ceil(t / P_j)``.
+        higher-priority busy period can end.  All streams' points are
+        stacked into one flat demand matrix with a row per point ``t``
+        holding ``ceil(t / P_j)`` for every higher-priority stream ``j``
+        and an exact 1 in column ``i`` (the stream's own cost), so that
+        *one* matrix–vector product evaluates every stream's equation (4)
+        demand simultaneously, and a batch of cost vectors is one
+        matrix–matrix product.  ``_segment_starts`` records where each
+        stream's rows begin (for the per-stream OR-reduction and the
+        per-stream report slices).
         """
         periods = self._periods
-        for i in range(periods.size):
+        n = periods.size
+        segments: list[np.ndarray] = []
+        for i in range(n):
             p_i = periods[i]
             multiples: list[np.ndarray] = []
             for k in range(i + 1):
                 l_max = int(np.floor(p_i / periods[k] + 1e-12))
                 if l_max >= 1:
                     multiples.append(periods[k] * np.arange(1, l_max + 1))
-            points = np.unique(np.concatenate(multiples))
-            # ceil with a tolerance: t is an exact multiple of some P_k, and
-            # floating-point noise must not push ceil(t/P_j) up a step when
-            # t/P_j is integral.
-            ratios = points[:, None] / periods[None, :i]
-            interference = np.ceil(ratios - 1e-9) if i > 0 else np.empty((points.size, 0))
-            self._points.append(points)
-            self._interference.append(interference)
+            segments.append(np.unique(np.concatenate(multiples)))
+        counts = np.array([s.size for s in segments], dtype=np.intp)
+        starts = np.zeros(n, dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+        flat_points = np.concatenate(segments)
+        matrix = np.zeros((flat_points.size, n))
+        for i, points in enumerate(segments):
+            rows = slice(starts[i], starts[i] + points.size)
+            if i > 0:
+                # ceil with a tolerance: t is an exact multiple of some P_k,
+                # and floating-point noise must not push ceil(t/P_j) up a
+                # step when t/P_j is integral.
+                matrix[rows, :i] = np.ceil(points[:, None] / periods[None, :i] - 1e-9)
+            matrix[rows, i] = 1.0
+        self._segment_starts = starts
+        self._flat_points = flat_points
+        self._flat_thresholds = flat_points * (1.0 + 1e-12)
+        self._matrix = matrix
+
+    def _segment(self, index: int) -> slice:
+        """Row range of stream ``index`` in the stacked structure."""
+        start = self._segment_starts[index]
+        end = (
+            self._segment_starts[index + 1]
+            if index + 1 < self._periods.size
+            else self._flat_points.size
+        )
+        return slice(start, end)
 
     @property
     def periods(self) -> np.ndarray:
@@ -156,7 +184,7 @@ class ExactRMTest:
 
     def scheduling_points(self, index: int) -> np.ndarray:
         """The scheduling points ``R_i`` for stream ``index`` (a copy)."""
-        return self._points[index].copy()
+        return self._flat_points[self._segment(index)].copy()
 
     # -- evaluation --------------------------------------------------------------
 
@@ -170,6 +198,18 @@ class ExactRMTest:
             raise MessageSetError("costs must be non-negative")
         return arr
 
+    def _stream_load_ratio(
+        self, index: int, arr: np.ndarray, blocking: float
+    ) -> tuple[float, float]:
+        """:meth:`stream_load_ratio` on an already-validated cost array."""
+        rows = self._segment(index)
+        points = self._flat_points[rows]
+        interference = self._matrix[rows, :index]
+        demand = interference @ arr[:index] + arr[index] + blocking
+        ratios = demand / points
+        best = int(np.argmin(ratios))
+        return float(ratios[best]), float(points[best])
+
     def stream_load_ratio(
         self, index: int, costs: Sequence[float], blocking: float = 0.0
     ) -> tuple[float, float]:
@@ -178,39 +218,68 @@ class ExactRMTest:
         Returns ``(min_ratio, critical_point)``; the stream is schedulable
         iff ``min_ratio <= 1``.
         """
-        arr = self._validate_costs(costs)
-        points = self._points[index]
-        demand = self._interference[index] @ arr[:index] + arr[index] + blocking
-        ratios = demand / points
-        best = int(np.argmin(ratios))
-        return float(ratios[best]), float(points[best])
+        return self._stream_load_ratio(index, self._validate_costs(costs), blocking)
+
+    def _evaluate(self, arr: np.ndarray, blocking: float) -> bool:
+        """:meth:`is_schedulable` on an already-validated cost array."""
+        demand = self._matrix @ arr + blocking
+        ok = demand <= self._flat_thresholds
+        return bool(np.logical_or.reduceat(ok, self._segment_starts).all())
 
     def is_schedulable(
         self, costs: Sequence[float], blocking: float = 0.0
     ) -> bool:
         """True iff every stream passes the exact test.
 
-        Evaluates streams in priority order and exits on the first failure,
-        which makes unschedulable evaluations (the common case during a
-        saturation search) cheap.
+        One matrix–vector product over the stacked structure evaluates
+        every stream's demand at every scheduling point simultaneously; a
+        per-stream OR-reduction then checks that each stream has at least
+        one point where the demand fits.
         """
         arr = self._validate_costs(costs)
         if blocking < 0:
             raise MessageSetError(f"blocking must be non-negative, got {blocking!r}")
-        for i in range(arr.size):
-            demand = self._interference[i] @ arr[:i] + arr[i] + blocking
-            if not np.any(demand <= self._points[i] * (1.0 + 1e-12)):
-                return False
-        return True
+        return self._evaluate(arr, blocking)
+
+    def is_schedulable_batch(
+        self, costs_matrix: Sequence[Sequence[float]], blocking: float = 0.0
+    ) -> np.ndarray:
+        """Evaluate many cost vectors against the shared structure at once.
+
+        ``costs_matrix`` has one row per candidate cost vector (shape
+        ``(batch, n_streams)``); the return value is a boolean array with
+        one verdict per row.  Validation runs once for the whole batch and
+        the entire evaluation is a single stacked matrix product plus one
+        OR-reduction, so a batch of ``B`` evaluations costs far less than
+        ``B`` calls to :meth:`is_schedulable`.
+        """
+        mat = np.asarray(costs_matrix, dtype=float)
+        if mat.ndim != 2 or mat.shape[1] != self._periods.size:
+            raise MessageSetError(
+                f"expected a (batch, {self._periods.size}) cost matrix, "
+                f"got shape {mat.shape}"
+            )
+        if np.any(mat < 0):
+            raise MessageSetError("costs must be non-negative")
+        if blocking < 0:
+            raise MessageSetError(f"blocking must be non-negative, got {blocking!r}")
+        demand = mat @ self._matrix.T + blocking
+        ok = demand <= self._flat_thresholds
+        return np.logical_or.reduceat(ok, self._segment_starts, axis=1).all(axis=1)
 
     def details(
         self, costs: Sequence[float], blocking: float = 0.0
     ) -> list[StreamTestDetail]:
-        """Full per-stream report (no early exit)."""
+        """Full per-stream report (no early exit).
+
+        Costs are validated once up front; the per-stream minimization runs
+        on the validated array directly (re-validating per stream would
+        make the report O(n²) in the stream count).
+        """
         arr = self._validate_costs(costs)
         report = []
         for i in range(arr.size):
-            ratio, point = self.stream_load_ratio(i, arr, blocking)
+            ratio, point = self._stream_load_ratio(i, arr, blocking)
             report.append(
                 StreamTestDetail(
                     index=i,

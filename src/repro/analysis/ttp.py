@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
+
 import numpy as np
 
 from repro.analysis.ttrt import SqrtRuleTTRT, TTRTPolicy, ttp_saturation_scale
@@ -316,15 +318,28 @@ class TTPAnalysis:
         if len(message_set) == 0:
             raise ConfigurationError("cannot saturate an empty message set")
         ttrt = self.select_ttrt(message_set)
-        payload_times = [
-            s.payload_time(self._ring.bandwidth_bps) for s in message_set
-        ]
+        payload_times = (
+            np.asarray(message_set.payloads_bits, dtype=float)
+            / self._ring.bandwidth_bps
+        )
         return ttp_saturation_scale(
             ttrt,
             message_set.periods,
             payload_times,
             self.delta,
             self.frame_overhead_time,
+        )
+
+    def saturation_scales(self, message_sets: Sequence[MessageSet]) -> np.ndarray:
+        """Closed-form breakdown scales for a whole population of sets.
+
+        The per-set evaluation is already a handful of vectorized
+        operations (Theorem 5.1 is linear in the payloads), so batching is
+        a simple sweep; this exists so sweep and Monte Carlo drivers can
+        treat both protocols uniformly through one batched entry point.
+        """
+        return np.asarray(
+            [self.saturation_scale(ms) for ms in message_sets], dtype=float
         )
 
     def theorem_lhs(

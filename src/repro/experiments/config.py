@@ -15,9 +15,11 @@ from the parameters, so sweep code never assembles those by hand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 
 from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.rm import ExactRMTest
 from repro.analysis.ttp import TTPAnalysis
 from repro.analysis.ttrt import SqrtRuleTTRT, TTRTPolicy
 from repro.errors import ConfigurationError
@@ -57,11 +59,29 @@ class PaperParameters:
     monte_carlo_sets: int = 30
     seed: int = 20_260_704
 
+    #: Exact-test structures keyed by period vector, shared by every
+    #: analysis this parameter object hands out.  The paired-sampling
+    #: design reuses the same seed — hence the same period vectors — for
+    #: every bandwidth and both PDP variants, so one cache turns the
+    #: per-cell structure builds of a sweep into hits after the first
+    #: bandwidth.  Excluded from equality/repr and dropped on pickling.
+    _pdp_test_cache: "OrderedDict[tuple[float, ...], ExactRMTest]" = field(
+        default_factory=OrderedDict, init=False, compare=False, repr=False
+    )
+
     def __post_init__(self) -> None:
         if self.monte_carlo_sets < 1:
             raise ConfigurationError(
                 f"need at least one Monte Carlo set, got {self.monte_carlo_sets!r}"
             )
+
+    def __getstate__(self) -> dict:
+        # Worker processes rebuild structures on demand; shipping tens of
+        # megabytes of cached matrices through pickle would cost more than
+        # it saves.
+        state = dict(self.__dict__)
+        state["_pdp_test_cache"] = OrderedDict()
+        return state
 
     # -- derived factories ------------------------------------------------------
 
@@ -93,8 +113,21 @@ class PaperParameters:
     def pdp_analysis(
         self, bandwidth_mbps: float, variant: PDPVariant
     ) -> PDPAnalysis:
-        """A Theorem 4.1 analysis at ``bandwidth_mbps``."""
-        return PDPAnalysis(self.pdp_ring(bandwidth_mbps), self.frame_format(), variant)
+        """A Theorem 4.1 analysis at ``bandwidth_mbps``.
+
+        All analyses built by one parameter object — both variants, every
+        bandwidth — share a single period-structure cache sized to hold
+        the full Monte Carlo population, because the expensive part of the
+        exact test depends only on the periods and paired sampling makes
+        those identical across the whole sweep.
+        """
+        return PDPAnalysis(
+            self.pdp_ring(bandwidth_mbps),
+            self.frame_format(),
+            variant,
+            cache_size=min(self.monte_carlo_sets + 2, 64),
+            shared_cache=self._pdp_test_cache,
+        )
 
     def ttp_analysis(
         self, bandwidth_mbps: float, ttrt_policy: TTRTPolicy | None = None

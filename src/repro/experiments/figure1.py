@@ -36,11 +36,22 @@ from repro.analysis.montecarlo import (
     average_breakdown_utilization,
 )
 from repro.analysis.pdp import PDPVariant
+from repro.errors import ConfigurationError
 from repro.experiments.config import PaperParameters
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import ascii_plot, format_table
 from repro.units import mbps
 
-__all__ = ["PAPER_BANDWIDTHS_MBPS", "Figure1Point", "Figure1Result", "run_figure1"]
+__all__ = [
+    "FIGURE1_PROTOCOLS",
+    "PAPER_BANDWIDTHS_MBPS",
+    "Figure1Point",
+    "Figure1Result",
+    "run_figure1",
+]
+
+#: The three curves of Figure 1, in column order.
+FIGURE1_PROTOCOLS: tuple[str, ...] = ("pdp_standard", "pdp_modified", "ttp")
 
 #: Log-spaced bandwidth grid covering the paper's 1–1000 Mbps axis.
 PAPER_BANDWIDTHS_MBPS: tuple[float, ...] = (
@@ -176,10 +187,40 @@ class Figure1Result:
         )
 
 
+def _figure1_cell(
+    params: PaperParameters, task: tuple[float, str, float]
+) -> AverageBreakdownEstimate:
+    """One (bandwidth, protocol) cell of the Figure 1 grid.
+
+    Module-level so worker processes can import it by name; self-seeding
+    (a fresh generator from ``params.seed``) so the estimate is identical
+    no matter which worker runs it or in what order — the paired-sampling
+    guarantee the figure's cross-protocol comparison rests on.
+    """
+    bandwidth, protocol, rel_tol = task
+    if protocol == "pdp_standard":
+        analysis = params.pdp_analysis(bandwidth, PDPVariant.STANDARD)
+    elif protocol == "pdp_modified":
+        analysis = params.pdp_analysis(bandwidth, PDPVariant.MODIFIED)
+    elif protocol == "ttp":
+        analysis = params.ttp_analysis(bandwidth)
+    else:  # pragma: no cover - protocol list is closed
+        raise ConfigurationError(f"unknown Figure 1 protocol: {protocol!r}")
+    return average_breakdown_utilization(
+        analysis,
+        params.sampler(),
+        mbps(bandwidth),
+        params.monte_carlo_sets,
+        np.random.default_rng(params.seed),
+        rel_tol=rel_tol,
+    )
+
+
 def run_figure1(
     parameters: PaperParameters | None = None,
     bandwidths_mbps: Sequence[float] = PAPER_BANDWIDTHS_MBPS,
     rel_tol: float = 1e-3,
+    jobs: int | None = 1,
 ) -> Figure1Result:
     """Regenerate Figure 1.
 
@@ -187,25 +228,23 @@ def run_figure1(
         parameters: operating conditions (paper defaults when None).
         bandwidths_mbps: the bandwidth grid to sweep.
         rel_tol: saturation-search tolerance for the PDP bisection.
+        jobs: worker processes for the (bandwidth × protocol) grid;
+            1 runs sequentially in-process, 0 uses all cores.  The cells
+            are independent and self-seeding, so every ``jobs`` value
+            produces the identical result.
     """
     params = parameters if parameters is not None else PaperParameters()
-    sampler = params.sampler()
-    points: list[Figure1Point] = []
-    for bandwidth in bandwidths_mbps:
-        bw_bps = mbps(bandwidth)
-        estimates = {}
-        for name, analysis in (
-            ("pdp_standard", params.pdp_analysis(bandwidth, PDPVariant.STANDARD)),
-            ("pdp_modified", params.pdp_analysis(bandwidth, PDPVariant.MODIFIED)),
-            ("ttp", params.ttp_analysis(bandwidth)),
-        ):
-            estimates[name] = average_breakdown_utilization(
-                analysis,
-                sampler,
-                bw_bps,
-                params.monte_carlo_sets,
-                np.random.default_rng(params.seed),
-                rel_tol=rel_tol,
-            )
-        points.append(Figure1Point(bandwidth_mbps=bandwidth, **estimates))
+    tasks = [
+        (bandwidth, protocol, rel_tol)
+        for bandwidth in bandwidths_mbps
+        for protocol in FIGURE1_PROTOCOLS
+    ]
+    estimates = parallel_map(_figure1_cell, tasks, shared=params, jobs=jobs)
+    points = [
+        Figure1Point(
+            bandwidth_mbps=bandwidth,
+            **dict(zip(FIGURE1_PROTOCOLS, estimates[3 * i : 3 * i + 3])),
+        )
+        for i, bandwidth in enumerate(bandwidths_mbps)
+    ]
     return Figure1Result(points=tuple(points), parameters=params)

@@ -1,0 +1,92 @@
+"""Process-parallel execution of experiment grids.
+
+Every experiment in this reproduction is a grid of independent cells —
+Figure 1 alone is 16 bandwidths × 3 protocols — and paired sampling makes
+each cell self-seeding (``np.random.default_rng(params.seed)`` inside the
+cell), so cells can run in any order on any worker and produce results
+identical to the sequential loop.  :func:`parallel_map` exploits that: it
+fans a list of picklable tasks across a :class:`ProcessPoolExecutor` and
+returns results in task order.
+
+The shared context (typically a
+:class:`~repro.experiments.config.PaperParameters`) is shipped to each
+worker once, through the pool initializer, rather than per task; within a
+worker it persists across cells, so the parameter object's shared
+exact-test structure cache keeps working there too.  ``PaperParameters``
+drops its cache on pickling, so the payload stays small.
+
+With ``jobs=1`` (the default) no pool is created at all — the tasks run
+inline in the calling process, which preserves single-process profiling
+and keeps the sequential path free of pickling constraints.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["parallel_map", "resolve_jobs"]
+
+_S = TypeVar("_S")
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Per-worker state installed by the pool initializer: the cell function
+#: and the shared context, unpickled exactly once per worker process.
+_WORKER_STATE: dict = {}
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None -> 1, 0 -> all cores."""
+    if jobs is None:
+        return 1
+    count = int(jobs)
+    if count < 0:
+        raise ConfigurationError(f"jobs must be non-negative, got {jobs!r}")
+    if count == 0:
+        return os.cpu_count() or 1
+    return count
+
+
+def _worker_init(fn: Callable, shared: object) -> None:
+    _WORKER_STATE["fn"] = fn
+    _WORKER_STATE["shared"] = shared
+
+
+def _worker_call(task: object) -> object:
+    return _WORKER_STATE["fn"](_WORKER_STATE["shared"], task)
+
+
+def parallel_map(
+    fn: "Callable[[_S, _T], _R]",
+    tasks: "Iterable[_T]",
+    *,
+    shared: "_S" = None,
+    jobs: int | None = 1,
+) -> "list[_R]":
+    """``[fn(shared, task) for task in tasks]``, optionally across processes.
+
+    Args:
+        fn: the cell function.  Must be a module-level callable when
+            ``jobs > 1`` (workers import it by qualified name).
+        tasks: picklable task descriptions, one per cell.
+        shared: context passed as the first argument of every call; sent
+            to each worker once via the pool initializer.
+        jobs: worker processes; 1 runs inline, 0 means all cores.
+
+    Results come back in task order regardless of completion order, so
+    callers see exactly the sequential semantics.
+    """
+    task_list = list(tasks)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(task_list) <= 1:
+        return [fn(shared, task) for task in task_list]
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(task_list)),
+        initializer=_worker_init,
+        initargs=(fn, shared),
+    ) as pool:
+        return list(pool.map(_worker_call, task_list))

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.experiments.runner figure1 [--fast] [--csv out.csv]
+    python -m repro.experiments.runner figure1 [--fast] [--csv out.csv] [--jobs N]
     python -m repro.experiments.runner ttrt --bandwidth 100
     python -m repro.experiments.runner frames --bandwidth 10
     python -m repro.experiments.runner periods --bandwidth 10
@@ -15,6 +15,10 @@ Usage::
 ``--fast`` shrinks the ring to 20 stations and the Monte Carlo count to
 10 sets, which turns the full-figure run from minutes into seconds while
 preserving every qualitative shape.
+
+``--jobs N`` fans the independent grid cells of an experiment across N
+worker processes (0 = all cores).  Each cell reseeds from the base seed,
+so the output is bit-identical for every ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -52,7 +56,7 @@ def build_parameters(fast: bool, sets: int | None, stations: int | None) -> Pape
 
 
 def _run_figure1(args: argparse.Namespace, params: PaperParameters) -> None:
-    result = run_figure1(params)
+    result = run_figure1(params, jobs=args.jobs)
     print(result.to_table())
     print()
     print(result.to_ascii_plot())
@@ -96,6 +100,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stations", type=int, default=None, help="ring size")
     parser.add_argument("--bandwidth", type=float, default=10.0, help="Mbps")
     parser.add_argument("--csv", type=str, default=None, help="CSV output path")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for experiment grids (0 = all cores); "
+        "results are identical for every value",
+    )
     args = parser.parse_args(argv)
 
     params = build_parameters(args.fast, args.sets, args.stations)
@@ -104,15 +113,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment in ("figure1", "all"):
         _run_figure1(args, params)
     if args.experiment in ("ttrt", "all"):
-        _run_sweep(ttrt_sweep(params, args.bandwidth))
+        _run_sweep(ttrt_sweep(params, args.bandwidth, jobs=args.jobs))
     if args.experiment in ("frames", "all"):
-        _run_sweep(frame_size_sweep(params, args.bandwidth))
+        _run_sweep(frame_size_sweep(params, args.bandwidth, jobs=args.jobs))
     if args.experiment in ("periods", "all"):
-        _run_sweep(period_sweep(params, args.bandwidth))
+        _run_sweep(period_sweep(params, args.bandwidth, jobs=args.jobs))
     if args.experiment in ("sba", "all"):
         _run_sweep(sba_comparison(params, args.bandwidth))
     if args.experiment in ("ringsize", "all"):
-        _run_sweep(ring_size_sweep(params, args.bandwidth))
+        _run_sweep(ring_size_sweep(params, args.bandwidth, jobs=args.jobs))
     if args.experiment in ("throughput", "all"):
         print("throughput division (sync at half breakdown, async saturating)")
         print(throughput_experiment(params).to_table())

@@ -36,6 +36,7 @@ from repro.analysis.ttrt import (
     SqrtRuleTTRT,
 )
 from repro.experiments.config import PaperParameters
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import format_table
 from repro.units import mbps
 
@@ -67,10 +68,25 @@ class SweepResult:
         return [row[index] for row in self.rows]
 
 
+def _ttrt_cell(shared, policy) -> tuple[float, float]:
+    """One TTRT-policy estimate (module-level so workers can import it)."""
+    parameters, bandwidth_mbps = shared
+    analysis = parameters.ttp_analysis(bandwidth_mbps, policy)
+    result = average_breakdown_utilization(
+        analysis,
+        parameters.sampler(),
+        mbps(bandwidth_mbps),
+        parameters.monte_carlo_sets,
+        np.random.default_rng(parameters.seed),
+    )
+    return result.mean, result.stderr
+
+
 def ttrt_sweep(
     parameters: PaperParameters,
     bandwidth_mbps: float,
     ttrt_fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0),
+    jobs: int | None = 1,
 ) -> SweepResult:
     """TTP breakdown utilization versus TTRT.
 
@@ -78,32 +94,31 @@ def ttrt_sweep(
     ceiling).  The sqrt-rule, half-min, and numeric-optimal policies are
     appended as labelled rows for comparison.
     """
-    sampler = parameters.sampler()
-    bw = mbps(bandwidth_mbps)
     p_min = parameters.period_distribution().bounds[0]
-    rows: list[tuple[object, ...]] = []
-
-    def estimate(policy, label: str, ttrt_s: float | str) -> None:
-        analysis = parameters.ttp_analysis(bandwidth_mbps, policy)
-        result = average_breakdown_utilization(
-            analysis,
-            sampler,
-            bw,
-            parameters.monte_carlo_sets,
-            np.random.default_rng(parameters.seed),
-        )
-        rows.append((label, ttrt_s, result.mean, result.stderr))
-
-    for fraction in ttrt_fractions:
-        ttrt = fraction * p_min / 2.0
-        estimate(FixedTTRT(ttrt), f"fixed({fraction:.2f})", ttrt)
     reference = parameters.ttp_analysis(bandwidth_mbps)
     total_overhead = (
         reference.delta + parameters.n_stations * reference.frame_overhead_time
     )
-    estimate(SqrtRuleTTRT(), "sqrt-rule", float(np.sqrt(total_overhead * p_min)))
-    estimate(HalfMinPeriodTTRT(), "half-min", p_min / 2.0)
-    estimate(OptimalTTRT(), "optimal", "per-set")
+    labelled: list[tuple[object, str, object]] = [
+        (FixedTTRT(fraction * p_min / 2.0), f"fixed({fraction:.2f})",
+         fraction * p_min / 2.0)
+        for fraction in ttrt_fractions
+    ]
+    labelled.append(
+        (SqrtRuleTTRT(), "sqrt-rule", float(np.sqrt(total_overhead * p_min)))
+    )
+    labelled.append((HalfMinPeriodTTRT(), "half-min", p_min / 2.0))
+    labelled.append((OptimalTTRT(), "optimal", "per-set"))
+    estimates = parallel_map(
+        _ttrt_cell,
+        [policy for policy, _, _ in labelled],
+        shared=(parameters, bandwidth_mbps),
+        jobs=jobs,
+    )
+    rows = [
+        (label, ttrt_s, mean, stderr)
+        for (_, label, ttrt_s), (mean, stderr) in zip(labelled, estimates)
+    ]
     return SweepResult(
         name=f"ttrt-sweep@{bandwidth_mbps}Mbps",
         headers=("policy", "TTRT (s)", "avg breakdown util", "stderr"),
@@ -111,10 +126,27 @@ def ttrt_sweep(
     )
 
 
+def _frame_size_cell(shared, task) -> tuple[object, ...]:
+    """One (payload size, variant) estimate of the frame-size sweep."""
+    parameters, bandwidth_mbps = shared
+    size, variant = task
+    varied = parameters.with_frame(payload_bytes=size)
+    result = average_breakdown_utilization(
+        varied.pdp_analysis(bandwidth_mbps, variant),
+        parameters.sampler(),
+        mbps(bandwidth_mbps),
+        varied.monte_carlo_sets,
+        np.random.default_rng(varied.seed),
+        rel_tol=1e-3,
+    )
+    return variant.value, size, result.mean, result.stderr
+
+
 def frame_size_sweep(
     parameters: PaperParameters,
     bandwidth_mbps: float,
     payload_bytes: Sequence[float] = (16, 32, 64, 128, 256, 512, 1024),
+    jobs: int | None = 1,
 ) -> SweepResult:
     """PDP breakdown utilization versus frame payload size (Section 4.2).
 
@@ -123,22 +155,16 @@ def frame_size_sweep(
     high-priority messages longer.  The sweep exposes the resulting
     interior optimum.
     """
-    sampler = parameters.sampler()
-    bw = mbps(bandwidth_mbps)
-    rows: list[tuple[object, ...]] = []
-    for size in payload_bytes:
-        varied = parameters.with_frame(payload_bytes=size)
-        for variant in (PDPVariant.STANDARD, PDPVariant.MODIFIED):
-            analysis = varied.pdp_analysis(bandwidth_mbps, variant)
-            result = average_breakdown_utilization(
-                analysis,
-                sampler,
-                bw,
-                varied.monte_carlo_sets,
-                np.random.default_rng(varied.seed),
-                rel_tol=1e-3,
-            )
-            rows.append((variant.value, size, result.mean, result.stderr))
+    rows = parallel_map(
+        _frame_size_cell,
+        [
+            (size, variant)
+            for size in payload_bytes
+            for variant in (PDPVariant.STANDARD, PDPVariant.MODIFIED)
+        ],
+        shared=(parameters, bandwidth_mbps),
+        jobs=jobs,
+    )
     return SweepResult(
         name=f"frame-size-sweep@{bandwidth_mbps}Mbps",
         headers=("variant", "payload (bytes)", "avg breakdown util", "stderr"),
@@ -146,40 +172,55 @@ def frame_size_sweep(
     )
 
 
+def _period_cell(shared, task) -> float:
+    """One (period law, protocol) mean of the period sweep."""
+    parameters, bandwidth_mbps = shared
+    mean_period, ratio, protocol = task
+    varied = parameters.with_periods(mean_period, ratio)
+    if protocol == "pdp_standard":
+        analysis = varied.pdp_analysis(bandwidth_mbps, PDPVariant.STANDARD)
+    elif protocol == "pdp_modified":
+        analysis = varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED)
+    else:
+        analysis = varied.ttp_analysis(bandwidth_mbps)
+    return average_breakdown_utilization(
+        analysis,
+        varied.sampler(),
+        mbps(bandwidth_mbps),
+        varied.monte_carlo_sets,
+        np.random.default_rng(varied.seed),
+        rel_tol=1e-3,
+    ).mean
+
+
 def period_sweep(
     parameters: PaperParameters,
     bandwidth_mbps: float,
     mean_periods_s: Sequence[float] = (0.05, 0.1, 0.2),
     ratios: Sequence[float] = (2.0, 10.0, 50.0),
+    jobs: int | None = 1,
 ) -> SweepResult:
     """The three-protocol comparison across period distributions.
 
     Reproduces Section 6.2's claim that the qualitative comparison is
     stable across the period parameters.
     """
-    bw = mbps(bandwidth_mbps)
-    rows: list[tuple[object, ...]] = []
-    for mean_period in mean_periods_s:
-        for ratio in ratios:
-            varied = parameters.with_periods(mean_period, ratio)
-            sampler = varied.sampler()
-            estimates = []
-            for analysis in (
-                varied.pdp_analysis(bandwidth_mbps, PDPVariant.STANDARD),
-                varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED),
-                varied.ttp_analysis(bandwidth_mbps),
-            ):
-                estimates.append(
-                    average_breakdown_utilization(
-                        analysis,
-                        sampler,
-                        bw,
-                        varied.monte_carlo_sets,
-                        np.random.default_rng(varied.seed),
-                        rel_tol=1e-3,
-                    ).mean
-                )
-            rows.append((mean_period, ratio, *estimates))
+    grid = [
+        (mean_period, ratio)
+        for mean_period in mean_periods_s
+        for ratio in ratios
+    ]
+    protocols = ("pdp_standard", "pdp_modified", "ttp")
+    means = parallel_map(
+        _period_cell,
+        [(mp, ratio, protocol) for mp, ratio in grid for protocol in protocols],
+        shared=(parameters, bandwidth_mbps),
+        jobs=jobs,
+    )
+    rows = [
+        (mp, ratio, *means[3 * i : 3 * i + 3])
+        for i, (mp, ratio) in enumerate(grid)
+    ]
     return SweepResult(
         name=f"period-sweep@{bandwidth_mbps}Mbps",
         headers=(
@@ -236,34 +277,44 @@ def sba_comparison(
     )
 
 
+def _ring_size_cell(shared, task) -> float:
+    """One (ring size, protocol) mean of the ring-size sweep."""
+    parameters, bandwidth_mbps = shared
+    n, protocol = task
+    varied = parameters.scaled_down(n, parameters.monte_carlo_sets)
+    if protocol == "pdp_standard":
+        analysis = varied.pdp_analysis(bandwidth_mbps, PDPVariant.STANDARD)
+    elif protocol == "pdp_modified":
+        analysis = varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED)
+    else:
+        analysis = varied.ttp_analysis(bandwidth_mbps)
+    return average_breakdown_utilization(
+        analysis,
+        varied.sampler(),
+        mbps(bandwidth_mbps),
+        varied.monte_carlo_sets,
+        np.random.default_rng(varied.seed),
+        rel_tol=1e-3,
+    ).mean
+
+
 def ring_size_sweep(
     parameters: PaperParameters,
     bandwidth_mbps: float,
     station_counts: Sequence[int] = (10, 25, 50, 100, 200),
+    jobs: int | None = 1,
 ) -> SweepResult:
     """The three-protocol comparison versus the number of stations."""
-    bw = mbps(bandwidth_mbps)
-    rows: list[tuple[object, ...]] = []
-    for n in station_counts:
-        varied = parameters.scaled_down(n, parameters.monte_carlo_sets)
-        sampler = varied.sampler()
-        estimates = []
-        for analysis in (
-            varied.pdp_analysis(bandwidth_mbps, PDPVariant.STANDARD),
-            varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED),
-            varied.ttp_analysis(bandwidth_mbps),
-        ):
-            estimates.append(
-                average_breakdown_utilization(
-                    analysis,
-                    sampler,
-                    bw,
-                    varied.monte_carlo_sets,
-                    np.random.default_rng(varied.seed),
-                    rel_tol=1e-3,
-                ).mean
-            )
-        rows.append((n, *estimates))
+    protocols = ("pdp_standard", "pdp_modified", "ttp")
+    means = parallel_map(
+        _ring_size_cell,
+        [(n, protocol) for n in station_counts for protocol in protocols],
+        shared=(parameters, bandwidth_mbps),
+        jobs=jobs,
+    )
+    rows = [
+        (n, *means[3 * i : 3 * i + 3]) for i, n in enumerate(station_counts)
+    ]
     return SweepResult(
         name=f"ring-size-sweep@{bandwidth_mbps}Mbps",
         headers=("stations", "IEEE 802.5", "Mod 802.5", "FDDI"),

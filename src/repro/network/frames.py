@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.units import transmission_time
 
@@ -134,6 +136,27 @@ class FrameFormat:
         else:
             last = float(payload_bits - full * self.info_bits)
         return FrameSplit(float(payload_bits), full, total, last)
+
+    def split_counts(self, payloads_bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized frame counts ``(K_i, L_i)`` for a payload array.
+
+        Returns ``(total_frames, full_frames)`` as float arrays of the same
+        shape as ``payloads_bits`` (float because they enter arithmetic
+        immediately; the values are exact integers).  Agrees elementwise
+        with :meth:`split`, including the zero-payload (zero frames) and
+        subnormal-payload (at least one frame) cases.
+        """
+        arr = np.asarray(payloads_bits, dtype=float)
+        if np.any(arr < 0):
+            raise ConfigurationError("payloads must be non-negative")
+        ratio = arr / self.info_bits
+        full = np.floor(ratio)
+        total = np.maximum(np.ceil(ratio), 1.0)
+        zero = arr == 0
+        if np.any(zero):
+            full = np.where(zero, 0.0, full)
+            total = np.where(zero, 0.0, total)
+        return total, full
 
     def frames_needed(self, payload_bits: float) -> int:
         """``K_i``: total frames needed for ``payload_bits`` of payload."""

@@ -103,3 +103,76 @@ class TestDegenerateHandling:
         assert estimate.n_sets == 0
         assert estimate.degenerate_sets == 3
         assert estimate.mean == 0.0
+
+
+class TestScaleZeroDoubleAccounting:
+    """The deliberate asymmetry documented on breakdown_samples.
+
+    A scale-0 set is counted in ``degenerate`` *and* appended to
+    ``samples`` as exactly 0.0 (it must drag the mean down); a scale-inf
+    set is counted in ``degenerate`` only.  Hence
+    ``len(samples) + degenerate`` can exceed ``n_sets`` — pinned here so
+    the batch rewrite (or any future one) cannot silently change the mean
+    semantics.
+    """
+
+    @staticmethod
+    def _mixed_predicate(message_set):
+        # Scaling never changes periods, so sets whose shortest period is
+        # below the cutoff are unschedulable at *every* scale (-> scale 0)
+        # while the rest saturate at a finite positive scale.
+        if min(message_set.periods) < 0.05:
+            return False
+        return message_set.utilization(BW) <= 0.3
+
+    def test_scale_zero_sets_counted_twice(self, sampler, rng):
+        n_sets = 30
+        samples, degenerate = breakdown_samples(
+            self._mixed_predicate, sampler, BW, n_sets, rng
+        )
+        # Positive payload laws make scale-inf impossible, so every set
+        # contributes a sample; the scale-0 ones are *also* degenerate.
+        assert len(samples) == n_sets
+        assert degenerate > 0  # the period law makes short periods likely
+        assert len(samples) + degenerate > n_sets
+        assert samples.count(0.0) == degenerate
+
+    def test_zeros_drag_the_mean_down(self, sampler):
+        estimate = average_breakdown_utilization(
+            self._mixed_predicate, sampler, BW, 30, 12345
+        )
+        positive = [s for s in estimate.samples if s > 0.0]
+        assert estimate.degenerate_sets > 0
+        assert estimate.mean < sum(positive) / len(positive)
+        assert estimate.n_sets == 30  # zeros stay in the denominator
+
+    def test_infinite_scale_excluded_from_mean(self, sampler, rng):
+        samples, degenerate = breakdown_samples(
+            lambda m: True, sampler, BW, 4, rng
+        )
+        assert samples == []  # inf sets contribute nothing to the mean
+        assert degenerate == 4
+
+    def test_batched_path_preserves_accounting(self, pdp_analysis, sampler):
+        """The chunked batch path and the scalar path agree sample-for-sample."""
+        from repro.analysis import montecarlo
+
+        rng_a = np.random.default_rng(99)
+        rng_b = np.random.default_rng(99)
+        batch = breakdown_samples(pdp_analysis, sampler, mbps(10), 20, rng_a)
+        message_sets = sampler.sample_many(rng_b, 20)
+        from repro.analysis.breakdown import breakdown_utilization
+
+        scalar_samples, scalar_degenerate = [], 0
+        for message_set in message_sets:
+            result = breakdown_utilization(
+                message_set, pdp_analysis, mbps(10), 1e-4
+            )
+            if result.scale == float("inf"):
+                scalar_degenerate += 1
+                continue
+            if result.scale == 0.0:
+                scalar_degenerate += 1
+            scalar_samples.append(result.utilization)
+        assert 20 > montecarlo.BATCH_CHUNK_SETS  # the chunk loop is exercised
+        assert batch == (scalar_samples, scalar_degenerate)

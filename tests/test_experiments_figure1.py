@@ -93,3 +93,36 @@ class TestDeterminism:
         # Different protocols, same number of non-degenerate samples drawn
         # from the same population (weak but cheap pairing evidence).
         assert point.pdp_standard.n_sets == point.ttp.n_sets
+
+
+class TestParallelExecution:
+    """--jobs N must be a pure performance knob: identical output."""
+
+    def test_jobs_values_give_identical_means(self):
+        params = PaperParameters().scaled_down(n_stations=10, monte_carlo_sets=4)
+        bandwidths = (2.5, 10.0, 100.0)
+        sequential = run_figure1(params, bandwidths_mbps=bandwidths, jobs=1)
+        parallel = run_figure1(
+            PaperParameters().scaled_down(n_stations=10, monte_carlo_sets=4),
+            bandwidths_mbps=bandwidths,
+            jobs=2,
+        )
+        assert sequential.points == parallel.points
+
+    def test_shape_checks_pass_with_parallel_jobs(self):
+        params = PaperParameters().scaled_down(n_stations=16, monte_carlo_sets=8)
+        report = run_figure1(params, jobs=2).shape_report()
+        failures = [name for name, ok in report.items() if not ok]
+        assert not failures, f"shape checks failed under --jobs 2: {failures}"
+
+    def test_jobs_zero_means_all_cores(self):
+        params = PaperParameters().scaled_down(n_stations=8, monte_carlo_sets=2)
+        result = run_figure1(params, bandwidths_mbps=(10.0,), jobs=0)
+        assert result.points[0].ttp.n_sets >= 1
+
+    def test_negative_jobs_rejected(self):
+        from repro.errors import ConfigurationError
+
+        params = PaperParameters().scaled_down(n_stations=8, monte_carlo_sets=2)
+        with pytest.raises(ConfigurationError):
+            run_figure1(params, bandwidths_mbps=(10.0, 100.0), jobs=-1)
