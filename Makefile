@@ -2,12 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: help install test bench bench-quick examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify bench bench-quick examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
 	@echo "  install          editable install of the package"
 	@echo "  test             run the unit test suite"
+	@echo "  verify           tier-1 tests + runner smoke test (manifest"
+	@echo "                   written, JSONL logs parse, cache hits > 0)"
 	@echo "  bench            run every benchmark"
 	@echo "  bench-quick      perf canary: single Figure-1 point + analysis"
 	@echo "                   micro-benches -> BENCH_figure1.json (tracked"
@@ -25,6 +27,10 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+verify:
+	$(PYTHON) -m pytest tests/ -x -q
+	$(PYTHON) tools/verify_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -33,6 +39,7 @@ bench-quick:
 		benchmarks/test_bench_figure1.py::test_bench_figure1_single_point \
 		benchmarks/test_bench_analysis_micro.py \
 		--benchmark-only --benchmark-json=BENCH_figure1.json
+	$(PYTHON) -m repro.obs.benchjson BENCH_figure1.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -12,7 +12,7 @@ Run:  python examples/figure1_reproduction.py [--full] [--csv figure1.csv]
 import argparse
 
 from repro.experiments.config import PaperParameters
-from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.reporting import write_csv
 
 
@@ -45,12 +45,7 @@ def main() -> None:
           "(the paper places the handover between 10 and 100 Mbps)")
 
     if args.csv:
-        write_csv(
-            args.csv,
-            ["bandwidth_mbps", "pdp_standard", "pdp_modified", "ttp",
-             "se_standard", "se_modified", "se_ttp"],
-            result.rows(),
-        )
+        write_csv(args.csv, Figure1Result.CSV_HEADERS, result.rows())
         print(f"\nwrote {args.csv}")
 
 

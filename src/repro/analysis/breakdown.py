@@ -23,6 +23,19 @@ import numpy as np
 
 from repro.errors import MessageSetError
 from repro.messages.message_set import MessageSet
+from repro.obs import metrics as _metrics
+
+#: Saturation-search accounting.  ``probes`` counts physical scale
+#: evaluations (speculative ones included), ``batch_calls`` the batched
+#: predicate invocations of the lockstep search, and ``evals_per_set``
+#: the per-set probe-chain lengths.  All of these are partitioning
+#: invariant: the lockstep search runs per Monte Carlo chunk inside one
+#: grid cell, so every ``--jobs`` value reports identical totals.
+_PROBES = _metrics.counter("breakdown.probes")
+_BATCH_CALLS = _metrics.counter("breakdown.batch_calls")
+_SCALAR_SEARCHES = _metrics.counter("breakdown.scalar_searches")
+_SETS_SATURATED = _metrics.counter("breakdown.sets_saturated")
+_EVALS_PER_SET = _metrics.histogram("breakdown.evals_per_set")
 
 __all__ = [
     "SchedulabilityPredicate",
@@ -160,6 +173,7 @@ def breakdown_scale(
         raise MessageSetError(f"relative tolerance must be positive, got {rel_tol!r}")
 
     if isinstance(predicate, SupportsSaturationScale):
+        _metrics.counter("breakdown.closed_form_sets").inc()
         return float(predicate.saturation_scale(message_set)), 1
 
     test: SchedulabilityPredicate
@@ -174,9 +188,14 @@ def breakdown_scale(
 
     if message_set.total_payload_bits() == 0:
         # Scaling a zero set does nothing; classify directly.
+        _PROBES.inc()
         return (float("inf") if test(message_set) else 0.0), 1
 
-    return _bisect_scale(message_set, test, rel_tol, max_doublings)
+    scale, evaluations = _bisect_scale(message_set, test, rel_tol, max_doublings)
+    _SCALAR_SEARCHES.inc()
+    _PROBES.inc(evaluations)
+    _EVALS_PER_SET.observe(evaluations)
+    return scale, evaluations
 
 
 # -- lockstep batched search --------------------------------------------------
@@ -288,8 +307,13 @@ def _lockstep_bisect(
             indices.extend([i] * len(chunk))
             scales.extend(chunk)
         if not owners:
+            _SETS_SATURATED.inc(n)
+            for _, n_evals in results:
+                _EVALS_PER_SET.observe(n_evals)
             return results
 
+        _BATCH_CALLS.inc()
+        _PROBES.inc(len(scales))
         verdicts = probe(indices, np.asarray(scales))
         for i, start, length in owners:
             chunk = scales[start : start + length]
@@ -379,6 +403,7 @@ def breakdown_scales_batch(
     if not message_sets:
         return []
     if isinstance(predicate, SupportsSaturationScale):
+        _metrics.counter("breakdown.closed_form_sets").inc(len(message_sets))
         return [(float(predicate.saturation_scale(ms)), 1) for ms in message_sets]
     if isinstance(predicate, SupportsBatchScaleProbe):
         return _lockstep_bisect(message_sets, predicate, rel_tol, max_doublings)

@@ -26,6 +26,15 @@ from repro.analysis.breakdown import (
 )
 from repro.errors import ConfigurationError
 from repro.messages.generators import MessageSetSampler
+from repro.obs import metrics as _metrics
+
+#: Monte Carlo accounting: sampled sets and the two degenerate breakdown
+#: outcomes (scale 0 — overheads alone unschedulable — versus scale inf).
+#: Partitioning-invariant: counted per estimate, inside the grid cell.
+_SETS_SAMPLED = _metrics.counter("montecarlo.sets_sampled")
+_DEGENERATE = _metrics.counter("montecarlo.degenerate_sets")
+_ZERO_SCALE = _metrics.counter("montecarlo.zero_scale_sets")
+_INF_SCALE = _metrics.counter("montecarlo.infinite_scale_sets")
 
 __all__ = [
     "AverageBreakdownEstimate",
@@ -135,10 +144,14 @@ def breakdown_samples(
     for result in results:
         if result.scale == float("inf"):
             degenerate += 1
+            _INF_SCALE.inc()
             continue
         if result.scale == 0.0:
             degenerate += 1
+            _ZERO_SCALE.inc()
         samples.append(result.utilization)
+    _SETS_SAMPLED.inc(n_sets)
+    _DEGENERATE.inc(degenerate)
     return samples, degenerate
 
 

@@ -40,6 +40,16 @@ from repro.errors import MessageSetError
 from repro.messages.message_set import MessageSet
 from repro.network.frames import FrameFormat
 from repro.network.ring import RingNetwork
+from repro.obs import metrics as _metrics
+
+#: Structure-cache accounting (see ``PDPAnalysis._exact_test_for``): hits
+#: and misses count lookups, evictions count LRU drops.  ``hits + misses``
+#: is invariant across ``--jobs`` partitionings; the hit/miss split is not
+#: (each worker process warms its own cache).
+_CACHE_HITS = _metrics.counter("pdp.exact_cache.hits")
+_CACHE_MISSES = _metrics.counter("pdp.exact_cache.misses")
+_CACHE_EVICTIONS = _metrics.counter("pdp.exact_cache.evictions")
+_CACHE_SIZE = _metrics.gauge("pdp.exact_cache.size")
 
 __all__ = [
     "PDPVariant",
@@ -281,11 +291,15 @@ class PDPAnalysis:
         key = ordered.periods
         test = self._test_cache.get(key)
         if test is None:
+            _CACHE_MISSES.inc()
             test = ExactRMTest(key)
             self._test_cache[key] = test
             while len(self._test_cache) > self._cache_size:
                 self._test_cache.popitem(last=False)
+                _CACHE_EVICTIONS.inc()
+            _CACHE_SIZE.set(len(self._test_cache))
         else:
+            _CACHE_HITS.inc()
             self._test_cache.move_to_end(key)
         return test
 

@@ -151,6 +151,21 @@ class PaperParameters:
             n_streams=self.n_stations, periods=self.period_distribution()
         )
 
+    # -- observability -----------------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Occupancy of the shared exact-test structure cache.
+
+        Returns ``{"entries": ..., "capacity": ...}`` for this parameter
+        object's cache; global hit/miss/eviction counters live in the
+        metrics registry under ``pdp.exact_cache.*`` (see
+        :mod:`repro.obs.metrics`).
+        """
+        return {
+            "entries": len(self._pdp_test_cache),
+            "capacity": min(self.monte_carlo_sets + 2, 64),
+        }
+
     # -- variations ----------------------------------------------------------------
 
     def scaled_down(self, n_stations: int, monte_carlo_sets: int) -> "PaperParameters":

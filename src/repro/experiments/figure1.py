@@ -40,6 +40,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.config import PaperParameters
 from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import ascii_plot, format_table
+from repro.obs import timing
 from repro.units import mbps
 
 __all__ = [
@@ -143,8 +144,26 @@ class Figure1Result:
 
     # -- rendering ----------------------------------------------------------------
 
+    #: Column names matching :meth:`rows`, reused by CSV writers so the
+    #: artifact schema has one home.
+    CSV_HEADERS = (
+        "bandwidth_mbps",
+        "pdp_standard",
+        "pdp_modified",
+        "ttp",
+        "se_standard",
+        "se_modified",
+        "se_ttp",
+        "deg_standard",
+        "deg_modified",
+        "deg_ttp",
+    )
+
     def rows(self) -> list[list[object]]:
-        """Table rows: bandwidth plus the three means and their stderrs."""
+        """Table rows: bandwidth, the three means, their stderrs, and the
+        per-protocol degenerate-set counts (sets with no finite positive
+        breakdown point — anomalous cells show up here, not just in the
+        mean they drag down)."""
         return [
             [
                 p.bandwidth_mbps,
@@ -154,6 +173,9 @@ class Figure1Result:
                 p.pdp_standard.stderr,
                 p.pdp_modified.stderr,
                 p.ttp.stderr,
+                p.pdp_standard.degenerate_sets,
+                p.pdp_modified.degenerate_sets,
+                p.ttp.degenerate_sets,
             ]
             for p in self.points
         ]
@@ -169,6 +191,9 @@ class Figure1Result:
                 "se(802.5)",
                 "se(mod)",
                 "se(fddi)",
+                "deg(802.5)",
+                "deg(mod)",
+                "deg(fddi)",
             ],
             self.rows(),
         )
@@ -206,14 +231,15 @@ def _figure1_cell(
         analysis = params.ttp_analysis(bandwidth)
     else:  # pragma: no cover - protocol list is closed
         raise ConfigurationError(f"unknown Figure 1 protocol: {protocol!r}")
-    return average_breakdown_utilization(
-        analysis,
-        params.sampler(),
-        mbps(bandwidth),
-        params.monte_carlo_sets,
-        np.random.default_rng(params.seed),
-        rel_tol=rel_tol,
-    )
+    with timing.span(f"figure1/bw{bandwidth:g}/{protocol}"):
+        return average_breakdown_utilization(
+            analysis,
+            params.sampler(),
+            mbps(bandwidth),
+            params.monte_carlo_sets,
+            np.random.default_rng(params.seed),
+            rel_tol=rel_tol,
+        )
 
 
 def run_figure1(
@@ -239,7 +265,9 @@ def run_figure1(
         for bandwidth in bandwidths_mbps
         for protocol in FIGURE1_PROTOCOLS
     ]
-    estimates = parallel_map(_figure1_cell, tasks, shared=params, jobs=jobs)
+    estimates = parallel_map(
+        _figure1_cell, tasks, shared=params, jobs=jobs, label="figure1"
+    )
     points = [
         Figure1Point(
             bandwidth_mbps=bandwidth,

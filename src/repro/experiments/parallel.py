@@ -18,21 +18,39 @@ drops its cache on pickling, so the payload stays small.
 With ``jobs=1`` (the default) no pool is created at all — the tasks run
 inline in the calling process, which preserves single-process profiling
 and keeps the sequential path free of pickling constraints.
+
+Observability rides along transparently (and never changes results):
+
+* each worker resets its process-global metrics registry and span
+  recorder before a task, runs the cell, and ships the task's snapshots
+  back with the result; the parent **merges** them, so the merged totals
+  of any partitioning-invariant metric (probe counts, degenerate sets,
+  per-cell spans) equal the single-process run's — the inline path needs
+  no merging because cells update the parent registry directly;
+* cell completions are logged live at INFO on the
+  ``repro.experiments.parallel`` logger (enable with the runner's
+  ``--log-level info``), in completion order for pools and in task order
+  inline, so long grids show progress instead of minutes of silence.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.obs import logging as obslog
+from repro.obs import metrics, timing
 
 __all__ = ["parallel_map", "resolve_jobs"]
 
 _S = TypeVar("_S")
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+_LOG = obslog.get_logger("experiments.parallel")
 
 #: Per-worker state installed by the pool initializer: the cell function
 #: and the shared context, unpickled exactly once per worker process.
@@ -56,8 +74,14 @@ def _worker_init(fn: Callable, shared: object) -> None:
     _WORKER_STATE["shared"] = shared
 
 
-def _worker_call(task: object) -> object:
-    return _WORKER_STATE["fn"](_WORKER_STATE["shared"], task)
+def _worker_call(task: object) -> tuple:
+    # Reset before (not after) the task: a forked worker inherits the
+    # parent's accumulated metrics, which must not be double-counted when
+    # this task's snapshot is merged back.
+    metrics.registry().reset()
+    timing.recorder().reset()
+    result = _WORKER_STATE["fn"](_WORKER_STATE["shared"], task)
+    return result, metrics.snapshot(), timing.snapshot()
 
 
 def parallel_map(
@@ -66,6 +90,7 @@ def parallel_map(
     *,
     shared: "_S" = None,
     jobs: int | None = 1,
+    label: str | None = None,
 ) -> "list[_R]":
     """``[fn(shared, task) for task in tasks]``, optionally across processes.
 
@@ -76,17 +101,53 @@ def parallel_map(
         shared: context passed as the first argument of every call; sent
             to each worker once via the pool initializer.
         jobs: worker processes; 1 runs inline, 0 means all cores.
+        label: grid name used in progress log lines (defaults to the
+            cell function's name).
 
     Results come back in task order regardless of completion order, so
-    callers see exactly the sequential semantics.
+    callers see exactly the sequential semantics.  Worker metrics and
+    timing spans are merged into this process's global registries.
     """
     task_list = list(tasks)
     n_jobs = resolve_jobs(jobs)
-    if n_jobs <= 1 or len(task_list) <= 1:
-        return [fn(shared, task) for task in task_list]
+    name = label or getattr(fn, "__name__", "cells")
+    total = len(task_list)
+    if n_jobs <= 1 or total <= 1:
+        results = []
+        for index, task in enumerate(task_list):
+            started = time.perf_counter()
+            results.append(fn(shared, task))
+            _LOG.info(
+                "%s: cell %d/%d done in %.2fs",
+                name,
+                index + 1,
+                total,
+                time.perf_counter() - started,
+                extra={"grid": name, "done": index + 1, "total": total},
+            )
+        return results
     with ProcessPoolExecutor(
-        max_workers=min(n_jobs, len(task_list)),
+        max_workers=min(n_jobs, total),
         initializer=_worker_init,
         initargs=(fn, shared),
     ) as pool:
-        return list(pool.map(_worker_call, task_list))
+        futures = [pool.submit(_worker_call, task) for task in task_list]
+        pending = set(futures)
+        done_count = 0
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            done_count += len(finished)
+            _LOG.info(
+                "%s: %d/%d cells done",
+                name,
+                done_count,
+                total,
+                extra={"grid": name, "done": done_count, "total": total},
+            )
+        results = []
+        for future in futures:
+            result, metric_snap, span_snap = future.result()
+            metrics.merge(metric_snap)
+            timing.merge(span_snap)
+            results.append(result)
+        return results

@@ -12,8 +12,12 @@ import math
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import logging as obslog
+from repro.obs import metrics as _metrics
 
 __all__ = ["format_table", "ascii_plot", "write_csv", "format_csv"]
+
+_LOG = obslog.get_logger("experiments.reporting")
 
 
 def format_table(
@@ -118,3 +122,10 @@ def write_csv(
     """Write a numeric table to ``path`` as CSV."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(format_csv(headers, rows))
+    _metrics.counter("reporting.csv_files_written").inc()
+    _LOG.info(
+        "wrote CSV %s (%d rows)",
+        path,
+        len(rows),
+        extra={"artifact": str(path), "rows": len(rows)},
+    )

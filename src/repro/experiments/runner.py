@@ -19,17 +19,32 @@ preserving every qualitative shape.
 ``--jobs N`` fans the independent grid cells of an experiment across N
 worker processes (0 = all cores).  Each cell reseeds from the base seed,
 so the output is bit-identical for every ``--jobs`` value.
+
+Observability (see :mod:`repro.obs` and docs/USAGE.md §11):
+
+* ``--log-level info`` streams live progress (per-cell completions) to
+  stderr; ``--log-json run.jsonl`` appends every record, including the
+  human-facing output, to a machine-readable JSONL file.
+* ``--quiet`` suppresses stdout; combined with ``--log-json`` the run is
+  silent but fully recorded.
+* Every invocation writes a ``manifest.json`` (next to the CSV when one
+  is requested, in the working directory otherwise) capturing the seed,
+  parameters, CLI arguments, git SHA, environment, wall time, and the
+  final metrics/timing-span snapshots — enough to regenerate and audit
+  every plotted point.  ``--manifest PATH`` overrides the location;
+  ``--no-manifest`` disables it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.experiments.config import PaperParameters
 from repro.experiments.crossover import crossover_map
-from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.reporting import write_csv
 from repro.experiments.sweeps import (
     frame_size_sweep,
@@ -39,8 +54,12 @@ from repro.experiments.sweeps import (
     ttrt_sweep,
 )
 from repro.experiments.throughput import throughput_experiment
+from repro.obs import logging as obslog
+from repro.obs import manifest as obsmanifest
+from repro.obs import metrics, timing
+from repro.obs.logging import console
 
-__all__ = ["main", "build_parameters"]
+__all__ = ["main", "build_parameters", "resolve_manifest_path"]
 
 
 def build_parameters(fast: bool, sets: int | None, stations: int | None) -> PaperParameters:
@@ -55,29 +74,42 @@ def build_parameters(fast: bool, sets: int | None, stations: int | None) -> Pape
     return params
 
 
-def _run_figure1(args: argparse.Namespace, params: PaperParameters) -> None:
-    result = run_figure1(params, jobs=args.jobs)
-    print(result.to_table())
-    print()
-    print(result.to_ascii_plot())
-    print("shape checks:")
-    for check, passed in result.shape_report().items():
-        print(f"  {'PASS' if passed else 'FAIL'}  {check}")
-    crossover = result.crossover_bandwidth()
-    print(f"crossover bandwidth: {crossover} Mbps")
+def resolve_manifest_path(args: argparse.Namespace) -> str | None:
+    """Where this invocation's manifest goes.
+
+    ``--no-manifest`` disables it; ``--manifest PATH`` pins it; otherwise
+    it lands next to the CSV artifact when one is requested, else in the
+    working directory as ``manifest.json``.
+    """
+    if args.no_manifest:
+        return None
+    if args.manifest:
+        return args.manifest
     if args.csv:
-        write_csv(
-            args.csv,
-            ["bandwidth_mbps", "pdp_standard", "pdp_modified", "ttp",
-             "se_standard", "se_modified", "se_ttp"],
-            result.rows(),
-        )
-        print(f"wrote {args.csv}")
+        return os.path.join(os.path.dirname(args.csv) or ".", "manifest.json")
+    return "manifest.json"
+
+
+def _run_figure1(args: argparse.Namespace, params: PaperParameters) -> list[str]:
+    result = run_figure1(params, jobs=args.jobs)
+    console(result.to_table())
+    console()
+    console(result.to_ascii_plot())
+    console("shape checks:")
+    for check, passed in result.shape_report().items():
+        console(f"  {'PASS' if passed else 'FAIL'}  {check}")
+    crossover = result.crossover_bandwidth()
+    console(f"crossover bandwidth: {crossover} Mbps")
+    if args.csv:
+        write_csv(args.csv, Figure1Result.CSV_HEADERS, result.rows())
+        console(f"wrote {args.csv}")
+        return [args.csv]
+    return []
 
 
 def _run_sweep(sweep_result) -> None:
-    print(sweep_result.name)
-    print(sweep_result.to_table())
+    console(sweep_result.name)
+    console(sweep_result.to_table())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -105,54 +137,110 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for experiment grids (0 = all cores); "
         "results are identical for every value",
     )
+    parser.add_argument(
+        "--log-level", type=str, default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="stderr log threshold (per-cell progress appears at info)",
+    )
+    parser.add_argument(
+        "--log-json", type=str, default=None, metavar="PATH",
+        help="also append every log record to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress stdout output (logs and artifacts still written)",
+    )
+    parser.add_argument(
+        "--manifest", type=str, default=None, metavar="PATH",
+        help="run-manifest path (default: manifest.json next to the CSV, "
+        "or in the working directory)",
+    )
+    parser.add_argument(
+        "--no-manifest", action="store_true",
+        help="do not write a run manifest",
+    )
     args = parser.parse_args(argv)
+
+    obslog.setup_logging(
+        level=args.log_level, json_path=args.log_json, quiet=args.quiet
+    )
+    log = obslog.get_logger("experiments.runner")
+    log.info(
+        "starting experiment %s",
+        args.experiment,
+        extra={"experiment": args.experiment, "jobs": args.jobs},
+    )
 
     params = build_parameters(args.fast, args.sets, args.stations)
     started = time.perf_counter()
+    artifacts: list[str] = []
 
-    if args.experiment in ("figure1", "all"):
-        _run_figure1(args, params)
-    if args.experiment in ("ttrt", "all"):
-        _run_sweep(ttrt_sweep(params, args.bandwidth, jobs=args.jobs))
-    if args.experiment in ("frames", "all"):
-        _run_sweep(frame_size_sweep(params, args.bandwidth, jobs=args.jobs))
-    if args.experiment in ("periods", "all"):
-        _run_sweep(period_sweep(params, args.bandwidth, jobs=args.jobs))
-    if args.experiment in ("sba", "all"):
-        _run_sweep(sba_comparison(params, args.bandwidth))
-    if args.experiment in ("ringsize", "all"):
-        _run_sweep(ring_size_sweep(params, args.bandwidth, jobs=args.jobs))
-    if args.experiment in ("throughput", "all"):
-        print("throughput division (sync at half breakdown, async saturating)")
-        print(throughput_experiment(params).to_table())
-    if args.experiment in ("crossover", "all"):
-        counts = (5, 10, 20) if params.n_stations <= 20 else (10, 25, 50, 100)
-        print("crossover frontier (ring size -> handover bandwidth)")
-        print(crossover_map(params, station_counts=counts).to_table())
-    if args.experiment in ("sharpness", "all"):
-        from repro.experiments.sharpness import sharpness_experiment
+    with timing.span(f"runner/{args.experiment}"):
+        if args.experiment in ("figure1", "all"):
+            artifacts.extend(_run_figure1(args, params))
+        if args.experiment in ("ttrt", "all"):
+            _run_sweep(ttrt_sweep(params, args.bandwidth, jobs=args.jobs))
+        if args.experiment in ("frames", "all"):
+            _run_sweep(frame_size_sweep(params, args.bandwidth, jobs=args.jobs))
+        if args.experiment in ("periods", "all"):
+            _run_sweep(period_sweep(params, args.bandwidth, jobs=args.jobs))
+        if args.experiment in ("sba", "all"):
+            _run_sweep(sba_comparison(params, args.bandwidth))
+        if args.experiment in ("ringsize", "all"):
+            _run_sweep(ring_size_sweep(params, args.bandwidth, jobs=args.jobs))
+        if args.experiment in ("throughput", "all"):
+            console("throughput division (sync at half breakdown, async saturating)")
+            console(throughput_experiment(params).to_table())
+        if args.experiment in ("crossover", "all"):
+            counts = (5, 10, 20) if params.n_stations <= 20 else (10, 25, 50, 100)
+            console("crossover frontier (ring size -> handover bandwidth)")
+            console(crossover_map(params, station_counts=counts).to_table())
+        if args.experiment in ("sharpness", "all"):
+            from repro.experiments.sharpness import sharpness_experiment
 
-        sharp_params = params.scaled_down(
-            min(params.n_stations, 8), params.monte_carlo_sets
+            sharp_params = params.scaled_down(
+                min(params.n_stations, 8), params.monte_carlo_sets
+            )
+            console("criterion sharpness (empirical / analytic breakdown scale)")
+            console(
+                sharpness_experiment(
+                    sharp_params, bandwidth_mbps=args.bandwidth, n_sets=5
+                ).to_table()
+            )
+        if args.experiment == "report":
+            from repro.experiments.report import generate_report
+
+            text = generate_report(params)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                console(f"wrote {args.out}")
+                artifacts.append(args.out)
+            else:
+                console(text)
+
+    elapsed = time.perf_counter() - started
+    manifest_path = resolve_manifest_path(args)
+    if manifest_path is not None:
+        document = obsmanifest.build_manifest(
+            command=args.experiment,
+            cli_args={
+                key: value for key, value in vars(args).items()
+                if not key.startswith("_")
+            },
+            parameters=params,
+            wall_time_s=elapsed,
+            metrics=metrics.snapshot(),
+            spans=timing.snapshot(),
+            artifacts=artifacts,
         )
-        print("criterion sharpness (empirical / analytic breakdown scale)")
-        print(
-            sharpness_experiment(
-                sharp_params, bandwidth_mbps=args.bandwidth, n_sets=5
-            ).to_table()
-        )
-    if args.experiment == "report":
-        from repro.experiments.report import generate_report
+        obsmanifest.write_manifest(manifest_path, document)
+        log.info("wrote manifest %s", manifest_path,
+                 extra={"artifact": manifest_path})
+        console(f"wrote {manifest_path}")
 
-        text = generate_report(params)
-        if args.out:
-            with open(args.out, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            print(f"wrote {args.out}")
-        else:
-            print(text)
-
-    print(f"\nelapsed: {time.perf_counter() - started:.1f}s")
+    console(f"\nelapsed: {elapsed:.1f}s")
+    log.info("finished in %.2fs", elapsed, extra={"wall_time_s": elapsed})
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.analysis.ttrt import (
 from repro.experiments.config import PaperParameters
 from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import format_table
+from repro.obs import timing
 from repro.units import mbps
 
 __all__ = [
@@ -72,13 +73,14 @@ def _ttrt_cell(shared, policy) -> tuple[float, float]:
     """One TTRT-policy estimate (module-level so workers can import it)."""
     parameters, bandwidth_mbps = shared
     analysis = parameters.ttp_analysis(bandwidth_mbps, policy)
-    result = average_breakdown_utilization(
-        analysis,
-        parameters.sampler(),
-        mbps(bandwidth_mbps),
-        parameters.monte_carlo_sets,
-        np.random.default_rng(parameters.seed),
-    )
+    with timing.span(f"ttrt-sweep/{type(policy).__name__}"):
+        result = average_breakdown_utilization(
+            analysis,
+            parameters.sampler(),
+            mbps(bandwidth_mbps),
+            parameters.monte_carlo_sets,
+            np.random.default_rng(parameters.seed),
+        )
     return result.mean, result.stderr
 
 
@@ -114,6 +116,7 @@ def ttrt_sweep(
         [policy for policy, _, _ in labelled],
         shared=(parameters, bandwidth_mbps),
         jobs=jobs,
+        label="ttrt-sweep",
     )
     rows = [
         (label, ttrt_s, mean, stderr)
@@ -131,14 +134,15 @@ def _frame_size_cell(shared, task) -> tuple[object, ...]:
     parameters, bandwidth_mbps = shared
     size, variant = task
     varied = parameters.with_frame(payload_bytes=size)
-    result = average_breakdown_utilization(
-        varied.pdp_analysis(bandwidth_mbps, variant),
-        parameters.sampler(),
-        mbps(bandwidth_mbps),
-        varied.monte_carlo_sets,
-        np.random.default_rng(varied.seed),
-        rel_tol=1e-3,
-    )
+    with timing.span(f"frame-size-sweep/{size:g}B/{variant.value}"):
+        result = average_breakdown_utilization(
+            varied.pdp_analysis(bandwidth_mbps, variant),
+            parameters.sampler(),
+            mbps(bandwidth_mbps),
+            varied.monte_carlo_sets,
+            np.random.default_rng(varied.seed),
+            rel_tol=1e-3,
+        )
     return variant.value, size, result.mean, result.stderr
 
 
@@ -164,6 +168,7 @@ def frame_size_sweep(
         ],
         shared=(parameters, bandwidth_mbps),
         jobs=jobs,
+        label="frame-size-sweep",
     )
     return SweepResult(
         name=f"frame-size-sweep@{bandwidth_mbps}Mbps",
@@ -183,14 +188,17 @@ def _period_cell(shared, task) -> float:
         analysis = varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED)
     else:
         analysis = varied.ttp_analysis(bandwidth_mbps)
-    return average_breakdown_utilization(
-        analysis,
-        varied.sampler(),
-        mbps(bandwidth_mbps),
-        varied.monte_carlo_sets,
-        np.random.default_rng(varied.seed),
-        rel_tol=1e-3,
-    ).mean
+    with timing.span(
+        f"period-sweep/mp{mean_period:g}/r{ratio:g}/{protocol}"
+    ):
+        return average_breakdown_utilization(
+            analysis,
+            varied.sampler(),
+            mbps(bandwidth_mbps),
+            varied.monte_carlo_sets,
+            np.random.default_rng(varied.seed),
+            rel_tol=1e-3,
+        ).mean
 
 
 def period_sweep(
@@ -216,6 +224,7 @@ def period_sweep(
         [(mp, ratio, protocol) for mp, ratio in grid for protocol in protocols],
         shared=(parameters, bandwidth_mbps),
         jobs=jobs,
+        label="period-sweep",
     )
     rows = [
         (mp, ratio, *means[3 * i : 3 * i + 3])
@@ -288,14 +297,15 @@ def _ring_size_cell(shared, task) -> float:
         analysis = varied.pdp_analysis(bandwidth_mbps, PDPVariant.MODIFIED)
     else:
         analysis = varied.ttp_analysis(bandwidth_mbps)
-    return average_breakdown_utilization(
-        analysis,
-        varied.sampler(),
-        mbps(bandwidth_mbps),
-        varied.monte_carlo_sets,
-        np.random.default_rng(varied.seed),
-        rel_tol=1e-3,
-    ).mean
+    with timing.span(f"ring-size-sweep/n{n}/{protocol}"):
+        return average_breakdown_utilization(
+            analysis,
+            varied.sampler(),
+            mbps(bandwidth_mbps),
+            varied.monte_carlo_sets,
+            np.random.default_rng(varied.seed),
+            rel_tol=1e-3,
+        ).mean
 
 
 def ring_size_sweep(
@@ -311,6 +321,7 @@ def ring_size_sweep(
         [(n, protocol) for n in station_counts for protocol in protocols],
         shared=(parameters, bandwidth_mbps),
         jobs=jobs,
+        label="ring-size-sweep",
     )
     rows = [
         (n, *means[3 * i : 3 * i + 3]) for i, n in enumerate(station_counts)

@@ -1,0 +1,54 @@
+"""Observability: structured logging, metrics, timing spans, manifests.
+
+The shared instrumentation layer for the whole library.  Four small
+modules with one design contract between them — *instrumentation never
+changes results*:
+
+* :mod:`repro.obs.logging` — human-readable stderr logging plus a JSONL
+  sink, and the :func:`~repro.obs.logging.console` replacement for bare
+  ``print`` in experiment entry points.
+* :mod:`repro.obs.metrics` — a registry of counters / gauges /
+  histograms wired into the hot paths (exact-test cache, lockstep
+  bisection, Monte Carlo sampling, simulators); snapshots are picklable
+  and mergeable across worker processes.
+* :mod:`repro.obs.timing` — hierarchical wall-time spans over
+  ``perf_counter``, aggregated by path (one path per grid cell in the
+  experiment sweeps).
+* :mod:`repro.obs.manifest` — run manifests: a JSON provenance record
+  (seed, parameters, git SHA, environment, metrics, spans) written next
+  to every experiment artifact.
+* :mod:`repro.obs.benchjson` — the versioned summarizer behind the
+  ``make bench-quick`` perf canary.
+
+Everything defaults to *on* because the cost is negligible by design
+(updates are O(1) and happen per batch / per run, never per inner-loop
+iteration); ``metrics.disable()`` and ``timing.disable()`` turn the layer
+into strict no-ops for paranoid benchmarking.
+"""
+
+from __future__ import annotations
+
+from repro.obs import logging, manifest, metrics, timing
+from repro.obs.logging import console, get_logger, setup_logging
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry, counter, gauge, histogram
+from repro.obs.timing import SpanRecorder, span, timed
+
+__all__ = [
+    "logging",
+    "manifest",
+    "metrics",
+    "timing",
+    "console",
+    "get_logger",
+    "setup_logging",
+    "build_manifest",
+    "write_manifest",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "SpanRecorder",
+    "span",
+    "timed",
+]

@@ -1,0 +1,116 @@
+"""Summarize pytest-benchmark JSON into a compact, versioned canary.
+
+``make bench-quick`` tracks the performance trajectory of the library
+across PRs in ``BENCH_figure1.json``.  The raw pytest-benchmark output is
+tens of thousands of lines — every individual sample of every round plus
+the host's full CPU flag list — which swamps diffs and buries the signal.
+This module reduces it to what trajectory comparison needs:
+
+* per-benchmark summary statistics (mean / stddev / quantiles / ops /
+  rounds) with the raw ``data`` arrays dropped,
+* a trimmed machine fingerprint (enough to tell runs on different
+  hardware apart, nothing more),
+* any ``extra_info`` the benchmark attached (e.g. timing-span snapshots
+  from the observability layer), and
+* an explicit ``schema_version`` so future format changes stay
+  detectable instead of silently breaking comparisons.
+
+CLI::
+
+    python -m repro.obs.benchjson RAW.json [OUT.json]
+
+With one path, the file is summarized in place.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+__all__ = ["BENCH_SCHEMA_VERSION", "summarize_benchmark_json", "main"]
+
+#: Version of the summarized canary format (raw pytest-benchmark has none).
+BENCH_SCHEMA_VERSION = 2
+
+#: Per-benchmark statistics worth tracking across PRs.
+_STAT_FIELDS = (
+    "min",
+    "max",
+    "mean",
+    "stddev",
+    "median",
+    "iqr",
+    "q1",
+    "q3",
+    "ops",
+    "total",
+    "rounds",
+    "iterations",
+)
+
+#: Machine fingerprint fields worth keeping (of ~100 in the raw output).
+_MACHINE_FIELDS = ("node", "machine", "system", "release", "python_version")
+
+
+def summarize_benchmark_json(raw: dict) -> dict:
+    """Reduce a raw pytest-benchmark document to the tracked summary.
+
+    Idempotent: summarizing an already-summarized document returns it
+    unchanged, so re-running ``make bench-quick`` post-processing is safe.
+    """
+    if raw.get("schema_version") == BENCH_SCHEMA_VERSION:
+        return raw
+    machine_info = raw.get("machine_info", {})
+    machine = {k: machine_info.get(k) for k in _MACHINE_FIELDS}
+    cpu = machine_info.get("cpu", {})
+    if isinstance(cpu, dict):
+        machine["cpu"] = {
+            "brand": cpu.get("brand_raw"),
+            "count": cpu.get("count"),
+            "arch": cpu.get("arch"),
+        }
+    benchmarks = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "group": bench.get("group"),
+                "name": bench.get("name"),
+                "fullname": bench.get("fullname"),
+                "params": bench.get("params"),
+                "extra_info": bench.get("extra_info", {}),
+                "stats": {k: stats.get(k) for k in _STAT_FIELDS},
+            }
+        )
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "datetime": raw.get("datetime"),
+        "pytest_benchmark_version": raw.get("version"),
+        "commit_info": raw.get("commit_info"),
+        "machine": machine,
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: summarize ``RAW.json`` into ``OUT.json``."""
+    args = sys.argv[1:] if argv is None else list(argv)
+    if not 1 <= len(args) <= 2:
+        print(
+            "usage: python -m repro.obs.benchjson RAW.json [OUT.json]",
+            file=sys.stderr,
+        )
+        return 2
+    raw_path = args[0]
+    out_path = args[1] if len(args) == 2 else args[0]
+    with open(raw_path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    summary = summarize_benchmark_json(raw)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Structured logging: human-readable stderr + machine-readable JSONL.
+
+One call configures the whole library::
+
+    from repro.obs import logging as obslog
+    obslog.setup_logging(level="info", json_path="run.jsonl")
+
+* Human output goes to **stderr** through a conventional formatter, so
+  experiment tables on stdout stay pipe-clean.
+* When ``json_path`` is given, every record is *also* appended to that
+  file as one JSON object per line (JSONL) — timestamp, level, logger,
+  message, plus any structured fields passed via ``extra=`` — so a run's
+  log is greppable by ``jq`` as easily as by eye.
+* :func:`console` is the sanctioned replacement for bare ``print`` in
+  experiment entry points: it writes to stdout unless :func:`set_quiet`
+  was called, and mirrors the text into the JSONL sink (never stderr) so
+  quiet runs still leave a complete machine-readable record.
+
+Everything hangs off the ``"repro"`` logger namespace; the library never
+touches the root logger, and without :func:`setup_logging` all library
+logging stays silent (the stdlib default), preserving the output of
+existing scripts byte for byte.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import json
+import logging
+import os
+import sys
+
+__all__ = [
+    "JsonlFormatter",
+    "setup_logging",
+    "teardown_logging",
+    "get_logger",
+    "console",
+    "set_quiet",
+    "is_quiet",
+]
+
+#: Name of the logger subtree used by the whole library.
+ROOT_LOGGER_NAME = "repro"
+
+#: Logger carrying :func:`console` output into the JSONL sink only.
+CONSOLE_LOGGER_NAME = "repro.obs.console"
+
+#: Attributes every LogRecord carries; anything else came in via
+#: ``extra=`` and is emitted as a structured JSON field.
+_STANDARD_RECORD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "x", None, None)
+    ).keys()
+) | {"message", "asctime", "taskName"}
+
+_quiet = False
+_handlers: list[logging.Handler] = []
+_console_handlers: list[logging.Handler] = []
+
+
+class JsonlFormatter(logging.Formatter):
+    """Format each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        """Serialize ``record`` (and its ``extra`` fields) to one JSON line."""
+        payload: dict = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in vars(record).items():
+            if key in _STANDARD_RECORD_ATTRS or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+                payload[key] = value
+            except (TypeError, ValueError):
+                payload[key] = repr(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+def setup_logging(
+    level: str = "info",
+    json_path: str | None = None,
+    stream: "io.TextIOBase | None" = None,
+    quiet: bool = False,
+) -> logging.Logger:
+    """Configure library logging; idempotent (reconfigures on re-call).
+
+    Args:
+        level: threshold name (``debug``/``info``/``warning``/``error``)
+            for both the stderr handler and the JSONL sink.
+        json_path: when given, append every record to this file as JSONL.
+        stream: destination for human-readable output (default stderr).
+        quiet: also suppress :func:`console` stdout output.
+
+    Returns the configured ``"repro"`` logger.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    teardown_logging()
+    set_quiet(quiet)
+
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(numeric)
+    human = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    human.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    logger.addHandler(human)
+    _handlers.append(human)
+
+    console_logger = logging.getLogger(CONSOLE_LOGGER_NAME)
+    console_logger.setLevel(logging.INFO)
+    console_logger.propagate = False  # never duplicated onto stderr
+
+    if json_path is not None:
+        parent = os.path.dirname(json_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        sink = logging.FileHandler(json_path, encoding="utf-8")
+        sink.setFormatter(JsonlFormatter())
+        logger.addHandler(sink)
+        _handlers.append(sink)
+        console_sink = logging.FileHandler(json_path, encoding="utf-8")
+        console_sink.setFormatter(JsonlFormatter())
+        console_logger.addHandler(console_sink)
+        _console_handlers.append(console_sink)
+    return logger
+
+
+def teardown_logging() -> None:
+    """Remove every handler installed by :func:`setup_logging`."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in _handlers:
+        logger.removeHandler(handler)
+        handler.close()
+    _handlers.clear()
+    console_logger = logging.getLogger(CONSOLE_LOGGER_NAME)
+    for handler in _console_handlers:
+        console_logger.removeHandler(handler)
+        handler.close()
+    _console_handlers.clear()
+    set_quiet(False)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the library namespace: ``repro.<name>``."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def set_quiet(quiet: bool) -> None:
+    """Suppress (or restore) :func:`console` stdout output."""
+    global _quiet
+    _quiet = bool(quiet)
+
+
+def is_quiet() -> bool:
+    """True when :func:`console` stdout output is suppressed."""
+    return _quiet
+
+
+def console(*parts: object, sep: str = " ") -> None:
+    """Human-facing output: stdout unless quiet, mirrored to the JSONL sink.
+
+    The drop-in replacement for bare ``print`` in experiment entry
+    points — tables and summaries keep appearing on stdout for humans and
+    pipelines, while ``--quiet`` runs still record them in the structured
+    log (when one is configured).
+    """
+    text = sep.join(str(p) for p in parts)
+    if not _quiet:
+        print(text)
+    console_logger = logging.getLogger(CONSOLE_LOGGER_NAME)
+    if console_logger.handlers:
+        console_logger.info(text)

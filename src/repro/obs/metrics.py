@@ -1,0 +1,287 @@
+"""A lightweight in-process metrics registry: counters, gauges, histograms.
+
+The hot paths of this library — the exact-test structure cache, the
+lockstep batched bisection, the Monte Carlo sampler, the simulators — are
+instrumented with named metrics so a run can report *what it did* (cache
+hit rates, probe counts, degenerate workloads, token visits) alongside
+what it computed.  Three design rules keep this safe to leave in
+production code:
+
+* **Metrics never feed back into results.**  Reading or writing a metric
+  cannot change a computed value; every experiment stays bit-identical
+  with metrics enabled, disabled, or absent.
+* **Updates are O(1) and batched.**  Instrumentation points increment
+  once per cache lookup, per batched probe call, or per simulation run —
+  never inside a numeric inner loop — so the overhead is unmeasurable
+  next to the work being counted.  :func:`disable` short-circuits even
+  those updates.
+* **Snapshots are mergeable.**  :meth:`MetricsRegistry.snapshot` returns
+  a plain picklable dict and :meth:`MetricsRegistry.merge` folds one
+  registry's totals into another, which is how per-worker metrics from
+  :func:`repro.experiments.parallel.parallel_map` are combined into the
+  parent process: counters and histogram mass add, gauges keep their
+  maximum.
+
+Metric objects are singletons per name within a registry:
+:func:`counter`, :func:`gauge`, and :func:`histogram` return the same
+object for the same name, so modules can bind them at import time and
+:meth:`MetricsRegistry.reset` zeroes values *in place* without
+invalidating those references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "enable",
+    "disable",
+    "snapshot",
+    "merge",
+    "reset",
+]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, hits, probes)."""
+
+    name: str
+    value: float = 0.0
+    _registry: "MetricsRegistry | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter increments must be non-negative, got {amount!r}"
+            )
+        if self._registry is None or self._registry.enabled:
+            self.value += amount
+
+    def to_dict(self) -> dict:
+        """Snapshot form: ``{"type": "counter", "value": ...}``."""
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (cache size, queue depth)."""
+
+    name: str
+    value: float = 0.0
+    _registry: "MetricsRegistry | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        if self._registry is None or self._registry.enabled:
+            self.value = float(value)
+
+    def to_dict(self) -> dict:
+        """Snapshot form: ``{"type": "gauge", "value": ...}``."""
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count / sum / sum-of-squares / min / max — enough for the mean
+    and variance and for exact merging across worker processes, without
+    storing samples.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    sum_squares: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    _registry: "MetricsRegistry | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def observe(self, value: float) -> None:
+        """Account one observation."""
+        if self._registry is not None and not self._registry.enabled:
+            return
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.sum_squares += value * value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Snapshot form with count/total/min/max/mean."""
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "sum_squares": self.sum_squares,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    One process-global instance (see :func:`registry`) serves the whole
+    library; isolated instances are useful in tests.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        metric = cls(name=name)
+        metric._registry = self
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """All metrics as a plain picklable ``{name: dict}`` mapping.
+
+        Metrics still at their zero state are skipped, so a snapshot
+        reflects only what a run actually touched.
+        """
+        out: dict[str, dict] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, (Counter, Gauge)) and metric.value == 0.0:
+                continue
+            if isinstance(metric, Histogram) and metric.count == 0:
+                continue
+            out[name] = metric.to_dict()
+        return out
+
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram mass add; gauges keep the maximum of the
+        two levels (the only order-independent combination for levels
+        observed in different processes).
+        """
+        for name, data in snap.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).value += data["value"]
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.value = max(gauge.value, data["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                if data["count"]:
+                    hist.count += data["count"]
+                    hist.total += data["total"]
+                    hist.sum_squares += data["sum_squares"]
+                    hist.minimum = min(hist.minimum, data["min"])
+                    hist.maximum = max(hist.maximum, data["max"])
+            else:
+                raise ConfigurationError(
+                    f"cannot merge metric {name!r} of unknown type {kind!r}"
+                )
+
+    def reset(self) -> None:
+        """Zero every metric **in place** (references stay valid)."""
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                metric.value = 0.0
+            elif isinstance(metric, Gauge):
+                metric.value = 0.0
+            else:
+                metric.count = 0
+                metric.total = 0.0
+                metric.sum_squares = 0.0
+                metric.minimum = float("inf")
+                metric.maximum = float("-inf")
+
+
+#: The process-global registry used by all library instrumentation.
+_GLOBAL = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _GLOBAL
+
+
+def counter(name: str) -> Counter:
+    """The global counter named ``name``."""
+    return _GLOBAL.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The global gauge named ``name``."""
+    return _GLOBAL.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """The global histogram named ``name``."""
+    return _GLOBAL.histogram(name)
+
+
+def enable() -> None:
+    """Turn global metric collection on (the default)."""
+    _GLOBAL.enabled = True
+
+
+def disable() -> None:
+    """Turn global metric collection off: updates become no-ops."""
+    _GLOBAL.enabled = False
+
+
+def snapshot() -> dict:
+    """Snapshot of the global registry."""
+    return _GLOBAL.snapshot()
+
+
+def merge(snap: dict) -> None:
+    """Merge a snapshot into the global registry."""
+    _GLOBAL.merge(snap)
+
+
+def reset() -> None:
+    """Zero the global registry in place."""
+    _GLOBAL.reset()

@@ -1,0 +1,182 @@
+"""Hierarchical timing spans over ``time.perf_counter``.
+
+A *span* measures the wall time of one named region of work.  Spans nest:
+entering a span while another is open records the inner one under the
+path ``outer/inner``, so one snapshot reads like a profile of the call
+tree the run actually executed — ``figure1/bw10/ttp`` is the wall time of
+one grid cell of the Figure 1 sweep.
+
+Spans aggregate by path (count / total / min / max), never store
+individual timings, and snapshot to a plain picklable dict, mirroring the
+design of :mod:`repro.obs.metrics`: worker processes snapshot their
+recorder and the parent merges, so a ``--jobs 8`` run reports the same
+per-cell timings a sequential run would (modulo the actual durations).
+
+Two APIs::
+
+    with span("figure1/bw10/ttp"):
+        ...                        # context manager
+
+    @timed("sample")
+    def sample(...): ...           # decorator, path = current stack + name
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "SpanStats",
+    "SpanRecorder",
+    "recorder",
+    "span",
+    "timed",
+    "snapshot",
+    "merge",
+    "reset",
+    "enable",
+    "disable",
+]
+
+
+@dataclass
+class SpanStats:
+    """Aggregated wall time of every execution of one span path."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = float("-inf")
+
+    def record(self, seconds: float) -> None:
+        """Account one execution of the span."""
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    def to_dict(self) -> dict:
+        """Snapshot form: count / total / min / max / mean seconds."""
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else None,
+            "max_s": self.max_s if self.count else None,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+        }
+
+
+class SpanRecorder:
+    """Collects nested span timings for one process.
+
+    One process-global instance (see :func:`recorder`) serves the
+    library; isolated instances are useful in tests.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._stack: list[str] = []
+        self._spans: dict[str, SpanStats] = {}
+
+    @contextmanager
+    def span(self, name: str):
+        """Time a region under ``name``, nested below any open span."""
+        if not self.enabled:
+            yield
+            return
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._stack.pop()
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats()
+            stats.record(elapsed)
+
+    def timed(self, name: str):
+        """Decorator form of :meth:`span`."""
+
+        def decorate(fn):
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def snapshot(self) -> dict:
+        """All spans as a plain picklable ``{path: dict}`` mapping."""
+        return {
+            path: stats.to_dict() for path, stats in sorted(self._spans.items())
+        }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        recorder: counts and totals add, min/max combine."""
+        for path, data in snap.items():
+            if not data["count"]:
+                continue
+            stats = self._spans.get(path)
+            if stats is None:
+                stats = self._spans[path] = SpanStats()
+            stats.count += data["count"]
+            stats.total_s += data["total_s"]
+            stats.min_s = min(stats.min_s, data["min_s"])
+            stats.max_s = max(stats.max_s, data["max_s"])
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans keep timing correctly)."""
+        self._spans.clear()
+
+
+#: The process-global recorder used by all library instrumentation.
+_GLOBAL = SpanRecorder()
+
+
+def recorder() -> SpanRecorder:
+    """The process-global span recorder."""
+    return _GLOBAL
+
+
+def span(name: str):
+    """Context manager timing ``name`` on the global recorder."""
+    return _GLOBAL.span(name)
+
+
+def timed(name: str):
+    """Decorator timing ``name`` on the global recorder."""
+    return _GLOBAL.timed(name)
+
+
+def snapshot() -> dict:
+    """Snapshot of the global recorder."""
+    return _GLOBAL.snapshot()
+
+
+def merge(snap: dict) -> None:
+    """Merge a snapshot into the global recorder."""
+    _GLOBAL.merge(snap)
+
+
+def reset() -> None:
+    """Drop all spans from the global recorder."""
+    _GLOBAL.reset()
+
+
+def enable() -> None:
+    """Turn global span recording on (the default)."""
+    _GLOBAL.enabled = True
+
+
+def disable() -> None:
+    """Turn global span recording off: spans become no-ops."""
+    _GLOBAL.enabled = False

@@ -23,8 +23,15 @@ import itertools
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
 
 __all__ = ["Simulator", "EventHandle"]
+
+#: Kernel accounting: events executed and runs completed.  Incremented
+#: once per ``run``/``run_until`` call (with the batch count), never per
+#: event, so instrumentation costs nothing on the event loop itself.
+_EVENTS = _metrics.counter("sim.events_processed")
+_RUNS = _metrics.counter("sim.runs")
 
 #: The signature of a scheduled action.
 Action = Callable[["Simulator"], None]
@@ -130,22 +137,30 @@ class Simulator:
             executed += 1
             handle._action(self)
             if max_events is not None and executed >= max_events:
+                _EVENTS.inc(executed)
                 raise SimulationError(
                     f"event budget of {max_events} exhausted at t={self._now!r}; "
                     "likely a scheduling loop in protocol logic"
                 )
         self._now = end_time
+        _EVENTS.inc(executed)
+        _RUNS.inc()
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Run until the queue is empty (bounded by ``max_events``)."""
         executed = 0
-        while self.step():
-            executed += 1
-            if executed >= max_events:
-                raise SimulationError(
-                    f"event budget of {max_events} exhausted at t={self._now!r}; "
-                    "likely a scheduling loop in protocol logic"
-                )
+        try:
+            while self.step():
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted at "
+                        f"t={self._now!r}; likely a scheduling loop in "
+                        "protocol logic"
+                    )
+        finally:
+            _EVENTS.inc(executed)
+            _RUNS.inc()
 
     # -- introspection ------------------------------------------------------------
 

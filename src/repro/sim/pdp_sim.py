@@ -270,13 +270,15 @@ class PDPRingSimulator:
         sim.run_until(duration_s, max_events=max_events)
 
         self._account_unfinished(queues, stats, duration_s)
-        return SimulationReport(
+        report = SimulationReport(
             duration=duration_s,
             streams=stats,
             sync_busy_time=state.sync_busy,
             async_busy_time=state.async_busy,
             token_time=state.token_busy,
         )
+        report.publish_metrics("sim.pdp")
+        return report
 
     # -- transmissions ---------------------------------------------------------------
 

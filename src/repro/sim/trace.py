@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _metrics
 
 __all__ = ["DeadlineStats", "RotationStats", "SimulationReport"]
 
@@ -167,3 +168,21 @@ class SimulationReport:
     def max_rotation(self) -> float:
         """Largest token rotation observed anywhere (0 when untracked)."""
         return max((r.maximum for r in self.rotations), default=0.0)
+
+    def publish_metrics(self, prefix: str = "sim") -> None:
+        """Fold this report's event counts into the global metrics registry.
+
+        Called once per run by the protocol simulators (so the cost is
+        one pass over the final statistics, nothing per event): message
+        completions, deadline misses, and observed token rotations appear
+        under ``<prefix>.*``, joining the per-event kernel counters of
+        :mod:`repro.sim.engine` in run manifests and logs.
+        """
+        _metrics.counter(f"{prefix}.messages_completed").inc(self.total_completed)
+        _metrics.counter(f"{prefix}.deadline_misses").inc(self.total_missed)
+        rotations = sum(r.count for r in self.rotations)
+        if rotations:
+            _metrics.counter(f"{prefix}.token_rotations").inc(rotations)
+            _metrics.histogram(f"{prefix}.rotation_time_s").observe(
+                self.max_rotation
+            )

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from repro.analysis.ttp import TTPAllocation
 from repro.errors import ConfigurationError, SimulationError
 from repro.messages.message_set import MessageSet
+from repro.obs import metrics as _metrics
 from repro.network.frames import FrameFormat
 from repro.network.ring import RingNetwork
 from repro.sim.engine import Simulator
@@ -184,7 +185,7 @@ class TTPRingSimulator:
         # TRT last restarted; last_visit[i] the previous token arrival.
         trt_start = [0.0] * n
         last_visit: list[float | None] = [None] * n
-        busy = {"sync": 0.0, "async": 0.0, "token": 0.0}
+        busy = {"sync": 0.0, "async": 0.0, "token": 0.0, "visits": 0.0}
         sim = Simulator()
 
         def ingest_arrivals(now: float) -> None:
@@ -207,6 +208,7 @@ class TTPRingSimulator:
         def token_arrival(station: int):
             def handler(simulator: Simulator) -> None:
                 now = simulator.now
+                busy["visits"] += 1
                 ingest_arrivals(now)
 
                 if self._config.track_rotations and last_visit[station] is not None:
@@ -269,7 +271,7 @@ class TTPRingSimulator:
         sim.run_until(duration_s, max_events=max_events)
 
         self._account_unfinished(queues, stats, duration_s)
-        return SimulationReport(
+        report = SimulationReport(
             duration=duration_s,
             streams=stats,
             rotations=rotations,
@@ -277,6 +279,9 @@ class TTPRingSimulator:
             async_busy_time=busy["async"],
             token_time=busy["token"],
         )
+        _metrics.counter("sim.ttp.token_visits").inc(busy["visits"])
+        report.publish_metrics("sim.ttp")
+        return report
 
     # -- transmissions ---------------------------------------------------------------
 

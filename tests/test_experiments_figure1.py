@@ -60,7 +60,8 @@ class TestDataset:
     def test_rows_align(self, figure1):
         rows = figure1.rows()
         assert len(rows) == len(PAPER_BANDWIDTHS_MBPS)
-        assert all(len(r) == 7 for r in rows)
+        assert all(len(r) == len(Figure1Result.CSV_HEADERS) for r in rows)
+        assert len(Figure1Result.CSV_HEADERS) == 10
 
     def test_table_renders(self, figure1):
         table = figure1.to_table()

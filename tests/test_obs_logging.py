@@ -1,0 +1,152 @@
+"""Structured logging: JSONL output, console routing, quiet mode."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import logging as obslog
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    """Tear logging down around every test (and restore loud mode)."""
+    obslog.teardown_logging()
+    yield
+    obslog.teardown_logging()
+
+
+class TestGetLogger:
+    def test_prefixes_library_namespace(self):
+        assert obslog.get_logger("analysis.pdp").name == "repro.analysis.pdp"
+
+    def test_keeps_already_prefixed_names(self):
+        assert obslog.get_logger("repro.sim").name == "repro.sim"
+        assert obslog.get_logger("repro").name == "repro"
+
+
+class TestSetupLogging:
+    def test_human_output_reaches_stream(self):
+        stream = io.StringIO()
+        obslog.setup_logging(level="info", stream=stream)
+        obslog.get_logger("t").info("hello %s", "world")
+        assert "hello world" in stream.getvalue()
+        assert "repro.t" in stream.getvalue()
+
+    def test_level_threshold(self):
+        stream = io.StringIO()
+        obslog.setup_logging(level="warning", stream=stream)
+        obslog.get_logger("t").info("quiet info")
+        obslog.get_logger("t").warning("loud warning")
+        assert "quiet info" not in stream.getvalue()
+        assert "loud warning" in stream.getvalue()
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            obslog.setup_logging(level="chatty")
+
+    def test_idempotent_reconfiguration(self, tmp_path):
+        stream = io.StringIO()
+        obslog.setup_logging(level="info", stream=stream)
+        obslog.setup_logging(level="info", stream=stream)
+        obslog.get_logger("t").info("once")
+        # Re-setup must not stack handlers: the line appears exactly once.
+        assert stream.getvalue().count("once") == 1
+
+    def test_creates_parent_directory_for_jsonl(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "run.jsonl"
+        obslog.setup_logging(level="info", json_path=str(path))
+        obslog.get_logger("t").info("x")
+        assert path.exists()
+
+
+class TestJsonlSink:
+    def _configured(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        obslog.setup_logging(
+            level="info", json_path=str(path), stream=io.StringIO()
+        )
+        return path
+
+    def _records(self, path):
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def test_every_line_is_json(self, tmp_path):
+        path = self._configured(tmp_path)
+        log = obslog.get_logger("t")
+        log.info("plain")
+        log.warning("formatted %d/%d", 3, 4)
+        records = self._records(path)
+        assert [r["msg"] for r in records] == ["plain", "formatted 3/4"]
+        assert records[0]["level"] == "info"
+        assert records[1]["level"] == "warning"
+        assert all("ts" in r and "logger" in r for r in records)
+
+    def test_extra_fields_become_structured_keys(self, tmp_path):
+        path = self._configured(tmp_path)
+        obslog.get_logger("t").info(
+            "cell done", extra={"grid": "figure1", "done": 3, "total": 48}
+        )
+        (record,) = self._records(path)
+        assert record["grid"] == "figure1"
+        assert record["done"] == 3 and record["total"] == 48
+
+    def test_unserializable_extra_falls_back_to_repr(self, tmp_path):
+        path = self._configured(tmp_path)
+        obslog.get_logger("t").info("obj", extra={"payload": {1, 2}})
+        (record,) = self._records(path)
+        assert isinstance(record["payload"], str)
+
+    def test_exception_info_captured(self, tmp_path):
+        path = self._configured(tmp_path)
+        try:
+            raise RuntimeError("kaboom")
+        except RuntimeError:
+            obslog.get_logger("t").exception("failed")
+        (record,) = self._records(path)
+        assert "kaboom" in record["exc"]
+
+    def test_console_mirrors_into_jsonl_only(self, tmp_path, capsys):
+        path = self._configured(tmp_path)
+        obslog.console("table row", 42)
+        out = capsys.readouterr()
+        assert "table row 42" in out.out
+        assert "table row" not in out.err  # never duplicated to stderr
+        (record,) = self._records(path)
+        assert record["msg"] == "table row 42"
+        assert record["logger"] == obslog.CONSOLE_LOGGER_NAME
+
+
+class TestConsole:
+    def test_console_prints_by_default(self, capsys):
+        obslog.console("visible")
+        assert "visible" in capsys.readouterr().out
+
+    def test_quiet_suppresses_stdout(self, capsys):
+        obslog.setup_logging(level="info", stream=io.StringIO(), quiet=True)
+        obslog.console("invisible")
+        assert capsys.readouterr().out == ""
+        assert obslog.is_quiet()
+
+    def test_teardown_restores_loud_mode(self):
+        obslog.setup_logging(level="info", stream=io.StringIO(), quiet=True)
+        obslog.teardown_logging()
+        assert not obslog.is_quiet()
+
+    def test_console_without_setup_is_just_print(self, capsys):
+        # No handlers configured: console degrades to print, no errors.
+        obslog.console("bare")
+        assert "bare" in capsys.readouterr().out
+
+
+class TestSilenceByDefault:
+    def test_library_logging_silent_without_setup(self, capsys):
+        # Without setup_logging the repro logger has no handlers and the
+        # stdlib default (WARNING to lastResort) applies only to >=WARNING;
+        # INFO progress lines must not leak into unconfigured programs.
+        logger = obslog.get_logger("experiments.parallel")
+        logger.info("progress line")
+        captured = capsys.readouterr()
+        assert "progress line" not in captured.out
+        assert "progress line" not in captured.err

@@ -1,0 +1,140 @@
+"""Hierarchical timing spans: nesting, aggregation, merging, no-op mode."""
+
+import pytest
+
+from repro.obs import timing
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    """Each test starts and ends with an empty global recorder."""
+    timing.reset()
+    timing.enable()
+    yield
+    timing.reset()
+    timing.enable()
+
+
+class TestSpanStats:
+    def test_record_accumulates(self):
+        stats = timing.SpanStats()
+        stats.record(1.0)
+        stats.record(3.0)
+        assert stats.count == 2
+        assert stats.total_s == 4.0
+        assert stats.min_s == 1.0 and stats.max_s == 3.0
+
+    def test_to_dict_empty(self):
+        d = timing.SpanStats().to_dict()
+        assert d["count"] == 0
+        assert d["min_s"] is None and d["max_s"] is None
+
+
+class TestSpanRecorder:
+    def test_nested_spans_build_paths(self):
+        rec = timing.SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            with rec.span("inner"):
+                pass
+        snap = rec.snapshot()
+        assert set(snap) == {"outer", "outer/inner"}
+        assert snap["outer"]["count"] == 1
+        assert snap["outer/inner"]["count"] == 2
+
+    def test_sibling_spans_do_not_nest(self):
+        rec = timing.SpanRecorder()
+        with rec.span("a"):
+            pass
+        with rec.span("b"):
+            pass
+        assert set(rec.snapshot()) == {"a", "b"}
+
+    def test_inner_time_bounded_by_outer(self):
+        rec = timing.SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                sum(range(1000))
+        snap = rec.snapshot()
+        assert snap["outer/inner"]["total_s"] <= snap["outer"]["total_s"]
+
+    def test_timed_decorator(self):
+        rec = timing.SpanRecorder()
+
+        @rec.timed("work")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work(2) == 3
+        assert rec.snapshot()["work"]["count"] == 2
+
+    def test_decorator_nests_under_open_span(self):
+        rec = timing.SpanRecorder()
+
+        @rec.timed("leaf")
+        def leaf():
+            return None
+
+        with rec.span("root"):
+            leaf()
+        assert "root/leaf" in rec.snapshot()
+
+    def test_merge_adds_counts_and_combines_extremes(self):
+        a = timing.SpanRecorder()
+        b = timing.SpanRecorder()
+        with a.span("cell"):
+            pass
+        with b.span("cell"):
+            sum(range(2000))
+        merged_min = min(
+            a.snapshot()["cell"]["min_s"], b.snapshot()["cell"]["min_s"]
+        )
+        a.merge(b.snapshot())
+        snap = a.snapshot()["cell"]
+        assert snap["count"] == 2
+        assert snap["min_s"] == merged_min
+
+    def test_merge_skips_empty_entries(self):
+        rec = timing.SpanRecorder()
+        rec.merge({"ghost": timing.SpanStats().to_dict()})
+        assert rec.snapshot() == {}
+
+    def test_disabled_recorder_is_noop(self):
+        rec = timing.SpanRecorder(enabled=False)
+        with rec.span("x"):
+            pass
+        assert rec.snapshot() == {}
+
+    def test_reset_clears_spans(self):
+        rec = timing.SpanRecorder()
+        with rec.span("x"):
+            pass
+        rec.reset()
+        assert rec.snapshot() == {}
+
+    def test_exception_still_recorded(self):
+        rec = timing.SpanRecorder()
+        with pytest.raises(ValueError):
+            with rec.span("risky"):
+                raise ValueError("boom")
+        assert rec.snapshot()["risky"]["count"] == 1
+        # The stack unwound correctly: the next span is top-level again.
+        with rec.span("after"):
+            pass
+        assert "after" in rec.snapshot()
+
+
+class TestGlobalRecorder:
+    def test_module_functions_hit_the_global(self):
+        with timing.span("g"):
+            pass
+        assert "g" in timing.snapshot()
+
+    def test_disable_enable(self):
+        timing.disable()
+        with timing.span("hidden"):
+            pass
+        timing.enable()
+        assert timing.snapshot() == {}

@@ -1,5 +1,7 @@
 """Package-level hygiene: exports, error hierarchy, version, CLI runner."""
 
+import os
+import pathlib
 import subprocess
 import sys
 
@@ -68,12 +70,22 @@ class TestTopLevelExports:
 
 
 class TestRunnerCLI:
-    def run_cli(self, *args: str) -> subprocess.CompletedProcess:
+    def run_cli(self, *args: str, cwd=None) -> subprocess.CompletedProcess:
+        # cwd keeps default-location artifacts (manifest.json) out of the
+        # repository checkout; an absolute src path on PYTHONPATH keeps
+        # the package importable from any working directory.
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
         return subprocess.run(
             [sys.executable, "-m", "repro.experiments.runner", *args],
             capture_output=True,
             text=True,
             timeout=600,
+            cwd=cwd,
+            env=env,
         )
 
     def test_help(self):
@@ -96,16 +108,18 @@ class TestRunnerCLI:
         header = csv_path.read_text().splitlines()[0]
         assert header.startswith("bandwidth_mbps")
 
-    def test_tiny_sba_run(self):
+    def test_tiny_sba_run(self, tmp_path):
         result = self.run_cli("sba", "--stations", "5", "--sets", "2",
-                              "--bandwidth", "100")
+                              "--bandwidth", "100", cwd=str(tmp_path))
         assert result.returncode == 0, result.stderr
         assert "local" in result.stdout
+        assert (tmp_path / "manifest.json").exists()
 
     def test_tiny_report_run(self, tmp_path):
         out = tmp_path / "report.md"
         result = self.run_cli(
-            "report", "--stations", "5", "--sets", "2", "--out", str(out)
+            "report", "--stations", "5", "--sets", "2", "--out", str(out),
+            cwd=str(tmp_path),
         )
         assert result.returncode == 0, result.stderr
         text = out.read_text()

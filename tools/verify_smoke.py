@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Smoke-verify the observability pipeline end to end.
+
+Runs ``repro.experiments.runner figure1 --fast --jobs 2`` in a temporary
+directory and asserts the contract the manifest and structured log are
+supposed to honour:
+
+* ``manifest.json`` exists next to the CSV with the schema version, the
+  seed, the parameters, a git SHA, and a metrics snapshot whose
+  exact-test cache shows *nonzero hits* (the paired-sampling design makes
+  the structure cache pay off after the first bandwidth — zero hits means
+  the cache or its accounting broke);
+* every line of the JSONL log parses as JSON and carries the mandatory
+  fields;
+* the CSV uses the current 10-column schema.
+
+Exit code 0 on success; raises (nonzero exit) with a diagnostic on any
+violation.  ``make verify`` runs this after the tier-1 test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_smoke() -> None:
+    """Execute the smoke run and assert on its artifacts."""
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+        csv_path = os.path.join(tmp, "figure1.csv")
+        jsonl_path = os.path.join(tmp, "run.jsonl")
+        manifest_path = os.path.join(tmp, "manifest.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments.runner",
+                "figure1", "--fast", "--jobs", "2",
+                "--csv", csv_path, "--log-json", jsonl_path, "--quiet",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            raise AssertionError(
+                f"runner exited {proc.returncode}\n"
+                f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+            )
+        if proc.stdout:
+            raise AssertionError(
+                f"--quiet run still wrote to stdout:\n{proc.stdout}"
+            )
+
+        # -- manifest ---------------------------------------------------
+        if not os.path.exists(manifest_path):
+            raise AssertionError(f"no manifest at {manifest_path}")
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        for key in ("schema_version", "command", "parameters", "git",
+                    "metrics", "spans", "wall_time_s"):
+            if key not in manifest:
+                raise AssertionError(f"manifest missing {key!r}")
+        if manifest["command"] != "figure1":
+            raise AssertionError(f"wrong command: {manifest['command']!r}")
+        if "seed" not in manifest["parameters"]:
+            raise AssertionError("manifest parameters missing the seed")
+        if not manifest["git"]["sha"]:
+            raise AssertionError("manifest has no git SHA")
+        hits = manifest["metrics"].get("pdp.exact_cache.hits", {})
+        if not hits.get("value", 0) > 0:
+            raise AssertionError(
+                "exact-test cache shows no hits — cache or accounting broke"
+            )
+        if not any("/bw" in key for key in manifest["spans"]):
+            raise AssertionError("manifest spans carry no per-cell timings")
+
+        # -- structured log ---------------------------------------------
+        with open(jsonl_path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise AssertionError("JSONL log is empty")
+        for number, line in enumerate(lines, 1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise AssertionError(
+                    f"line {number} of the JSONL log is not JSON: {error}"
+                ) from error
+            for field in ("ts", "level", "logger", "msg"):
+                if field not in record:
+                    raise AssertionError(
+                        f"line {number} missing field {field!r}: {line}"
+                    )
+
+        # -- CSV schema --------------------------------------------------
+        with open(csv_path, encoding="utf-8") as handle:
+            header = handle.readline().strip().split(",")
+        if len(header) != 10 or header[-1] != "deg_ttp":
+            raise AssertionError(f"unexpected CSV schema: {header}")
+
+    print("verify_smoke: ok (manifest, JSONL log, CSV schema, cache hits)")
+
+
+if __name__ == "__main__":
+    run_smoke()
