@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test verify bench bench-quick examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify fuzz-quick bench bench-quick examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
@@ -10,6 +10,10 @@ help:
 	@echo "  test             run the unit test suite"
 	@echo "  verify           tier-1 tests + runner smoke test (manifest"
 	@echo "                   written, JSONL logs parse, cache hits > 0)"
+	@echo "                   + fuzz-quick"
+	@echo "  fuzz-quick       deterministic differential fuzz (fixed seed,"
+	@echo "                   <60s) + mutation smoke: every injected bug"
+	@echo "                   must be flagged; nonzero exit otherwise"
 	@echo "  bench            run every benchmark"
 	@echo "  bench-quick      perf canary: single Figure-1 point + analysis"
 	@echo "                   micro-benches -> BENCH_figure1.json (tracked"
@@ -30,6 +34,11 @@ test:
 verify:
 	$(PYTHON) -m pytest tests/ -x -q
 	$(PYTHON) tools/verify_smoke.py
+	$(MAKE) fuzz-quick
+
+fuzz-quick:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner fuzz \
+		--fuzz-cases 60 --mutation-smoke --no-manifest --log-level warning
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -34,9 +34,9 @@ exact criteria, never the converse.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
+from repro.analysis.boundary import token_visit_count
 from repro.analysis.pdp import PDPAnalysis
 from repro.analysis.rm import liu_layland_bound
 from repro.analysis.ttp import TTPAnalysis
@@ -148,7 +148,7 @@ def ttp_sufficient_test(
     )
     load = message_set.utilization(analysis.ring.bandwidth_bps)
     feasible = all(
-        math.floor(p / ttrt + 1e-12) >= 2 for p in message_set.periods
+        token_visit_count(p, ttrt) >= 2 for p in message_set.periods
     )
     return GuaranteeReport(
         admitted=feasible and load <= threshold,

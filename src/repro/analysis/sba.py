@@ -34,6 +34,7 @@ import math
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+from repro.analysis.boundary import token_visit_count
 from repro.analysis.ttp import TTPAllocation, local_scheme_allocation
 from repro.errors import AllocationError, ConfigurationError
 from repro.messages.message_set import MessageSet
@@ -89,8 +90,8 @@ def augmented_length_fixed_point(
 
 
 def _token_visits(period_s: float, ttrt_s: float) -> int:
-    """``q_i = floor(P_i / TTRT)`` with a tolerance for exact multiples."""
-    return int(math.floor(period_s / ttrt_s + 1e-12))
+    """``q_i = floor(P_i / TTRT)`` (the shared boundary rule)."""
+    return token_visit_count(period_s, ttrt_s)
 
 
 def _build_allocation(

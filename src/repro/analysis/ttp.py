@@ -28,12 +28,12 @@ out completes anyway).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.boundary import token_visit_count, token_visit_counts
 from repro.analysis.ttrt import SqrtRuleTTRT, TTRTPolicy, ttp_saturation_scale
 from repro.errors import AllocationError, ConfigurationError
 from repro.messages.message_set import MessageSet
@@ -139,7 +139,7 @@ def local_scheme_allocation(
     bandwidths: list[float] = []
     augmented: list[float] = []
     for stream in message_set:
-        q_i = int(math.floor(stream.period_s / ttrt_s + 1e-12))
+        q_i = token_visit_count(stream.period_s, ttrt_s)
         if q_i < 2:
             raise AllocationError(
                 f"stream with period {stream.period_s!r}s sees the token only "
@@ -356,7 +356,7 @@ class TTPAnalysis:
         payload_times = np.array(
             [s.payload_time(self._ring.bandwidth_bps) for s in message_set]
         )
-        q = np.floor(periods / ttrt_s + 1e-12)
+        q = token_visit_counts(periods, ttrt_s)
         if np.any(q < 2):
             return float("inf")
         return float(

@@ -24,6 +24,7 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+from repro.analysis.boundary import token_visit_counts
 from repro.errors import ConfigurationError, InfeasibleParameterError
 from repro.messages.message_set import MessageSet
 
@@ -92,7 +93,7 @@ def ttp_saturation_scale(
     if ttrt <= 0:
         raise ConfigurationError(f"TTRT must be positive, got {ttrt!r}")
     _validate_delta(delta)
-    q = np.floor(periods / ttrt + 1e-12)
+    q = token_visit_counts(periods, ttrt)
     if np.any(q < 2):
         return 0.0
     budget = ttrt - delta - periods.size * frame_overhead_time_s

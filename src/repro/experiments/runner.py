@@ -11,6 +11,15 @@ Usage::
     python -m repro.experiments.runner throughput
     python -m repro.experiments.runner crossover
     python -m repro.experiments.runner all --fast
+    python -m repro.experiments.runner fuzz --fuzz-cases 60 --mutation-smoke
+
+The ``fuzz`` experiment runs the differential verification harness
+(:mod:`repro.verify`): a seeded, deterministic campaign that pits the
+theorems against the simulators and the scalar against the batched
+implementations.  ``--mutation-smoke`` additionally injects deliberate
+off-by-one bugs and requires the harness to flag every one; the exit
+code is nonzero on any violation or missed mutant.  Counterexamples are
+shrunk and written as replayable repro files under ``--repro-dir``.
 
 ``--fast`` shrinks the ring to 20 stations and the Monte Carlo count to
 10 sets, which turns the full-figure run from minutes into seconds while
@@ -122,8 +131,24 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "figure1", "ttrt", "frames", "periods", "sba", "ringsize",
-            "throughput", "crossover", "sharpness", "report", "all",
+            "throughput", "crossover", "sharpness", "report", "fuzz", "all",
         ],
+    )
+    parser.add_argument(
+        "--fuzz-cases", type=int, default=60,
+        help="fuzz: number of generated cases (deterministic per seed)",
+    )
+    parser.add_argument(
+        "--fuzz-seed", type=int, default=None,
+        help="fuzz: campaign seed (default: the paper parameters' seed)",
+    )
+    parser.add_argument(
+        "--repro-dir", type=str, default=".", metavar="DIR",
+        help="fuzz: directory for replayable counterexample files",
+    )
+    parser.add_argument(
+        "--mutation-smoke", action="store_true",
+        help="fuzz: also inject deliberate bugs and require detection",
     )
     parser.add_argument("--out", type=str, default=None,
                         help="output path for the markdown report")
@@ -174,8 +199,29 @@ def main(argv: list[str] | None = None) -> int:
     params = build_parameters(args.fast, args.sets, args.stations)
     started = time.perf_counter()
     artifacts: list[str] = []
+    exit_code = 0
 
     with timing.span(f"runner/{args.experiment}"):
+        if args.experiment == "fuzz":
+            from repro.verify import FuzzConfig, run_fuzz, run_mutation_smoke
+
+            seed = args.fuzz_seed if args.fuzz_seed is not None else params.seed
+            fuzz_report = run_fuzz(
+                FuzzConfig(
+                    seed=seed,
+                    n_cases=args.fuzz_cases,
+                    repro_dir=args.repro_dir,
+                )
+            )
+            console(fuzz_report.summary())
+            artifacts.extend(fuzz_report.repro_paths)
+            if not fuzz_report.ok:
+                exit_code = 1
+            if args.mutation_smoke:
+                smoke = run_mutation_smoke(seed=seed)
+                console(smoke.summary())
+                if not smoke.all_detected:
+                    exit_code = 1
         if args.experiment in ("figure1", "all"):
             artifacts.extend(_run_figure1(args, params))
         if args.experiment in ("ttrt", "all"):
@@ -241,7 +287,7 @@ def main(argv: list[str] | None = None) -> int:
 
     console(f"\nelapsed: {elapsed:.1f}s")
     log.info("finished in %.2fs", elapsed, extra={"wall_time_s": elapsed})
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

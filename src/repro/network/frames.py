@@ -117,9 +117,19 @@ class FrameFormat:
     def split(self, payload_bits: float) -> FrameSplit:
         """Split a message payload into frames (computes ``K_i``, ``L_i``).
 
-        A zero-length message occupies zero frames.  Floating-point payload
-        sizes are accepted because Monte Carlo sampling produces continuous
-        lengths; the frame counts are still exact integers.
+        **Zero-payload policy**: a zero-length message occupies *zero*
+        frames and zero wire bits.  There is nothing to transmit, both
+        analyses charge it nothing (:func:`repro.analysis.pdp
+        .pdp_augmented_length` returns 0, the local TTP scheme allocates
+        only the per-visit overhead), and the simulators complete it
+        instantly — so charging it a frame here would double-count
+        overhead nowhere else accounted.  The scalar and vectorized
+        paths implement this identically; :mod:`repro.verify` fuzzes the
+        bit-level agreement.
+
+        Floating-point payload sizes are accepted because Monte Carlo
+        sampling produces continuous lengths; the frame counts are still
+        exact integers.
         """
         if payload_bits < 0:
             raise ConfigurationError(
@@ -127,10 +137,13 @@ class FrameFormat:
             )
         if payload_bits == 0:
             return FrameSplit(0.0, 0, 0, 0.0)
-        full = int(math.floor(payload_bits / self.info_bits))
+        ratio = payload_bits / self.info_bits
+        full = int(math.floor(ratio))
         # max() guards against subnormal payloads whose ratio underflows to
-        # zero: any positive payload needs at least one frame.
-        total = max(int(math.ceil(payload_bits / self.info_bits)), 1)
+        # zero: any positive payload needs at least one frame.  The same
+        # expression (ceil then clamp) appears in split_counts; keep the
+        # two in lockstep.
+        total = max(int(math.ceil(ratio)), 1)
         if total == full:
             last = float(self.info_bits)
         else:
@@ -143,8 +156,9 @@ class FrameFormat:
         Returns ``(total_frames, full_frames)`` as float arrays of the same
         shape as ``payloads_bits`` (float because they enter arithmetic
         immediately; the values are exact integers).  Agrees elementwise
-        with :meth:`split`, including the zero-payload (zero frames) and
-        subnormal-payload (at least one frame) cases.
+        and bit for bit with :meth:`split` — the same ``ratio``/floor/
+        ceil/clamp sequence — including the zero-payload (zero frames)
+        and subnormal-payload (at least one frame) cases.
         """
         arr = np.asarray(payloads_bits, dtype=float)
         if np.any(arr < 0):

@@ -269,6 +269,10 @@ class PDPRingSimulator:
         sim.schedule(0.0, decide)
         sim.run_until(duration_s, max_events=max_events)
 
+        # Arrivals released between the last processed event and the end
+        # of the run were never ingested; drain them so the accounting
+        # below counts every release whose deadline falls inside the run.
+        ingest_arrivals(duration_s)
         self._account_unfinished(queues, stats, duration_s)
         report = SimulationReport(
             duration=duration_s,

@@ -270,6 +270,12 @@ class TTPRingSimulator:
         sim.schedule(0.0, token_arrival(0))
         sim.run_until(duration_s, max_events=max_events)
 
+        # The token chain may end before `duration_s` (the last departure
+        # falls past the horizon); arrivals released after the final visit
+        # were never ingested into the queues.  Drain them so the
+        # unfinished-message accounting below sees every release whose
+        # deadline falls inside the run.
+        ingest_arrivals(duration_s)
         self._account_unfinished(queues, stats, duration_s)
         report = SimulationReport(
             duration=duration_s,

@@ -1,0 +1,55 @@
+"""Differential verification of the analyses against the simulators.
+
+The :mod:`repro.verify` package pits the closed-form schedulability
+criteria (Theorems 4.1 and 5.1) against the discrete-event simulators and
+against themselves:
+
+* :mod:`~repro.verify.generators` — seeded, fully deterministic case
+  generation: random workloads plus adversarial families biased at the
+  analytic boundaries (periods at exact TTRT multiples, single-frame and
+  sub-frame messages, one-stream rings, equal-period ties, sets scaled to
+  the saturation edge).
+* :mod:`~repro.verify.checks` — the properties: analysis-accepted sets
+  must survive adversarial simulation; scalar and batched implementations
+  must agree bit for bit; metamorphic invariants (payload shrinking never
+  breaks schedulability, breakdown utilization is scale invariant).
+* :mod:`~repro.verify.shrink` — greedy minimization of a failing case to
+  the smallest message set that still violates the property.
+* :mod:`~repro.verify.reprofile` — replayable counterexample files (seed
+  + parameters) written through the :mod:`repro.obs` manifest layer.
+* :mod:`~repro.verify.fuzzer` — the loop tying it together.
+* :mod:`~repro.verify.mutation` — mutation smoke: injects known
+  off-by-one bugs and asserts the harness catches every one.
+
+Quick use::
+
+    from repro.verify import FuzzConfig, run_fuzz
+    report = run_fuzz(FuzzConfig(seed=1, n_cases=50))
+    assert not report.violations, report.summary()
+"""
+
+from repro.verify.checks import CHECKS, Violation, run_check
+from repro.verify.fuzzer import FuzzConfig, FuzzReport, run_fuzz
+from repro.verify.generators import CASE_KINDS, FuzzCase, build_case
+from repro.verify.mutation import MUTANTS, MutationReport, run_mutation_smoke
+from repro.verify.reprofile import load_repro, replay_repro, write_repro
+from repro.verify.shrink import shrink_case
+
+__all__ = [
+    "CASE_KINDS",
+    "CHECKS",
+    "MUTANTS",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzReport",
+    "MutationReport",
+    "Violation",
+    "build_case",
+    "load_repro",
+    "replay_repro",
+    "run_check",
+    "run_fuzz",
+    "run_mutation_smoke",
+    "shrink_case",
+    "write_repro",
+]

@@ -1,0 +1,336 @@
+"""The differential properties the fuzzer enforces.
+
+Each check takes a :class:`~repro.verify.generators.FuzzCase` and returns
+``None`` (holds) or a :class:`Violation`.  Checks deliberately reach the
+implementations *through their defining modules* (``boundary_mod
+.token_visit_count`` instead of a from-import) so the mutation-smoke
+harness can hot-patch a deliberate bug into one path and watch the check
+fire; see :mod:`repro.verify.mutation`.
+
+The properties:
+
+``pdp_vs_sim`` / ``ttp_vs_sim``
+    The theorems are *sufficient* conditions — an accepted set must never
+    miss a deadline in adversarial simulation (critical-instant phasing,
+    saturating asynchronous traffic).
+``scalar_vector_augmented`` / ``scalar_vector_split`` /
+``scalar_vector_visits`` / ``breakdown_batch``
+    Every scalar/batched implementation pair must agree **bit for bit**;
+    the batched paths are pure performance work and may not move a single
+    verdict.
+``shrink_monotonic``
+    Metamorphic: shrinking any payload of a schedulable set keeps it
+    schedulable (both theorems are monotone in the payloads).
+``scale_invariance``
+    The TTP breakdown scale is inverse-linear in the payloads, so
+    breakdown *utilization* is invariant under payload scaling; scaling
+    by powers of two must preserve ``λ(s·M)·s == λ(M)`` to float
+    round-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis import boundary as boundary_mod
+from repro.analysis import pdp as pdp_mod
+from repro.analysis.breakdown import breakdown_scale, breakdown_scales_batch
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.errors import AllocationError, ReproError
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim.validate import cross_validate_pdp, cross_validate_ttp
+from repro.verify.generators import FuzzCase
+
+__all__ = ["CHECKS", "Violation", "run_check"]
+
+#: Simulation horizon multiplier (minimum periods of the longest stream);
+#: the validator extends it to whole hyperperiods where representable.
+_SIM_PERIODS = 2.0
+
+#: Longest P_max the sim checks will simulate.  The huge-quotient
+#: ``exact_multiple`` cases (periods of hundreds of seconds) target the
+#: scalar boundary rule, not the simulators; simulating several such
+#: periods would burn the whole fuzz budget on one case.
+_SIM_MAX_PERIOD_S = 1.0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property failure, tied to the case that produced it."""
+
+    check: str
+    case: FuzzCase
+    detail: str
+
+    def describe(self) -> str:
+        """One-line human-readable account, replayable from (seed, index)."""
+        return (
+            f"{self.check} failed on case (seed={self.case.seed}, "
+            f"index={self.case.index}, kind={self.case.kind}): {self.detail}"
+        )
+
+
+def _frame():
+    return paper_frame_format()
+
+
+def _pdp_analysis(case: FuzzCase, variant: PDPVariant) -> PDPAnalysis:
+    ring = ieee_802_5_ring(case.bandwidth_bps, n_stations=case.n_stations)
+    return PDPAnalysis(ring, _frame(), variant)
+
+
+def _ttp_analysis(case: FuzzCase) -> TTPAnalysis:
+    ring = fddi_ring(case.bandwidth_bps, n_stations=case.n_stations)
+    return TTPAnalysis(ring, _frame())
+
+
+# -- analysis versus simulation -------------------------------------------------
+
+
+def check_pdp_vs_sim(case: FuzzCase) -> Violation | None:
+    """Theorem 4.1 acceptance must survive adversarial simulation."""
+    if max(case.periods_s) > _SIM_MAX_PERIOD_S:
+        return None
+    message_set = case.message_set()
+    for variant in PDPVariant:
+        analysis = _pdp_analysis(case, variant)
+        if not analysis.is_schedulable(message_set):
+            continue
+        validation = cross_validate_pdp(
+            analysis, message_set, duration_periods=_SIM_PERIODS
+        )
+        if not validation.consistent:
+            missed = [
+                (s.stream_index, s.missed)
+                for s in validation.report.streams
+                if s.missed
+            ]
+            return Violation(
+                "pdp_vs_sim",
+                case,
+                f"Theorem 4.1 ({variant.value}) accepted the set but the "
+                f"simulator missed deadlines: {missed}",
+            )
+    return None
+
+
+def check_ttp_vs_sim(case: FuzzCase) -> Violation | None:
+    """Theorem 5.1 acceptance must survive adversarial simulation."""
+    if max(case.periods_s) > _SIM_MAX_PERIOD_S:
+        return None
+    analysis = _ttp_analysis(case)
+    message_set = case.message_set()
+    # Consistency only binds the accept side of the (sufficient) theorem;
+    # simulating rejected sets would spend fuzz budget proving nothing.
+    if not analysis.is_schedulable(message_set):
+        return None
+    validation = cross_validate_ttp(
+        analysis, message_set, duration_periods=_SIM_PERIODS
+    )
+    if not validation.consistent:
+        missed = [
+            (s.stream_index, s.missed)
+            for s in validation.report.streams
+            if s.missed
+        ]
+        return Violation(
+            "ttp_vs_sim",
+            case,
+            "Theorem 5.1 accepted the set but the simulator missed "
+            f"deadlines: {missed}",
+        )
+    return None
+
+
+# -- scalar versus batched ------------------------------------------------------
+
+
+def check_scalar_vector_augmented(case: FuzzCase) -> Violation | None:
+    """Scalar and vectorized ``C'_i`` must agree bit for bit."""
+    frame = _frame()
+    ring = ieee_802_5_ring(case.bandwidth_bps, n_stations=case.n_stations)
+    payloads = np.asarray(case.payloads_bits, dtype=float)
+    for variant in PDPVariant:
+        vector = pdp_mod.pdp_augmented_lengths(payloads, ring, frame, variant)
+        scalar = np.array(
+            [
+                pdp_mod.pdp_augmented_length(c, ring, frame, variant)
+                for c in case.payloads_bits
+            ]
+        )
+        if not np.array_equal(vector, scalar):
+            delta = np.max(np.abs(vector - scalar))
+            return Violation(
+                "scalar_vector_augmented",
+                case,
+                f"C'_i ({variant.value}) scalar/vector mismatch, max "
+                f"|Δ|={delta:.3e}: scalar={scalar.tolist()} "
+                f"vector={vector.tolist()}",
+            )
+    return None
+
+
+def check_scalar_vector_split(case: FuzzCase) -> Violation | None:
+    """Scalar and vectorized frame splits must agree, boundaries included."""
+    frame = _frame()
+    # The raw payloads plus adversarial points at the frame boundary:
+    # exact multiples of the info field and one ulp either side.
+    probes = list(case.payloads_bits) + [0.0]
+    for c in case.payloads_bits:
+        k = max(round(c / frame.info_bits), 1)
+        exact = k * frame.info_bits
+        probes.extend(
+            [exact, float(np.nextafter(exact, 0.0)), float(np.nextafter(exact, np.inf))]
+        )
+    arr = np.asarray(probes, dtype=float)
+    total_v, full_v = frame.split_counts(arr)
+    for i, c in enumerate(probes):
+        split = frame.split(c)
+        if total_v[i] != split.total_frames or full_v[i] != split.full_frames:
+            return Violation(
+                "scalar_vector_split",
+                case,
+                f"frame split mismatch at payload {c!r}: scalar "
+                f"(K={split.total_frames}, L={split.full_frames}) vs vector "
+                f"(K={total_v[i]}, L={full_v[i]})",
+            )
+    return None
+
+
+def check_scalar_vector_visits(case: FuzzCase) -> Violation | None:
+    """Scalar and vectorized token-visit counts must agree."""
+    ttrts = []
+    if case.ttrt_hint_s is not None:
+        ttrts.append(case.ttrt_hint_s)
+    try:
+        ttrts.append(_ttp_analysis(case).select_ttrt(case.message_set()))
+    except Exception:
+        pass  # degenerate policy input; the hint (if any) still probes
+    for ttrt in ttrts:
+        if ttrt <= 0:
+            continue
+        vector = boundary_mod.token_visit_counts(case.periods_s, ttrt)
+        scalar = np.array(
+            [boundary_mod.token_visit_count(p, ttrt) for p in case.periods_s],
+            dtype=float,
+        )
+        if not np.array_equal(vector, scalar):
+            return Violation(
+                "scalar_vector_visits",
+                case,
+                f"token-visit counts disagree at TTRT={ttrt!r}: "
+                f"scalar={scalar.tolist()} vector={vector.tolist()} "
+                f"periods={list(case.periods_s)}",
+            )
+    return None
+
+
+def check_breakdown_batch(case: FuzzCase) -> Violation | None:
+    """Single and batched breakdown searches must agree bit for bit."""
+    message_set = case.message_set()
+    analysis = _pdp_analysis(case, PDPVariant.STANDARD)
+    scalar, _ = breakdown_scale(message_set, analysis, rel_tol=1e-3)
+    ((batched, _),) = breakdown_scales_batch([message_set], analysis, rel_tol=1e-3)
+    if not (scalar == batched or (math.isnan(scalar) and math.isnan(batched))):
+        return Violation(
+            "breakdown_batch",
+            case,
+            f"breakdown scale scalar={scalar!r} != batched={batched!r}",
+        )
+    return None
+
+
+# -- metamorphic ---------------------------------------------------------------
+
+
+def check_shrink_monotonic(case: FuzzCase) -> Violation | None:
+    """Shrinking any payload of a schedulable set keeps it schedulable."""
+    message_set = case.message_set()
+    shrunk_sets = [("all payloads x0.5", message_set.scaled(0.5))]
+    for i in range(len(message_set)):
+        payloads = list(case.payloads_bits)
+        payloads[i] = payloads[i] * 0.5
+        shrunk_sets.append(
+            (
+                f"payload {i} halved",
+                case.with_streams(case.periods_s, tuple(payloads)).message_set(),
+            )
+        )
+
+    for variant in PDPVariant:
+        analysis = _pdp_analysis(case, variant)
+        if not analysis.is_schedulable(message_set):
+            continue
+        for label, shrunk in shrunk_sets:
+            if not analysis.is_schedulable(shrunk):
+                return Violation(
+                    "shrink_monotonic",
+                    case,
+                    f"Theorem 4.1 ({variant.value}): schedulable set became "
+                    f"unschedulable after {label}",
+                )
+
+    ttp = _ttp_analysis(case)
+    try:
+        ttp_ok = ttp.is_schedulable(message_set)
+    except AllocationError:
+        ttp_ok = False
+    if ttp_ok:
+        for label, shrunk in shrunk_sets:
+            if not ttp.is_schedulable(shrunk):
+                return Violation(
+                    "shrink_monotonic",
+                    case,
+                    f"Theorem 5.1: schedulable set became unschedulable "
+                    f"after {label}",
+                )
+    return None
+
+
+def check_scale_invariance(case: FuzzCase) -> Violation | None:
+    """TTP breakdown utilization is invariant under payload scaling."""
+    ttp = _ttp_analysis(case)
+    message_set = case.message_set()
+    try:
+        base = ttp.saturation_scale(message_set)
+    except Exception:
+        return None  # unallocatable (q_i < 2): nothing to scale
+    if not (0 < base < float("inf")):
+        return None
+    for s in (0.5, 2.0, 4.0):
+        scaled = ttp.saturation_scale(message_set.scaled(s))
+        if not math.isclose(scaled * s, base, rel_tol=1e-9):
+            return Violation(
+                "scale_invariance",
+                case,
+                f"TTP breakdown utilization moved under payload scale {s}: "
+                f"λ(M)={base!r} but λ(sM)·s={scaled * s!r}",
+            )
+    return None
+
+
+CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
+    "pdp_vs_sim": check_pdp_vs_sim,
+    "ttp_vs_sim": check_ttp_vs_sim,
+    "scalar_vector_augmented": check_scalar_vector_augmented,
+    "scalar_vector_split": check_scalar_vector_split,
+    "scalar_vector_visits": check_scalar_vector_visits,
+    "breakdown_batch": check_breakdown_batch,
+    "shrink_monotonic": check_shrink_monotonic,
+    "scale_invariance": check_scale_invariance,
+}
+
+
+def run_check(name: str, case: FuzzCase) -> Violation | None:
+    """Run one named property against one case."""
+    try:
+        return CHECKS[name](case)
+    except KeyError:
+        raise ReproError(
+            f"unknown check {name!r}; available: {sorted(CHECKS)}"
+        ) from None

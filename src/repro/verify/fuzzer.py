@@ -1,0 +1,150 @@
+"""The differential fuzz loop.
+
+:func:`run_fuzz` walks a seeded, fully deterministic case stream
+(:func:`repro.verify.generators.build_case`) and runs every requested
+property from :mod:`repro.verify.checks` on every case.  On a violation
+it greedily shrinks the case to a minimal counterexample and, when a
+repro directory is configured, writes a replayable repro file through the
+:mod:`repro.obs` manifest layer.  Progress and findings go through the
+structured logging and metrics layers, so a fuzz run is auditable like
+any other experiment.
+
+Determinism contract: for a fixed ``(seed, n_cases, checks)`` and a fixed
+code base, two runs produce identical reports — cases derive only from
+``(seed, index)`` and the checks are pure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.obs import logging as obslog
+from repro.obs import metrics
+from repro.verify.checks import CHECKS, Violation, run_check
+from repro.verify.generators import FuzzCase, build_case
+from repro.verify.shrink import shrink_case
+
+__all__ = ["FuzzConfig", "FuzzReport", "run_fuzz"]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzz campaign.
+
+    Attributes:
+        seed: master seed; every case derives from ``(seed, index)``.
+        n_cases: how many cases to generate.
+        checks: property names to run (default: all of
+            :data:`repro.verify.checks.CHECKS`).
+        shrink: minimize counterexamples before reporting.
+        repro_dir: when set, write a replayable repro file per violation.
+        max_violations: stop early after this many violations (0 = never).
+    """
+
+    seed: int = 20_260_704
+    n_cases: int = 60
+    checks: tuple[str, ...] = tuple(CHECKS)
+    shrink: bool = True
+    repro_dir: str | None = None
+    max_violations: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cases <= 0:
+            raise ReproError(f"n_cases must be positive, got {self.n_cases!r}")
+        unknown = [name for name in self.checks if name not in CHECKS]
+        if unknown:
+            raise ReproError(
+                f"unknown checks {unknown!r}; available: {sorted(CHECKS)}"
+            )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    config: FuzzConfig
+    cases_run: int = 0
+    checks_run: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    shrunk: list[FuzzCase] = field(default_factory=list)
+    repro_paths: list[str] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        """Human-readable campaign outcome, one violation per line."""
+        lines = [
+            f"fuzz seed={self.config.seed}: {self.cases_run} cases, "
+            f"{self.checks_run} property evaluations, "
+            f"{len(self.violations)} violation(s) in {self.wall_time_s:.1f}s"
+        ]
+        for violation, shrunk in zip(self.violations, self.shrunk):
+            lines.append("  " + violation.describe())
+            lines.append(
+                f"    shrunk to periods={list(shrunk.periods_s)} "
+                f"payloads={list(shrunk.payloads_bits)} "
+                f"bandwidth={shrunk.bandwidth_bps:.6g}"
+            )
+        for path in self.repro_paths:
+            lines.append(f"  repro file: {path}")
+        return "\n".join(lines)
+
+
+def run_fuzz(config: FuzzConfig = FuzzConfig()) -> FuzzReport:
+    """Execute one campaign; see the module docstring."""
+    from repro.verify.reprofile import write_repro
+
+    log = obslog.get_logger("verify.fuzzer")
+    report = FuzzReport(config=config)
+    started = time.perf_counter()
+    log.info(
+        "fuzzing %d cases with %d checks (seed %d)",
+        config.n_cases, len(config.checks), config.seed,
+        extra={"seed": config.seed, "n_cases": config.n_cases},
+    )
+
+    for index in range(config.n_cases):
+        case = build_case(config.seed, index)
+        report.cases_run += 1
+        metrics.counter("verify.cases").inc()
+        for name in config.checks:
+            violation = run_check(name, case)
+            report.checks_run += 1
+            metrics.counter("verify.checks").inc()
+            if violation is None:
+                continue
+            metrics.counter("verify.violations").inc()
+            log.warning(
+                "violation: %s", violation.describe(),
+                extra={"check": name, "seed": config.seed, "index": index},
+            )
+            shrunk = (
+                shrink_case(case, CHECKS[name]) if config.shrink else case
+            )
+            report.violations.append(violation)
+            report.shrunk.append(shrunk)
+            if config.repro_dir is not None:
+                report.repro_paths.append(
+                    write_repro(config.repro_dir, violation, shrunk)
+                )
+            if (
+                config.max_violations
+                and len(report.violations) >= config.max_violations
+            ):
+                report.wall_time_s = time.perf_counter() - started
+                log.warning("stopping early at %d violations",
+                            len(report.violations))
+                return report
+
+    report.wall_time_s = time.perf_counter() - started
+    log.info(
+        "fuzz finished: %d violations in %.1fs",
+        len(report.violations), report.wall_time_s,
+        extra={"violations": len(report.violations)},
+    )
+    return report

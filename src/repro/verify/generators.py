@@ -1,0 +1,265 @@
+"""Deterministic fuzz-case generation.
+
+Every case is reconstructible from ``(seed, index)`` alone:
+``build_case(seed, index)`` seeds its own ``np.random.default_rng([seed,
+index])``, so a counterexample repro file only needs those two integers
+(the expanded parameters ride along for human inspection, and
+:func:`FuzzCase.from_params` rebuilds a case from them directly when the
+generator code has since changed).
+
+The kind rotation interleaves plain random workloads with adversarial
+families aimed at the analytic boundaries the differential checks guard:
+
+* ``exact_multiple`` — periods at exact integer multiples of a TTRT-like
+  base, including very large quotients, where the old absolute-epsilon
+  ``floor(P/TTRT + 1e-12)`` rule miscounted token visits.
+* ``single_frame`` / sub-frame payloads — messages at or below one frame
+  of payload, exercising the ``K_i``/``L_i`` split edges.
+* ``n1`` — one-stream sets (no interference, blocking-only).
+* ``equal_periods`` — rate-monotonic priority ties.
+* ``near_saturation`` — random sets scaled to just under their analytic
+  breakdown, where an optimistic analysis bug becomes a simulated
+  deadline miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+
+__all__ = ["CASE_KINDS", "FuzzCase", "build_case"]
+
+
+CASE_KINDS: tuple[str, ...] = (
+    "random",
+    "exact_multiple",
+    "single_frame",
+    "n1",
+    "equal_periods",
+    "near_saturation",
+)
+
+#: Payload scale applied to ``near_saturation`` cases, as a fraction of
+#: the analytic breakdown scale.  Close enough to the edge that even a
+#: few-percent optimistic analysis mutation turns into a simulated miss
+#: (the mutation smoke demands it), far enough that the (sufficient)
+#: criteria hold with float margin on sound code.
+NEAR_SATURATION_FRACTION = 0.98
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated workload plus the ring context to judge it in.
+
+    Attributes:
+        kind: generator family (one of :data:`CASE_KINDS`).
+        seed: fuzz-run seed the case derives from.
+        index: case number within the run; ``(seed, index)`` replays it.
+        bandwidth_bps: ring bandwidth shared by both protocols' rings.
+        n_stations: ring size (streams sit at stations ``0..n-1``).
+        periods_s: stream periods.
+        payloads_bits: stream payload lengths.
+        ttrt_hint_s: for ``exact_multiple`` cases, the base the periods
+            are exact multiples of — checks probe the boundary rule at
+            exactly this TTRT.
+    """
+
+    kind: str
+    seed: int
+    index: int
+    bandwidth_bps: float
+    n_stations: int
+    periods_s: tuple[float, ...]
+    payloads_bits: tuple[float, ...]
+    ttrt_hint_s: float | None = None
+
+    def message_set(self) -> MessageSet:
+        """The workload as a :class:`MessageSet` (station ``i`` per stream)."""
+        return MessageSet(
+            SynchronousStream(period_s=p, payload_bits=c, station=i)
+            for i, (p, c) in enumerate(zip(self.periods_s, self.payloads_bits))
+        )
+
+    def to_params(self) -> dict:
+        """JSON-safe parameter dump (floats round-trip exactly)."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "index": self.index,
+            "bandwidth_bps": self.bandwidth_bps,
+            "n_stations": self.n_stations,
+            "periods_s": list(self.periods_s),
+            "payloads_bits": list(self.payloads_bits),
+            "ttrt_hint_s": self.ttrt_hint_s,
+        }
+
+    @staticmethod
+    def from_params(params: dict) -> "FuzzCase":
+        """Rebuild a case from a :meth:`to_params` dump (JSON round trip)."""
+        return FuzzCase(
+            kind=params["kind"],
+            seed=int(params["seed"]),
+            index=int(params["index"]),
+            bandwidth_bps=float(params["bandwidth_bps"]),
+            n_stations=int(params["n_stations"]),
+            periods_s=tuple(float(p) for p in params["periods_s"]),
+            payloads_bits=tuple(float(c) for c in params["payloads_bits"]),
+            ttrt_hint_s=(
+                None if params.get("ttrt_hint_s") is None
+                else float(params["ttrt_hint_s"])
+            ),
+        )
+
+    def with_streams(
+        self, periods_s: tuple[float, ...], payloads_bits: tuple[float, ...]
+    ) -> "FuzzCase":
+        """A copy with a different workload (used by the shrinker)."""
+        return replace(
+            self,
+            periods_s=periods_s,
+            payloads_bits=payloads_bits,
+            n_stations=max(len(periods_s), 1),
+        )
+
+
+def _random_bandwidth(rng: np.random.Generator) -> float:
+    # Log-uniform across the paper's sweep range (4..160 Mb/s), hitting
+    # both the F > Θ (low bandwidth) and F < Θ (high bandwidth) regimes.
+    return float(10 ** rng.uniform(np.log10(4e6), np.log10(1.6e8)))
+
+
+def _random_periods(rng: np.random.Generator, n: int) -> np.ndarray:
+    # 5..100 ms: the paper's regime, and short enough that a simulated
+    # horizon of a few P_max stays within a fuzz-budget event count.
+    return 10 ** rng.uniform(np.log10(0.005), np.log10(0.1), size=n)
+
+
+def _random_payloads(rng: np.random.Generator, n: int) -> np.ndarray:
+    return np.round(10 ** rng.uniform(np.log10(1e3), np.log10(2e5), size=n))
+
+
+def _base_case(kind: str, seed: int, index: int, rng: np.random.Generator) -> FuzzCase:
+    if kind == "random":
+        n = int(rng.integers(2, 9))
+        periods = _random_periods(rng, n)
+        payloads = _random_payloads(rng, n)
+    elif kind == "exact_multiple":
+        n = int(rng.integers(2, 7))
+        base = float(10 ** rng.uniform(np.log10(0.002), np.log10(0.02)))
+        small = rng.integers(2, 60, size=n)
+        # One stream gets a huge quotient whose float division provably
+        # lands *below* the integer — the regime where one ulp exceeds
+        # any absolute epsilon and only a relative snap recovers the
+        # exact multiple.  Scan forward from a random start for a k where
+        # fl(fl(k·base)/base) < k (about half of all k qualify).
+        k = int(rng.integers(50_000, 200_000))
+        for candidate in range(k, k + 512):
+            if (candidate * base) / base < candidate:
+                k = candidate
+                break
+        small[int(rng.integers(0, n))] = k
+        periods = small.astype(float) * base
+        payloads = _random_payloads(rng, n)
+        return FuzzCase(
+            kind, seed, index, _random_bandwidth(rng), n,
+            tuple(float(p) for p in periods),
+            tuple(float(c) for c in payloads),
+            ttrt_hint_s=base,
+        )
+    elif kind == "single_frame":
+        n = int(rng.integers(1, 7))
+        periods = _random_periods(rng, n)
+        # At or below one paper frame of payload (512 info bits), down to
+        # a single bit: every message is one (possibly short) frame.
+        payloads = np.round(10 ** rng.uniform(0.0, np.log10(512.0), size=n))
+    elif kind == "n1":
+        periods = _random_periods(rng, 1)
+        payloads = _random_payloads(rng, 1)
+    elif kind == "equal_periods":
+        n = int(rng.integers(2, 8))
+        periods = np.full(n, float(_random_periods(rng, 1)[0]))
+        payloads = _random_payloads(rng, n)
+    elif kind == "near_saturation":
+        # Many streams, short periods (1..10 ms), low bandwidth: at the
+        # breakdown point each message is then only a frame or two, so a
+        # single-frame fencepost in an analysis is a tens-of-percent
+        # optimism — far past the few-percent conservatism slack between
+        # the theorems' worst case and the simulators' realized one, and
+        # exactly what the simulator differential must catch.
+        n = int(rng.integers(4, 9))
+        periods = 10 ** rng.uniform(np.log10(0.001), np.log10(0.01), size=n)
+        payloads = _random_payloads(rng, n)
+        bandwidth = float(10 ** rng.uniform(np.log10(4e6), np.log10(1.2e7)))
+        return FuzzCase(
+            kind, seed, index, bandwidth, n,
+            tuple(float(p) for p in periods),
+            tuple(float(c) for c in payloads),
+        )
+    else:
+        raise ConfigurationError(f"unknown fuzz case kind: {kind!r}")
+    return FuzzCase(
+        kind, seed, index, _random_bandwidth(rng), max(int(len(periods)), 1),
+        tuple(float(p) for p in periods),
+        tuple(float(c) for c in payloads),
+    )
+
+
+def _scale_near_saturation(case: FuzzCase, protocol: str) -> FuzzCase:
+    """Scale payloads to just under one protocol's analytic breakdown.
+
+    Scaling against a single protocol (they alternate case by case)
+    keeps the set genuinely close to *that* theorem's boundary — an
+    optimistic bug in its analysis then admits a truly overloaded set
+    and the matching simulator misses.  Imported lazily: the analyses
+    import nothing from this package, but keeping generators
+    import-light avoids cycles through :mod:`repro.verify.checks`.
+    """
+    from repro.analysis.breakdown import breakdown_scale
+    from repro.analysis.pdp import PDPAnalysis, PDPVariant
+    from repro.analysis.ttp import TTPAnalysis
+    from repro.network.standards import (
+        fddi_ring,
+        ieee_802_5_ring,
+        paper_frame_format,
+    )
+
+    frame = paper_frame_format()
+    message_set = case.message_set()
+    scale = 0.0
+    if protocol == "pdp":
+        pdp = PDPAnalysis(
+            ieee_802_5_ring(case.bandwidth_bps, n_stations=case.n_stations),
+            frame,
+            PDPVariant.STANDARD,
+        )
+        scale, _ = breakdown_scale(message_set, pdp, rel_tol=1e-4)
+    else:
+        ttp = TTPAnalysis(
+            fddi_ring(case.bandwidth_bps, n_stations=case.n_stations), frame
+        )
+        try:
+            scale = ttp.saturation_scale(message_set)
+        except Exception:
+            scale = 0.0  # unallocatable (q_i < 2): leave the case as is
+    if not (0 < scale < float("inf")):
+        return case
+    factor = NEAR_SATURATION_FRACTION * scale
+    payloads = tuple(float(c * factor) for c in case.payloads_bits)
+    return replace(case, payloads_bits=payloads)
+
+
+def build_case(seed: int, index: int) -> FuzzCase:
+    """Deterministically (re)build fuzz case ``index`` of run ``seed``."""
+    kind = CASE_KINDS[index % len(CASE_KINDS)]
+    rng = np.random.default_rng([seed, index])
+    case = _base_case(kind, seed, index, rng)
+    if kind == "near_saturation":
+        # Alternate the targeted protocol deterministically by rotation.
+        protocol = "pdp" if (index // len(CASE_KINDS)) % 2 == 0 else "ttp"
+        case = _scale_near_saturation(case, protocol)
+    return case

@@ -1,0 +1,255 @@
+"""Mutation smoke: prove the fuzz harness can actually catch bugs.
+
+Each mutant re-introduces a realistic off-by-one or boundary bug into a
+live code path (by hot-patching the defining module, the way the real
+bug would have shipped), runs a short fuzz campaign, and records whether
+any property fired.  A harness that cannot flag these deliberate bugs
+would be giving vacuous green lights — ``make fuzz-quick`` therefore
+requires **every** mutant to be detected.
+
+The mutants, and the property expected to catch each:
+
+``boundary_absolute_epsilon``
+    The scalar token-visit rule reverts to the historical
+    ``floor(P/TTRT + 1e-12)``, which undercounts exact multiples at
+    large quotients → caught by ``scalar_vector_visits`` (the vectorized
+    rule still snaps correctly).
+``pdp_short_frame_dropped``
+    The augmented length ``C'_i`` counts only the ``L_i`` full frames,
+    dropping the short last frame — a fencepost on the frame count,
+    injected into the scalar **and** vectorized paths so no
+    scalar/vector differential can notice → the analysis is optimistic
+    by up to a frame per message, and near-saturation cases scaled
+    against the mutated analysis miss deadlines in simulation
+    (``pdp_vs_sim``).
+``ttp_budget_off_by_one``
+    The local scheme allocates ``h_i = C_i/q_i + F_ovhd`` instead of
+    ``C_i/(q_i - 1)`` — the classic misreading of equation (7) → the
+    certified allocation is too small and the TTP simulator misses
+    (``ttp_vs_sim``).
+``split_counts_overshoot``
+    The vectorized frame split computes ``K_i = floor(ratio) + 1``
+    unconditionally, overcounting frames at exact info-field multiples →
+    caught bit-for-bit by ``scalar_vector_split`` /
+    ``scalar_vector_augmented``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import logging as obslog
+from repro.verify.fuzzer import FuzzConfig, FuzzReport, run_fuzz
+
+__all__ = ["MUTANTS", "MutationReport", "run_mutation_smoke"]
+
+
+# -- the deliberate bugs --------------------------------------------------------
+
+
+def _buggy_token_visit_count(period_s: float, ttrt_s: float) -> int:
+    return int(math.floor(period_s / ttrt_s + 1e-12))
+
+
+def _buggy_pdp_augmented_length(payload_bits, ring, frame, variant):
+    from repro.analysis.pdp import PDPVariant
+    from repro.errors import MessageSetError
+
+    if payload_bits < 0:
+        raise MessageSetError("payload must be non-negative")
+    if payload_bits == 0:
+        return 0.0
+    theta = ring.theta
+    split = frame.split(payload_bits)
+    l_i = split.full_frames  # BUG: every K_i below should be split.total_frames
+    frame_time = frame.frame_time(ring.bandwidth_bps)
+    if variant is PDPVariant.STANDARD:
+        token_cost = l_i * theta / 2.0
+    else:
+        token_cost = theta / 2.0
+    if frame_time <= theta:
+        return l_i * theta + token_cost
+    return l_i * frame_time + token_cost
+
+
+def _buggy_pdp_augmented_lengths(payloads_bits, ring, frame, variant):
+    from repro.analysis.pdp import PDPVariant
+    from repro.errors import MessageSetError
+
+    arr = np.asarray(payloads_bits, dtype=float)
+    if np.any(arr < 0):
+        raise MessageSetError("payloads must be non-negative")
+    theta = ring.theta
+    _, full = frame.split_counts(arr)  # BUG: ignores the K_i column
+    frame_time = frame.frame_time(ring.bandwidth_bps)
+    if variant is PDPVariant.STANDARD:
+        token_cost = full * (theta / 2.0)
+    else:
+        token_cost = np.where(arr > 0, theta / 2.0, 0.0)
+    if frame_time <= theta:
+        return full * theta + token_cost
+    return full * frame_time + token_cost
+
+
+def _buggy_local_scheme_allocation(
+    message_set, ttrt_s, bandwidth_bps, frame_overhead_time_s, delta_s
+):
+    from repro.analysis import boundary as boundary_mod
+    from repro.analysis.ttp import TTPAllocation
+    from repro.errors import AllocationError
+
+    visits, bandwidths, augmented = [], [], []
+    for stream in message_set:
+        q_i = boundary_mod.token_visit_count(stream.period_s, ttrt_s)
+        if q_i < 2:
+            raise AllocationError("q_i < 2")
+        c_i = stream.payload_time(bandwidth_bps)
+        visits.append(q_i)
+        bandwidths.append(c_i / q_i + frame_overhead_time_s)  # BUG: q, not q-1
+        augmented.append(c_i + (q_i - 1) * frame_overhead_time_s)
+    return TTPAllocation(
+        ttrt_s=ttrt_s,
+        token_visits=tuple(visits),
+        bandwidths_s=tuple(bandwidths),
+        augmented_lengths_s=tuple(augmented),
+        delta_s=delta_s,
+    )
+
+
+def _buggy_split_counts(self, payloads_bits):
+    from repro.errors import ConfigurationError
+
+    arr = np.asarray(payloads_bits, dtype=float)
+    if np.any(arr < 0):
+        raise ConfigurationError("payloads must be non-negative")
+    ratio = arr / self.info_bits
+    full = np.floor(ratio)
+    total = full + 1.0  # BUG: overcounts exact info-field multiples
+    zero = arr == 0
+    if np.any(zero):
+        full = np.where(zero, 0.0, full)
+        total = np.where(zero, 0.0, total)
+    return total, full
+
+
+def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
+    """(owner, attribute, replacement) triples for one mutant.
+
+    Patches land on every module that bound the original name at import
+    time, exactly where the bug would live had it been committed.
+    """
+    from repro.analysis import boundary as boundary_mod
+    from repro.analysis import bounds as bounds_mod
+    from repro.analysis import pdp as pdp_mod
+    from repro.analysis import sba as sba_mod
+    from repro.analysis import ttp as ttp_mod
+    from repro.network import frames as frames_mod
+
+    if mutant == "boundary_absolute_epsilon":
+        return [
+            (boundary_mod, "token_visit_count", _buggy_token_visit_count),
+            (ttp_mod, "token_visit_count", _buggy_token_visit_count),
+            (sba_mod, "token_visit_count", _buggy_token_visit_count),
+            (bounds_mod, "token_visit_count", _buggy_token_visit_count),
+        ]
+    if mutant == "pdp_short_frame_dropped":
+        return [
+            (pdp_mod, "pdp_augmented_length", _buggy_pdp_augmented_length),
+            (pdp_mod, "pdp_augmented_lengths", _buggy_pdp_augmented_lengths),
+        ]
+    if mutant == "ttp_budget_off_by_one":
+        return [
+            (ttp_mod, "local_scheme_allocation", _buggy_local_scheme_allocation)
+        ]
+    if mutant == "split_counts_overshoot":
+        return [
+            (frames_mod.FrameFormat, "split_counts", _buggy_split_counts)
+        ]
+    raise KeyError(mutant)
+
+
+MUTANTS: tuple[str, ...] = (
+    "boundary_absolute_epsilon",
+    "pdp_short_frame_dropped",
+    "ttp_budget_off_by_one",
+    "split_counts_overshoot",
+)
+
+
+@contextlib.contextmanager
+def inject_mutant(mutant: str):
+    """Apply one deliberate bug for the duration of the context."""
+    sites = _patch_sites(mutant)
+    saved = [(owner, attr, getattr(owner, attr)) for owner, attr, _ in sites]
+    try:
+        for owner, attr, replacement in sites:
+            setattr(owner, attr, replacement)
+        yield
+    finally:
+        for owner, attr, original in saved:
+            setattr(owner, attr, original)
+
+
+# -- the smoke run --------------------------------------------------------------
+
+
+@dataclass
+class MutationReport:
+    """Detection outcome per mutant."""
+
+    seed: int
+    n_cases: int
+    detected: dict[str, bool] = field(default_factory=dict)
+    fired_checks: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    reports: dict[str, FuzzReport] = field(default_factory=dict)
+
+    @property
+    def all_detected(self) -> bool:
+        return bool(self.detected) and all(self.detected.values())
+
+    def summary(self) -> str:
+        """Per-mutant verdict table with the properties that fired."""
+        lines = [
+            f"mutation smoke (seed={self.seed}, {self.n_cases} cases/mutant): "
+            f"{sum(self.detected.values())}/{len(self.detected)} mutants detected"
+        ]
+        for mutant in self.detected:
+            verdict = "DETECTED" if self.detected[mutant] else "MISSED"
+            via = ", ".join(self.fired_checks[mutant]) or "-"
+            lines.append(f"  {verdict:<8}  {mutant}  (via: {via})")
+        return "\n".join(lines)
+
+
+def run_mutation_smoke(
+    seed: int = 20_260_704, n_cases: int = 18
+) -> MutationReport:
+    """Inject each mutant and assert the fuzz harness notices.
+
+    The campaign per mutant is short (shrinking is disabled — detection,
+    not minimization, is the question) but runs the *full* property set,
+    including the simulators, under the same deterministic case stream a
+    real campaign would see.
+    """
+    log = obslog.get_logger("verify.mutation")
+    report = MutationReport(seed=seed, n_cases=n_cases)
+    for mutant in MUTANTS:
+        with inject_mutant(mutant):
+            fuzz = run_fuzz(
+                FuzzConfig(
+                    seed=seed, n_cases=n_cases, shrink=False, max_violations=1
+                )
+            )
+        fired = tuple(sorted({v.check for v in fuzz.violations}))
+        report.detected[mutant] = not fuzz.ok
+        report.fired_checks[mutant] = fired
+        report.reports[mutant] = fuzz
+        log.info(
+            "mutant %s: %s", mutant,
+            "detected via " + ", ".join(fired) if fired else "MISSED",
+            extra={"mutant": mutant, "detected": not fuzz.ok},
+        )
+    return report

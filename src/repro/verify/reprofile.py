@@ -1,0 +1,86 @@
+"""Replayable counterexample files.
+
+A repro file is a :mod:`repro.obs.manifest` document whose ``extra``
+section carries everything needed to replay a violation without the
+generator: the failing check's name, the ``(seed, index)`` pair that
+regenerates the original case, and the exact parameters of both the
+original and the shrunk case (floats survive the JSON round trip
+bit-exactly).  :func:`replay_repro` re-runs the check on the stored
+parameters and returns the fresh violation — or ``None``, meaning the
+bug has since been fixed and the file can be retired into a pinned
+regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ReproError
+from repro.obs import logging as obslog
+from repro.obs import manifest as obsmanifest
+from repro.verify.checks import Violation, run_check
+from repro.verify.generators import FuzzCase
+
+__all__ = ["load_repro", "replay_repro", "write_repro"]
+
+_SCHEMA = "repro.verify/1"
+
+
+def write_repro(
+    directory: str,
+    violation: Violation,
+    shrunk: FuzzCase | None = None,
+) -> str:
+    """Write one violation as a replayable manifest; returns the path."""
+    case = violation.case
+    document = obsmanifest.build_manifest(
+        command="verify.fuzz",
+        extra={
+            "repro_schema": _SCHEMA,
+            "check": violation.check,
+            "detail": violation.detail,
+            "seed": case.seed,
+            "index": case.index,
+            "case": case.to_params(),
+            "shrunk_case": shrunk.to_params() if shrunk is not None else None,
+        },
+    )
+    name = f"repro-{violation.check}-s{case.seed}-i{case.index}.json"
+    path = os.path.join(directory, name)
+    obsmanifest.write_manifest(path, document)
+    obslog.get_logger("verify.repro").warning(
+        "wrote counterexample %s", path,
+        extra={"check": violation.check, "artifact": path},
+    )
+    return path
+
+
+def load_repro(path: str) -> dict:
+    """The ``extra`` section of a repro file, schema-checked."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    extra = document.get("extra") or {}
+    if extra.get("repro_schema") != _SCHEMA:
+        raise ReproError(
+            f"{path} is not a verify repro file (schema "
+            f"{extra.get('repro_schema')!r})"
+        )
+    return extra
+
+
+def replay_repro(path: str, use_shrunk: bool = True) -> Violation | None:
+    """Re-run the stored check on the stored case.
+
+    Prefers the shrunk case when one was recorded (it is the one a
+    regression test should pin); returns the violation if it still
+    reproduces, ``None`` if the underlying bug is fixed.
+    """
+    extra = load_repro(path)
+    params = (
+        extra["shrunk_case"]
+        if use_shrunk and extra.get("shrunk_case")
+        else extra["case"]
+    )
+    case = FuzzCase.from_params(params)
+    return run_check(extra["check"], case)

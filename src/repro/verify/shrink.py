@@ -1,0 +1,95 @@
+"""Greedy minimization of a failing fuzz case.
+
+Given a case and the check it violates, :func:`shrink_case` searches for
+the smallest workload that still fails:
+
+1. drop whole streams, largest set reductions first;
+2. round the surviving periods and payloads to short decimal literals
+   (so the pinned counterexample reads like a hand-written test);
+3. halve payloads toward zero.
+
+Every candidate is re-judged with the *same* check; a transformation is
+kept only when the violation persists, so the result provably still
+fails.  The search is deterministic and bounded (each accepted step
+strictly reduces a finite measure).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.verify.checks import Violation
+from repro.verify.generators import FuzzCase
+
+__all__ = ["shrink_case"]
+
+
+def _still_fails(
+    check: Callable[[FuzzCase], Violation | None], case: FuzzCase
+) -> bool:
+    if len(case.periods_s) == 0:
+        return False
+    try:
+        return check(case) is not None
+    except Exception:
+        # A shrink candidate may leave the valid-input domain (e.g. an
+        # unallocatable TTP set raising); that is not the violation we
+        # are chasing, so reject the candidate.
+        return False
+
+
+def _round_sig(value: float, digits: int) -> float:
+    if value == 0:
+        return 0.0
+    from math import floor, log10
+
+    return round(value, -int(floor(log10(abs(value)))) + digits - 1)
+
+
+def shrink_case(
+    case: FuzzCase, check: Callable[[FuzzCase], Violation | None]
+) -> FuzzCase:
+    """The smallest variant of ``case`` on which ``check`` still fails."""
+    current = case
+
+    # Phase 1: drop streams while the failure persists.
+    improved = True
+    while improved and len(current.periods_s) > 1:
+        improved = False
+        for i in range(len(current.periods_s)):
+            periods = tuple(
+                p for j, p in enumerate(current.periods_s) if j != i
+            )
+            payloads = tuple(
+                c for j, c in enumerate(current.payloads_bits) if j != i
+            )
+            candidate = current.with_streams(periods, payloads)
+            if _still_fails(check, candidate):
+                current = candidate
+                improved = True
+                break
+
+    # Phase 2: simplify the numbers (3 then 1 significant digits).
+    for digits in (3, 1):
+        periods = tuple(_round_sig(p, digits) for p in current.periods_s)
+        payloads = tuple(_round_sig(c, digits) for c in current.payloads_bits)
+        candidate = current.with_streams(periods, payloads)
+        if candidate != current and _still_fails(check, candidate):
+            current = candidate
+
+    # Phase 3: halve payloads while the failure persists.
+    improved = True
+    while improved:
+        improved = False
+        for i in range(len(current.payloads_bits)):
+            payloads = list(current.payloads_bits)
+            if payloads[i] < 2.0:
+                continue
+            payloads[i] = payloads[i] / 2.0
+            candidate = current.with_streams(
+                current.periods_s, tuple(payloads)
+            )
+            if _still_fails(check, candidate):
+                current = candidate
+                improved = True
+    return current

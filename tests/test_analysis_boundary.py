@@ -1,0 +1,130 @@
+"""The centralized ``q = floor(P/TTRT)`` boundary rule.
+
+Pins the exact-multiple and just-below-boundary behaviour that the old
+per-site ``floor(P/TTRT + 1e-12)`` epsilon got wrong, and the bit-level
+scalar/vector agreement the differential fuzzer relies on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.boundary import (
+    Q_REL_TOL,
+    token_visit_count,
+    token_visit_counts,
+)
+from repro.analysis.ttp import local_scheme_allocation
+from repro.analysis.ttrt import ttp_saturation_scale
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+
+
+class TestExactMultiples:
+    """P = k·TTRT must give q = k for every representable magnitude."""
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 7, 17, 100, 5_000, 100_000, 1_000_000])
+    @pytest.mark.parametrize("ttrt", [1e-5, 0.001, 0.0007, 0.1 / 3, 0.0123])
+    def test_exact_multiple_counts_exactly(self, k, ttrt):
+        period = ttrt * k
+        assert token_visit_count(period, ttrt) == k
+        assert token_visit_counts([period], ttrt)[0] == k
+
+    def test_old_epsilon_regression(self):
+        """The shrunk counterexample that motivated the relative snap.
+
+        ``1.0 / 1e-5 == 99999.99999999999``: one ulp below the exact
+        quotient, outside the old absolute ``+1e-12`` nudge.  The old
+        rule answered 99999.
+        """
+        assert math.floor(1.0 / 1e-5 + 1e-12) == 99_999  # the old bug
+        assert token_visit_count(1.0, 1e-5) == 100_000
+
+    def test_division_exact_cases_untouched(self):
+        # Powers of two divide exactly; no snapping is involved.
+        assert token_visit_count(1.0, 0.25) == 4
+        assert token_visit_count(6.0, 1.5) == 4
+
+
+class TestNoOvershoot:
+    """Quotients genuinely below an integer must not round up."""
+
+    @pytest.mark.parametrize("k", [2, 3, 10, 1_000])
+    def test_just_below_boundary_floors_down(self, k):
+        ttrt = 0.01
+        # 1e-9 relative below the boundary: physically distinct, must
+        # not be snapped (the snap tolerance is 1e-12 relative).
+        period = ttrt * k * (1.0 - 1e-9)
+        assert token_visit_count(period, ttrt) == k - 1
+
+    def test_old_absolute_epsilon_overshoot_fixed(self):
+        """A period 5e-13 below 2·TTRT: the old rule admitted q=2."""
+        ttrt = 1.0
+        period = 2.0 - 5e-13
+        assert math.floor(period / ttrt + 1e-12) == 2  # the old bug
+        # The gap (2.5e-13 relative) far exceeds the snap tolerance.
+        assert 2.0 - period / ttrt > Q_REL_TOL * 2.0
+        assert token_visit_count(period, ttrt) == 1
+
+    def test_one_ulp_below_is_snapped(self):
+        ttrt = 0.01
+        period = np.nextafter(ttrt * 7, 0.0)
+        assert token_visit_count(period, ttrt) == 7
+
+
+class TestScalarVectorAgreement:
+    def test_bit_identical_over_adversarial_grid(self):
+        ttrt = 0.003
+        periods = []
+        for k in range(2, 60):
+            exact = ttrt * k
+            periods.extend(
+                [exact, np.nextafter(exact, 0.0), np.nextafter(exact, np.inf)]
+            )
+        periods.extend([1.0, 0.1, 7.3e-3, 1e3, ttrt * 2.5])
+        vector = token_visit_counts(periods, ttrt)
+        scalar = np.array([token_visit_count(p, ttrt) for p in periods], dtype=float)
+        assert np.array_equal(vector, scalar)
+
+
+class TestTheoremPathsAgree:
+    """Allocation (scalar) and saturation scale (vector) share the rule."""
+
+    def test_exact_multiple_periods_allocate_and_scale_consistently(self):
+        ttrt = 1e-5
+        periods = (1.0, ttrt * 99_999)
+        allocation = local_scheme_allocation(
+            MessageSet(
+                SynchronousStream(period_s=p, payload_bits=8_000.0, station=i)
+                for i, p in enumerate(periods)
+            ),
+            ttrt_s=ttrt,
+            bandwidth_bps=1e9,
+            frame_overhead_time_s=0.0,
+            delta_s=0.0,
+        )
+        assert allocation.token_visits == (100_000, 99_999)
+
+        payload_times = np.array([8_000.0 / 1e9, 8_000.0 / 1e9])
+        scale = ttp_saturation_scale(ttrt, periods, payload_times, 0.0, 0.0)
+        # Cross-check: the closed-form scale uses the same q values as
+        # the allocation.  Reconstruct the scale from the allocation's q.
+        q = np.asarray(allocation.token_visits, dtype=float)
+        expected = ttrt / float(np.sum(payload_times / (q - 1.0)))
+        assert scale == expected
+
+    def test_local_scheme_rejects_true_sub_double_period(self):
+        # q must be 1 (not 2) for a period 1e-9 relative below 2·TTRT.
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            local_scheme_allocation(
+                MessageSet(
+                    [SynchronousStream(period_s=2.0 * (1 - 1e-9), payload_bits=100.0)]
+                ),
+                ttrt_s=1.0,
+                bandwidth_bps=1e6,
+                frame_overhead_time_s=0.0,
+                delta_s=0.0,
+            )

@@ -1,0 +1,190 @@
+"""Degenerate message sets: the boundary populations the fuzzer targets,
+pinned as deterministic regression tests for both protocols.
+
+Families (mirroring :data:`repro.verify.generators.CASE_KINDS`):
+
+* one-stream sets on one-station rings (no interference, blocking only);
+* all-equal periods (rate-monotonic priority ties);
+* sub-frame messages (payloads at or below one info field, down to 1 bit);
+* the TTP ``q_i = floor(P_i/TTRT) = 2`` admissibility edge, where the
+  local scheme's ``C_i/(q_i - 1)`` divisor bottoms out at 1 and one more
+  drop of the quotient makes the set unallocatable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pdp import PDPAnalysis, PDPVariant, pdp_blocking_time
+from repro.analysis.ttp import TTPAnalysis, local_scheme_allocation
+from repro.errors import AllocationError
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import (
+    fddi_ring,
+    ieee_802_5_ring,
+    paper_frame_format,
+)
+from repro.sim.validate import cross_validate_pdp, cross_validate_ttp
+from repro.units import mbps
+
+
+def _set(*streams: tuple[float, float]) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(period_s=p, payload_bits=c, station=i)
+        for i, (p, c) in enumerate(streams)
+    )
+
+
+FRAME = paper_frame_format()
+
+
+class TestSingleStreamSingleStation:
+    """n = 1: no higher-priority interference, blocking/overhead only."""
+
+    def test_pdp_light_single_stream_schedulable_and_simulated(self):
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(16), n_stations=1), FRAME,
+            PDPVariant.STANDARD,
+        )
+        message_set = _set((0.05, 10_000.0))
+        assert analysis.is_schedulable(message_set)
+        validation = cross_validate_pdp(analysis, message_set)
+        assert validation.consistent
+
+    def test_pdp_single_stream_reduces_to_blocking_plus_length(self):
+        # With one stream the exact RM test degenerates to
+        # C' + B <= P: find the payload knee and check both sides.
+        ring = ieee_802_5_ring(mbps(16), n_stations=1)
+        analysis = PDPAnalysis(ring, FRAME, PDPVariant.STANDARD)
+        blocking = pdp_blocking_time(ring, FRAME)
+        period = 0.01
+        schedulable = analysis.is_schedulable(_set((period, 100.0)))
+        assert schedulable
+        # An augmented length beyond P - B must be rejected: pick a
+        # payload whose raw transmission time alone exceeds the period.
+        too_big = (period + blocking) * mbps(16) * 2
+        assert not analysis.is_schedulable(_set((period, too_big)))
+
+    def test_ttp_single_stream_schedulable_and_simulated(self):
+        analysis = TTPAnalysis(fddi_ring(mbps(100), n_stations=1), FRAME)
+        message_set = _set((0.05, 100_000.0))
+        assert analysis.is_schedulable(message_set)
+        validation = cross_validate_ttp(analysis, message_set)
+        assert validation.consistent
+
+    def test_both_variants_agree_on_single_sub_frame_message(self):
+        for variant in PDPVariant:
+            analysis = PDPAnalysis(
+                ieee_802_5_ring(mbps(4), n_stations=1), FRAME, variant
+            )
+            assert analysis.is_schedulable(_set((0.02, 1.0)))
+
+
+class TestEqualPeriods:
+    """All-equal periods: every rate-monotonic priority order ties."""
+
+    def test_pdp_equal_periods_schedulable_and_simulated(self):
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(16), n_stations=4), FRAME,
+            PDPVariant.STANDARD,
+        )
+        message_set = _set(*[(0.05, 5_000.0)] * 4)
+        assert analysis.is_schedulable(message_set)
+        assert cross_validate_pdp(analysis, message_set).consistent
+
+    def test_pdp_verdict_invariant_under_stream_order(self):
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(16), n_stations=3), FRAME,
+            PDPVariant.STANDARD,
+        )
+        payloads = (9_000.0, 1_000.0, 4_000.0)
+        for rotation in range(3):
+            rotated = payloads[rotation:] + payloads[:rotation]
+            message_set = _set(*[(0.03, c) for c in rotated])
+            assert analysis.is_schedulable(message_set)
+
+    def test_ttp_equal_periods_equal_budgets(self):
+        analysis = TTPAnalysis(fddi_ring(mbps(100), n_stations=4), FRAME)
+        message_set = _set(*[(0.04, 50_000.0)] * 4)
+        allocation = analysis.allocate(message_set)
+        assert len(set(allocation.token_visits)) == 1
+        assert len(set(allocation.bandwidths_s)) == 1
+        assert analysis.is_schedulable(message_set)
+        assert cross_validate_ttp(analysis, message_set).consistent
+
+
+class TestSubFrameMessages:
+    """Payloads at or below one info field: K_i = 1, L_i = 0 territory."""
+
+    @pytest.mark.parametrize("payload", [1.0, 100.0, FRAME.info_bits])
+    def test_pdp_sub_frame_payloads(self, payload):
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(16), n_stations=3), FRAME,
+            PDPVariant.STANDARD,
+        )
+        message_set = _set((0.02, payload), (0.03, payload), (0.05, payload))
+        assert analysis.is_schedulable(message_set)
+        assert cross_validate_pdp(analysis, message_set).consistent
+
+    def test_ttp_sub_frame_payloads(self):
+        analysis = TTPAnalysis(fddi_ring(mbps(100), n_stations=3), FRAME)
+        message_set = _set((0.02, 1.0), (0.03, 100.0), (0.05, 512.0))
+        assert analysis.is_schedulable(message_set)
+        assert cross_validate_ttp(analysis, message_set).consistent
+
+    def test_exactly_one_info_field_is_one_frame(self):
+        split = FRAME.split(FRAME.info_bits)
+        assert split.total_frames == 1
+        assert split.full_frames == 1
+
+
+class TestTTPQuotientEdge:
+    """The q_i = 2 admissibility edge of the local allocation scheme."""
+
+    BANDWIDTH = mbps(100)
+
+    def _ring(self):
+        return fddi_ring(self.BANDWIDTH, n_stations=1)
+
+    def test_q2_exact_multiple_is_admissible(self):
+        # P = 2·TTRT exactly: the relative snap must deliver q = 2 and
+        # the allocation h = C/(2-1) + F_ovhd must come out finite.
+        analysis = TTPAnalysis(self._ring(), FRAME)
+        ttrt = 0.01
+        message_set = _set((2 * ttrt, 10_000.0))
+        allocation = analysis.allocate(message_set, ttrt_s=ttrt)
+        assert allocation.token_visits == (2,)
+        assert analysis.is_schedulable(message_set, ttrt_s=ttrt)
+
+    def test_below_q2_raises_allocation_error(self):
+        analysis = TTPAnalysis(self._ring(), FRAME)
+        ttrt = 0.01
+        message_set = _set((1.999 * ttrt, 10_000.0))
+        with pytest.raises(AllocationError):
+            analysis.allocate(message_set, ttrt_s=ttrt)
+        assert not analysis.is_schedulable(message_set, ttrt_s=ttrt)
+
+    def test_q2_budget_divisor_is_one(self):
+        # At q = 2 the guaranteed time per period is (q-1)·H = 1·H, so
+        # the whole message must fit in a single token visit's budget.
+        ttrt = 0.01
+        payload_bits = 10_000.0
+        message_set = _set((2 * ttrt, payload_bits))
+        allocation = local_scheme_allocation(
+            message_set, ttrt, self.BANDWIDTH,
+            frame_overhead_time_s=0.0, delta_s=0.0,
+        )
+        assert allocation.bandwidths_s[0] == pytest.approx(
+            payload_bits / self.BANDWIDTH
+        )
+
+    def test_q2_edge_survives_float_hostile_ttrt(self):
+        # An irrational-looking TTRT whose doubled value round-trips
+        # through P/TTRT just below 2.0 in floats: the relative snap
+        # must still admit the exact multiple.
+        analysis = TTPAnalysis(self._ring(), FRAME)
+        ttrt = 0.0030000000000000001
+        message_set = _set((2 * ttrt, 1_000.0))
+        allocation = analysis.allocate(message_set, ttrt_s=ttrt)
+        assert allocation.token_visits == (2,)

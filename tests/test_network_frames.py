@@ -119,3 +119,63 @@ class TestSplit:
     def test_frames_needed_monotone(self, payload, bump):
         fmt = FrameFormat(info_bits=512, overhead_bits=112)
         assert fmt.frames_needed(payload + bump) >= fmt.frames_needed(payload)
+
+class TestScalarVectorBitIdentity:
+    """`split` and `split_counts` must agree bit for bit (zero-payload
+    policy included): the batched analyses consume the vector path while
+    the simulators and scalar oracles consume `split`."""
+
+    FMT = FrameFormat(info_bits=512.0, overhead_bits=112.0)
+
+    def adversarial_payloads(self):
+        import numpy as np
+
+        info = self.FMT.info_bits
+        payloads = [0.0, 5e-324, 1e-300, 1.0, info / 2]
+        for k in (1, 2, 3, 100, 10_000):
+            exact = k * info
+            payloads.extend(
+                [exact, np.nextafter(exact, 0.0), np.nextafter(exact, np.inf)]
+            )
+        payloads.extend([1e15, 1e15 + 1.0])
+        return payloads
+
+    def test_counts_bit_identical(self):
+        import numpy as np
+
+        payloads = self.adversarial_payloads()
+        total_v, full_v = self.FMT.split_counts(np.asarray(payloads))
+        for payload, tv, fv in zip(payloads, total_v, full_v):
+            split = self.FMT.split(payload)
+            assert float(split.total_frames) == tv, payload
+            assert float(split.full_frames) == fv, payload
+
+    def test_zero_payload_occupies_nothing(self):
+        import numpy as np
+
+        split = self.FMT.split(0.0)
+        assert (split.total_frames, split.full_frames) == (0, 0)
+        assert split.last_frame_info_bits == 0.0
+        assert self.FMT.message_wire_bits(0.0) == 0.0
+        total, full = self.FMT.split_counts(np.array([0.0]))
+        assert total[0] == 0.0 and full[0] == 0.0
+
+    def test_subnormal_payload_needs_one_frame_in_both_paths(self):
+        import numpy as np
+
+        # 5e-324 / 512 underflows to 0.0: ceil gives 0, the clamp must
+        # still charge one frame in both implementations.
+        split = self.FMT.split(5e-324)
+        assert (split.total_frames, split.full_frames) == (1, 0)
+        total, full = self.FMT.split_counts(np.array([5e-324]))
+        assert total[0] == 1.0 and full[0] == 0.0
+
+    @given(payload=st.floats(min_value=0.0, max_value=1e9,
+                             allow_nan=False, allow_infinity=False))
+    def test_counts_bit_identical_fuzz(self, payload):
+        import numpy as np
+
+        split = self.FMT.split(payload)
+        total, full = self.FMT.split_counts(np.array([payload]))
+        assert float(split.total_frames) == total[0]
+        assert float(split.full_frames) == full[0]

@@ -14,6 +14,11 @@ supposed to honour:
   fields;
 * the CSV uses the current 10-column schema.
 
+It then smoke-tests the verification harness itself
+(:mod:`repro.verify`): the mutation smoke must flag **every**
+deliberately injected off-by-one bug — a differential harness that
+cannot catch known bugs would be handing out vacuous green lights.
+
 Exit code 0 on success; raises (nonzero exit) with a diagnostic on any
 violation.  ``make verify`` runs this after the tier-1 test suite.
 """
@@ -112,5 +117,22 @@ def run_smoke() -> None:
     print("verify_smoke: ok (manifest, JSONL log, CSV schema, cache hits)")
 
 
+def run_mutation_smoke_check() -> None:
+    """Assert the fuzz harness flags every deliberately injected bug."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.verify import run_mutation_smoke
+
+    report = run_mutation_smoke()
+    if not report.all_detected:
+        raise AssertionError(
+            "mutation smoke missed an injected bug:\n" + report.summary()
+        )
+    print(
+        "verify_smoke: ok (mutation smoke "
+        f"{sum(report.detected.values())}/{len(report.detected)} detected)"
+    )
+
+
 if __name__ == "__main__":
     run_smoke()
+    run_mutation_smoke_check()
