@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test verify fuzz-quick bench bench-quick examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
@@ -17,7 +17,11 @@ help:
 	@echo "  bench            run every benchmark"
 	@echo "  bench-quick      perf canary: single Figure-1 point + analysis"
 	@echo "                   micro-benches -> BENCH_figure1.json (tracked"
-	@echo "                   across PRs for the perf trajectory)"
+	@echo "                   across PRs for the perf trajectory; the"
+	@echo "                   verify bench guard compares against it)"
+	@echo "  bench-sim        simulator canary: cross-validation + fast-path"
+	@echo "                   micro-benches -> BENCH_sim.json (events/sec"
+	@echo "                   and compression ratios in extra_info)"
 	@echo "  examples         run every example script"
 	@echo "  figure1          full Figure 1 run, CSV output"
 	@echo "  report           full markdown report"
@@ -48,7 +52,14 @@ bench-quick:
 		benchmarks/test_bench_figure1.py::test_bench_figure1_single_point \
 		benchmarks/test_bench_analysis_micro.py \
 		--benchmark-only --benchmark-json=BENCH_figure1.json
-	$(PYTHON) -m repro.obs.benchjson BENCH_figure1.json
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.obs.benchjson BENCH_figure1.json
+
+bench-sim:
+	$(PYTHON) -m pytest \
+		benchmarks/test_bench_sim_validation.py \
+		benchmarks/test_bench_sim_fastpath.py \
+		--benchmark-only --benchmark-json=BENCH_sim.json
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.obs.benchjson BENCH_sim.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the event-compressing fast-path simulators.
+
+Beyond wall time, each bench records the fast path's *compression ratio*
+in ``extra_info`` — how many scalar-engine events (PDP) or token visits
+(TTP) each compressed step replaced — plus the resulting logical events
+per second.  A regression that silently degrades compression (falling
+back to step-at-a-time execution while staying bit-identical) shows up
+here even when correctness tests stay green.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pdp import PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.messages.message_set import MessageSet
+from repro.messages.stream import SynchronousStream
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.obs import metrics
+from repro.sim.fastpath import run_pdp_fast
+from repro.sim.fastpath_ttp import run_ttp_fast
+from repro.sim.pdp_sim import PDPSimConfig
+from repro.sim.ttp_sim import TTPSimConfig
+from repro.units import mbps, milliseconds
+
+
+FRAME = paper_frame_format()
+ROUNDS = 3
+
+
+def _workload(n: int) -> MessageSet:
+    return MessageSet(
+        SynchronousStream(
+            period_s=milliseconds(20 + 8 * i), payload_bits=8_000, station=i
+        )
+        for i in range(n)
+    )
+
+
+def _count(name: str) -> float:
+    return metrics.counter(name).value
+
+
+def test_bench_pdp_fastpath_second(benchmark):
+    """One simulated second of a loaded 10-station 802.5 ring, fast path."""
+    workload = _workload(10)
+    ring = ieee_802_5_ring(mbps(16), n_stations=10)
+    config = PDPSimConfig(variant=PDPVariant.MODIFIED)
+
+    events0, steps0 = _count("sim.fastpath.pdp.events"), _count("sim.fastpath.pdp.steps")
+    report = benchmark.pedantic(
+        run_pdp_fast, args=(ring, FRAME, workload, config, 1.0),
+        rounds=ROUNDS, iterations=1,
+    )
+    assert report.total_completed > 0
+    events = (_count("sim.fastpath.pdp.events") - events0) / ROUNDS
+    steps = (_count("sim.fastpath.pdp.steps") - steps0) / ROUNDS
+    benchmark.extra_info["logical_events"] = events
+    benchmark.extra_info["compressed_steps"] = steps
+    benchmark.extra_info["compression_ratio"] = events / max(steps, 1.0)
+    benchmark.extra_info["events_per_sec"] = events / max(benchmark.stats["mean"], 1e-12)
+    assert events / max(steps, 1.0) > 1.0  # compression actually engaged
+
+
+def test_bench_ttp_fastpath_second(benchmark):
+    """One simulated second of a 10-station FDDI ring, fast path."""
+    workload = _workload(10)
+    ring = fddi_ring(mbps(100), n_stations=10)
+    allocation = TTPAnalysis(ring, FRAME).analyze(workload).allocation
+    assert allocation is not None
+    config = TTPSimConfig(async_saturating=False)
+
+    visits0, swept0 = _count("sim.fastpath.ttp.visits"), _count("sim.fastpath.ttp.swept")
+    report = benchmark.pedantic(
+        run_ttp_fast, args=(ring, FRAME, workload, allocation, config, 1.0),
+        rounds=ROUNDS, iterations=1,
+    )
+    assert report.total_completed > 0
+    visits = (_count("sim.fastpath.ttp.visits") - visits0) / ROUNDS
+    swept = (_count("sim.fastpath.ttp.swept") - swept0) / ROUNDS
+    stepped = max(visits - swept, 1.0)
+    benchmark.extra_info["token_visits"] = visits
+    benchmark.extra_info["swept_visits"] = swept
+    benchmark.extra_info["compression_ratio"] = visits / stepped
+    benchmark.extra_info["visits_per_sec"] = visits / max(benchmark.stats["mean"], 1e-12)
+    assert swept > 0  # the rotation sweep actually engaged

@@ -152,6 +152,55 @@ def _bisect_scale(
     return lo, evaluations
 
 
+def _breakdown_cache_keys(
+    predicate: object,
+    message_sets: "Sequence[MessageSet]",
+    rel_tol: float,
+    max_doublings: int,
+    entry: str,
+):
+    """``(store, per-set keys)`` when breakdown caching engages, else ``(None, None)``.
+
+    Caching engages only when the predicate can describe itself — a
+    ``cache_signature()`` method returning a JSON payload (``None`` opts
+    out) — *and* a persistent cache directory is configured.  With no
+    disk layer the searches always run: the differential fuzz harness
+    compares the scalar and lockstep searches, and a memory-only memo
+    would collapse that comparison into a cache lookup of itself.
+
+    ``entry`` ("scale" vs "batch") keeps the two search paths' entries
+    apart: their scales are bit-identical but their evaluation counts are
+    not (the lockstep search reports speculative probes too).
+    """
+    describe = getattr(predicate, "cache_signature", None)
+    if describe is None:
+        return None, None
+    from repro import cache as cache_mod  # deferred: analysis stays import-light
+
+    store = cache_mod.result_cache()
+    if store.directory is None:
+        return None, None
+    signature = describe()
+    if signature is None:
+        return None, None
+    keys = [
+        cache_mod.content_key(
+            {
+                "kind": "breakdown",
+                "entry": entry,
+                "predicate": signature,
+                "streams": [
+                    [s.period_s, s.payload_bits, s.station] for s in ms
+                ],
+                "rel_tol": rel_tol,
+                "max_doublings": max_doublings,
+            }
+        )
+        for ms in message_sets
+    ]
+    return store, keys
+
+
 def breakdown_scale(
     message_set: MessageSet,
     predicate: SchedulabilityPredicate | SupportsSaturationScale,
@@ -165,13 +214,38 @@ def breakdown_scale(
     boundary) are used directly, others fall back to their
     ``is_schedulable`` method under bisection.
 
+    When a persistent result cache is configured (USAGE.md §13) and the
+    predicate exposes ``cache_signature()``, the search is memoised under
+    a content key; the ``breakdown.*`` metrics then count only the
+    searches actually run.
+
     Returns ``(scale, predicate_evaluations)``.
     """
     if len(message_set) == 0:
         raise MessageSetError("cannot saturate an empty message set")
     if rel_tol <= 0:
         raise MessageSetError(f"relative tolerance must be positive, got {rel_tol!r}")
+    store, keys = _breakdown_cache_keys(
+        predicate, (message_set,), rel_tol, max_doublings, "scale"
+    )
+    if store is not None:
+        hit = store.get(keys[0], namespace="breakdown")
+        if hit is not None:
+            return float(hit[0]), int(hit[1])
+    scale, evaluations = _breakdown_scale_uncached(
+        message_set, predicate, rel_tol, max_doublings
+    )
+    if store is not None:
+        store.put(keys[0], [scale, evaluations], namespace="breakdown")
+    return scale, evaluations
 
+
+def _breakdown_scale_uncached(
+    message_set: MessageSet,
+    predicate: SchedulabilityPredicate | SupportsSaturationScale,
+    rel_tol: float,
+    max_doublings: int,
+) -> tuple[float, int]:
     if isinstance(predicate, SupportsSaturationScale):
         _metrics.counter("breakdown.closed_form_sets").inc()
         return float(predicate.saturation_scale(message_set)), 1
@@ -394,6 +468,12 @@ def breakdown_scales_batch(
     * batch-probing analyses (:class:`SupportsBatchScaleProbe`, e.g.
       :class:`~repro.analysis.pdp.PDPAnalysis`) — the lockstep search;
     * anything else — per-set :func:`breakdown_scale` fallback.
+
+    With a persistent result cache configured (USAGE.md §13), hits are
+    served per set and only the missing sets are searched; every set's
+    lockstep result — scale *and* evaluation count — is independent of
+    which other sets share the batch (each set's bracket advances on its
+    own chunks), so subsetting cannot change any returned pair.
     """
     if rel_tol <= 0:
         raise MessageSetError(f"relative tolerance must be positive, got {rel_tol!r}")
@@ -402,6 +482,37 @@ def breakdown_scales_batch(
             raise MessageSetError("cannot saturate an empty message set")
     if not message_sets:
         return []
+    store, keys = _breakdown_cache_keys(
+        predicate, message_sets, rel_tol, max_doublings, "batch"
+    )
+    if store is None:
+        return _breakdown_scales_batch_uncached(
+            message_sets, predicate, rel_tol, max_doublings
+        )
+    results: "list[tuple[float, int] | None]" = [None] * len(message_sets)
+    missing: list[int] = []
+    for index, key in enumerate(keys):
+        hit = store.get(key, namespace="breakdown")
+        if hit is not None:
+            results[index] = (float(hit[0]), int(hit[1]))
+        else:
+            missing.append(index)
+    if missing:
+        computed = _breakdown_scales_batch_uncached(
+            [message_sets[i] for i in missing], predicate, rel_tol, max_doublings
+        )
+        for index, (scale, evaluations) in zip(missing, computed):
+            results[index] = (scale, evaluations)
+            store.put(keys[index], [scale, evaluations], namespace="breakdown")
+    return results  # type: ignore[return-value]
+
+
+def _breakdown_scales_batch_uncached(
+    message_sets: Sequence[MessageSet],
+    predicate: SchedulabilityPredicate | SupportsSaturationScale | SupportsBatchScaleProbe,
+    rel_tol: float,
+    max_doublings: int,
+) -> list[tuple[float, int]]:
     if isinstance(predicate, SupportsSaturationScale):
         _metrics.counter("breakdown.closed_form_sets").inc(len(message_sets))
         return [(float(predicate.saturation_scale(ms)), 1) for ms in message_sets]

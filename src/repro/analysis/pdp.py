@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -277,6 +277,21 @@ class PDPAnalysis:
             cache_size=self._cache_size,
             shared_cache=self._test_cache,
         )
+
+    def cache_signature(self) -> dict:
+        """JSON-safe identity for content-addressed result-cache keys.
+
+        Covers everything the schedulability verdict depends on — ring,
+        frame format, protocol variant — and nothing incidental (the
+        exact-test structure cache is a pure accelerator).  See
+        USAGE.md §13.
+        """
+        return {
+            "analysis": "pdp",
+            "ring": asdict(self._ring),
+            "frame": asdict(self._frame),
+            "variant": self._variant.value,
+        }
 
     # -- core computations ------------------------------------------------------------
 

@@ -28,7 +28,7 @@ out completes anyway).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, is_dataclass
 from typing import Sequence
 
 import numpy as np
@@ -248,6 +248,28 @@ class TTPAnalysis:
     def with_ring(self, ring: RingNetwork) -> "TTPAnalysis":
         """A copy bound to a different ring."""
         return TTPAnalysis(ring, self._frame, self._policy, self._async_frame_bits)
+
+    def cache_signature(self) -> dict | None:
+        """JSON-safe identity for content-addressed result-cache keys.
+
+        The TTRT policy is part of the verdict, so it must be part of the
+        key; the stock policies are frozen dataclasses whose fields pin
+        them exactly.  A custom non-dataclass policy has no canonical
+        description — return None, which disables caching rather than
+        risking a collision.  See USAGE.md §13.
+        """
+        if not is_dataclass(self._policy):
+            return None
+        return {
+            "analysis": "ttp",
+            "ring": asdict(self._ring),
+            "frame": asdict(self._frame),
+            "ttrt_policy": {
+                "type": type(self._policy).__name__,
+                "params": asdict(self._policy),
+            },
+            "async_frame_bits": self._async_frame_bits,
+        }
 
     # -- core computations ------------------------------------------------------------
 

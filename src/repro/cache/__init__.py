@@ -1,0 +1,27 @@
+"""Content-addressed result cache (see USAGE.md §13).
+
+Simulation verdicts and breakdown results are memoised under a canonical
+hash of their full inputs plus a code-version salt, so identical
+recomputations — fuzz rounds, repeated validations, incremental
+experiment re-runs — are answered from the cache with bit-identical
+payloads.  Hit/miss counters surface as ``cache.*`` metrics in manifests.
+"""
+
+from repro.cache.keys import (
+    CACHE_SCHEMA_VERSION,
+    canonical_json,
+    code_salt,
+    content_key,
+)
+from repro.cache.store import ResultCache, clear, configure, result_cache
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "canonical_json",
+    "clear",
+    "code_salt",
+    "configure",
+    "content_key",
+    "result_cache",
+]

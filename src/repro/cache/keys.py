@@ -1,0 +1,105 @@
+"""Canonical content hashing for the result cache.
+
+Key stability contract: a key depends only on the *values* of the payload
+(dict insertion order is canonicalised away, floats round-trip through
+``repr`` exactly), on :data:`CACHE_SCHEMA_VERSION`, and on the source
+bytes of the simulation-relevant modules — never on process identity,
+``PYTHONHASHSEED``, or filesystem state.  Two processes hashing the same
+payload against the same checkout therefore produce the same key, and any
+edit to simulation semantics (or a deliberate schema bump) invalidates
+every previously stored entry at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+import os
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CACHE_SCHEMA_VERSION", "canonical_json", "code_salt", "content_key"]
+
+#: Bump to invalidate every cached result without touching code the salt
+#: already covers (e.g. when the *meaning* of a stored payload changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Modules whose source participates in the code-version salt: an edit to
+#: any simulation or breakdown semantics must orphan memoised verdicts.
+_SALT_MODULES: tuple[str, ...] = (
+    "repro.sim.engine",
+    "repro.sim.token_ring",
+    "repro.sim.traffic",
+    "repro.sim.trace",
+    "repro.sim.pdp_sim",
+    "repro.sim.ttp_sim",
+    "repro.sim.fastpath",
+    "repro.sim.fastpath_ttp",
+    "repro.sim.dispatch",
+    "repro.sim.validate",
+    "repro.analysis.breakdown",
+)
+
+#: Salt memo keyed by schema version, so tests that bump the version see a
+#: recomputed salt while normal runs hash the module sources exactly once.
+_SALT_BY_VERSION: dict[int, str] = {}
+
+
+def _unserialisable(value: object) -> None:
+    raise ConfigurationError(
+        f"cache key payloads must be JSON-representable, got {type(value).__name__}"
+    )
+
+
+def canonical_json(payload: object) -> str:
+    """The payload as order-independent, float-exact JSON text."""
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=True,  # breakdown scales can legitimately be inf/nan
+        default=_unserialisable,
+    )
+
+
+def _module_source(name: str) -> bytes:
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, ValueError):
+        return b"<unresolvable>"
+    if spec is None or not spec.origin or not os.path.exists(spec.origin):
+        return b"<missing>"
+    with open(spec.origin, "rb") as handle:
+        return handle.read()
+
+
+def code_salt() -> str:
+    """Digest of the schema version plus the salt modules' source bytes.
+
+    Computed lazily (never at import time: resolving module specs imports
+    parent packages, which would cycle during ``repro.sim`` init) and
+    memoised per schema version.
+    """
+    version = CACHE_SCHEMA_VERSION
+    salt = _SALT_BY_VERSION.get(version)
+    if salt is None:
+        digest = hashlib.sha256()
+        digest.update(f"schema={version}".encode("ascii"))
+        for name in _SALT_MODULES:
+            digest.update(name.encode("ascii"))
+            digest.update(b"\x00")
+            digest.update(_module_source(name))
+            digest.update(b"\x00")
+        salt = digest.hexdigest()
+        _SALT_BY_VERSION[version] = salt
+    return salt
+
+
+def content_key(payload: object) -> str:
+    """SHA-256 over (code salt, canonical payload JSON) as a hex string."""
+    digest = hashlib.sha256()
+    digest.update(code_salt().encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()

@@ -1,0 +1,177 @@
+"""Content-addressed result store: in-memory LRU plus an optional disk layer.
+
+The in-memory layer is always on and free: repeated validations of the
+same workload inside one process (fuzz rounds, benchmark repetitions,
+mutation campaigns) hit it without any configuration.  The disk layer is
+opt-in — via :func:`configure`, the runner's ``--cache-dir``, or the
+``REPRO_CACHE_DIR`` environment variable — and persists entries across
+processes as ``<dir>/<namespace>/<key[:2]>/<key>.json``.
+
+Safety rules:
+
+* **Corruption can never produce a wrong answer.**  A truncated,
+  malformed, or mismatched cache file is counted (``cache.<ns>.errors``),
+  logged as a warning, removed best-effort, and treated as a miss — the
+  caller recomputes.
+* **Writes are atomic** (temp file + ``os.replace``) so a crashed writer
+  leaves either the old entry or none.
+* **Metrics never feed back into results**: hit/miss/write/error counters
+  (``cache.<namespace>.hits`` etc.) are observational only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+
+from repro.obs import logging as obslog
+from repro.obs import metrics as _metrics
+
+__all__ = ["ResultCache", "clear", "configure", "result_cache"]
+
+_LOG = obslog.get_logger("cache")
+
+#: Default bound on in-memory entries; old entries evict LRU-first.
+_DEFAULT_MEMORY_ENTRIES = 4096
+
+
+class ResultCache:
+    """One content-addressed store (see module docstring)."""
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        max_memory_entries: int = _DEFAULT_MEMORY_ENTRIES,
+    ):
+        self.directory = directory
+        self._max_memory = max(int(max_memory_entries), 1)
+        self._memory: "OrderedDict[str, object]" = OrderedDict()
+
+    # -- internals ------------------------------------------------------------
+
+    def _count(self, namespace: str, event: str) -> None:
+        _metrics.counter(f"cache.{namespace}.{event}").inc()
+
+    def _path(self, key: str, namespace: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, namespace, key[:2], f"{key}.json")
+
+    def _memory_key(self, key: str, namespace: str) -> str:
+        return f"{namespace}/{key}"
+
+    def _remember(self, mkey: str, payload: object) -> None:
+        self._memory[mkey] = payload
+        self._memory.move_to_end(mkey)
+        while len(self._memory) > self._max_memory:
+            self._memory.popitem(last=False)
+        _metrics.gauge("cache.memory_entries").set(len(self._memory))
+
+    def _read_disk(self, key: str, namespace: str) -> object | None:
+        path = self._path(key, namespace)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            if not isinstance(record, dict) or record.get("key") != key:
+                raise ValueError("cache record key mismatch")
+            return record["payload"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError) as exc:
+            # Corrupt or unreadable entry: warn, count, drop, recompute.
+            self._count(namespace, "errors")
+            _LOG.warning(
+                "discarding unreadable cache entry %s (%s); recomputing",
+                path, exc,
+                extra={"namespace": namespace, "key": key},
+            )
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def _write_disk(self, key: str, payload: object, namespace: str) -> None:
+        path = self._path(key, namespace)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump({"key": key, "payload": payload}, handle)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self._count(namespace, "errors")
+            _LOG.warning(
+                "failed to write cache entry %s (%s); continuing uncached",
+                path, exc,
+                extra={"namespace": namespace, "key": key},
+            )
+
+    # -- public API -----------------------------------------------------------
+
+    def get(self, key: str, namespace: str = "sim") -> object | None:
+        """The stored payload, or None on a miss (including corruption)."""
+        mkey = self._memory_key(key, namespace)
+        if mkey in self._memory:
+            self._memory.move_to_end(mkey)
+            self._count(namespace, "hits")
+            return self._memory[mkey]
+        if self.directory is not None:
+            payload = self._read_disk(key, namespace)
+            if payload is not None:
+                self._remember(mkey, payload)
+                self._count(namespace, "hits")
+                return payload
+        self._count(namespace, "misses")
+        return None
+
+    def put(self, key: str, payload: object, namespace: str = "sim") -> None:
+        """Store a payload under its content key."""
+        self._remember(self._memory_key(key, namespace), payload)
+        if self.directory is not None:
+            self._write_disk(key, payload, namespace)
+        self._count(namespace, "writes")
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (disk entries are left alone)."""
+        self._memory.clear()
+        _metrics.gauge("cache.memory_entries").set(0)
+
+
+_CACHE: ResultCache | None = None
+
+
+def result_cache() -> ResultCache:
+    """The process-wide cache (disk layer from ``REPRO_CACHE_DIR`` if set)."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = ResultCache(directory=os.environ.get("REPRO_CACHE_DIR"))
+    return _CACHE
+
+
+def configure(
+    directory: str | None = None,
+    max_memory_entries: int = _DEFAULT_MEMORY_ENTRIES,
+) -> ResultCache:
+    """Replace the process-wide cache (e.g. for ``--cache-dir``)."""
+    global _CACHE
+    _CACHE = ResultCache(
+        directory=directory, max_memory_entries=max_memory_entries
+    )
+    return _CACHE
+
+
+def clear() -> None:
+    """Drop the process-wide cache's in-memory entries."""
+    if _CACHE is not None:
+        _CACHE.clear()

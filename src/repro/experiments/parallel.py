@@ -112,6 +112,16 @@ def parallel_map(
     n_jobs = resolve_jobs(jobs)
     name = label or getattr(fn, "__name__", "cells")
     total = len(task_list)
+    if n_jobs > 1 and total > 1 and (os.cpu_count() or 1) == 1:
+        # A pool of workers on one core only adds fork/pickle overhead;
+        # run inline (results are identical either way — see above).
+        _LOG.info(
+            "%s: single-core machine; running %d requested jobs inline",
+            name,
+            n_jobs,
+            extra={"grid": name, "requested_jobs": n_jobs},
+        )
+        n_jobs = 1
     if n_jobs <= 1 or total <= 1:
         results = []
         for index, task in enumerate(task_list):

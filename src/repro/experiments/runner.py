@@ -27,7 +27,14 @@ preserving every qualitative shape.
 
 ``--jobs N`` fans the independent grid cells of an experiment across N
 worker processes (0 = all cores).  Each cell reseeds from the base seed,
-so the output is bit-identical for every ``--jobs`` value.
+so the output is bit-identical for every ``--jobs`` value.  On a
+single-core machine the cells run inline regardless of ``N`` — a worker
+pool there only adds fork/pickle overhead.
+
+``--sim-engine {scalar,fast,auto}`` pins the simulator implementation
+and ``--cache-dir DIR`` persists the content-addressed result cache
+across runs; both are documented in USAGE.md §13.  Cache traffic shows
+up as ``cache.*`` metrics in the manifest.
 
 Observability (see :mod:`repro.obs` and docs/USAGE.md §11):
 
@@ -163,6 +170,17 @@ def main(argv: list[str] | None = None) -> int:
         "results are identical for every value",
     )
     parser.add_argument(
+        "--sim-engine", type=str, default=None,
+        choices=["scalar", "fast", "auto"],
+        help="simulator engine: the scalar oracles, the event-compressing "
+        "fast paths, or auto (fast where supported; the default)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="persist the content-addressed result cache under DIR "
+        "(default: in-memory only; see USAGE.md §13)",
+    )
+    parser.add_argument(
         "--log-level", type=str, default="info",
         choices=["debug", "info", "warning", "error"],
         help="stderr log threshold (per-cell progress appears at info)",
@@ -190,6 +208,18 @@ def main(argv: list[str] | None = None) -> int:
         level=args.log_level, json_path=args.log_json, quiet=args.quiet
     )
     log = obslog.get_logger("experiments.runner")
+    if args.sim_engine is not None:
+        from repro.sim import dispatch as sim_dispatch
+
+        sim_dispatch.set_default_engine(args.sim_engine)
+        log.info("sim engine forced to %s", args.sim_engine,
+                 extra={"sim_engine": args.sim_engine})
+    if args.cache_dir is not None:
+        from repro import cache as result_cache_mod
+
+        result_cache_mod.configure(directory=args.cache_dir)
+        log.info("result cache persisted under %s", args.cache_dir,
+                 extra={"cache_dir": args.cache_dir})
     log.info(
         "starting experiment %s",
         args.experiment,

@@ -21,6 +21,11 @@ times, medium utilization — for the examples and ablation studies.
 * :mod:`~repro.sim.ttp_sim` — the timed token protocol with the FDDI
   timer rules (TRT, THT, late count) and synchronous bandwidths.
 * :mod:`~repro.sim.trace` — deadline accounting and rotation statistics.
+* :mod:`~repro.sim.fastpath` / :mod:`~repro.sim.fastpath_ttp` — the
+  event-compressing fast paths, bit identical to the scalar oracles on
+  every supported configuration (USAGE.md §13).
+* :mod:`~repro.sim.dispatch` — engine selection (``scalar``/``fast``/
+  ``auto``) and the content-addressed result cache wrappers.
 * :mod:`~repro.sim.validate` — analysis-versus-simulation cross checks.
 """
 
@@ -30,6 +35,17 @@ from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig
 from repro.sim.trace import DeadlineStats, SimulationReport
 from repro.sim.traffic import ArrivalPhasing, SynchronousTraffic
 from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+from repro.sim.fastpath import run_pdp_fast
+from repro.sim.fastpath_ttp import run_ttp_fast
+from repro.sim.dispatch import (
+    SimEngine,
+    cached_run_pdp,
+    cached_run_ttp,
+    resolve_engine,
+    run_pdp,
+    run_ttp,
+    set_default_engine,
+)
 from repro.sim.validate import cross_validate_pdp, cross_validate_ttp
 
 __all__ = [
@@ -44,6 +60,15 @@ __all__ = [
     "ArrivalPhasing",
     "DeadlineStats",
     "SimulationReport",
+    "SimEngine",
+    "run_pdp_fast",
+    "run_ttp_fast",
+    "run_pdp",
+    "run_ttp",
+    "cached_run_pdp",
+    "cached_run_ttp",
+    "resolve_engine",
+    "set_default_engine",
     "cross_validate_pdp",
     "cross_validate_ttp",
 ]

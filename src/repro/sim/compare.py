@@ -25,8 +25,9 @@ from repro.analysis.pdp import PDPVariant
 from repro.messages.message_set import MessageSet
 from repro.network.frames import FrameFormat
 from repro.network.ring import RingNetwork
+from repro.sim import dispatch
 from repro.sim.ieee8025 import IEEE8025Config, IEEE8025Simulator
-from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig, TokenWalkModel
+from repro.sim.pdp_sim import PDPSimConfig, TokenWalkModel
 from repro.sim.trace import SimulationReport
 from repro.sim.traffic import ArrivalPhasing
 
@@ -78,7 +79,7 @@ def compare_pdp_fidelity(
     phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS,
 ) -> FidelityComparison:
     """Run both PDP models on the same workload and pair the reports."""
-    abstract = PDPRingSimulator(
+    abstract = dispatch.run_pdp(
         ring,
         frame,
         message_set,
@@ -88,7 +89,8 @@ def compare_pdp_fidelity(
             async_saturating=True,
             token_walk=TokenWalkModel.ACTUAL,
         ),
-    ).run(duration_s)
+        duration_s,
+    )
     faithful = IEEE8025Simulator(
         ring,
         frame,

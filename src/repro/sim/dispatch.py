@@ -1,0 +1,417 @@
+"""Engine selection and cached execution for the ring simulators.
+
+Three engines (USAGE.md §13):
+
+* ``scalar`` — the discrete-event oracles
+  (:class:`~repro.sim.pdp_sim.PDPRingSimulator`,
+  :class:`~repro.sim.ttp_sim.TTPRingSimulator`).
+* ``fast`` — the event-compressing fast paths
+  (:mod:`repro.sim.fastpath`, :mod:`repro.sim.fastpath_ttp`), bit
+  identical to the oracles on every supported configuration; forcing
+  ``fast`` on an unsupported configuration raises
+  :class:`~repro.errors.ConfigurationError`.
+* ``auto`` (default) — ``fast`` where supported, ``scalar`` otherwise
+  (fallbacks are counted in ``sim.fastpath.fallbacks`` and logged).
+
+The default engine resolves, in order: explicit ``engine=`` argument,
+:func:`set_default_engine` (the runner's ``--sim-engine``), the
+``REPRO_SIM_ENGINE`` environment variable, then ``auto``.
+
+:func:`cached_run_pdp` / :func:`cached_run_ttp` wrap the dispatch with
+the content-addressed result cache (:mod:`repro.cache`): the key hashes
+the full simulation input — ring, frame format, streams, configuration,
+allocation, horizon, the *effective* engine, and the code-version salt —
+and a hit replays the stored :class:`~repro.sim.trace.SimulationReport`
+bit for bit.  Cache hits do **not** re-publish ``sim.*`` run metrics
+(metrics never feed results; ``cache.sim.*`` counters record the hit).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import asdict
+
+from repro import cache as _cache
+from repro.analysis.ttp import TTPAllocation
+from repro.errors import ConfigurationError
+from repro.messages.message_set import MessageSet
+from repro.network.frames import FrameFormat
+from repro.network.ring import RingNetwork
+from repro.obs import logging as obslog
+from repro.obs import metrics as _metrics
+from repro.sim import fastpath, fastpath_ttp
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig
+from repro.sim.trace import DeadlineStats, RotationStats, SimulationReport
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+
+__all__ = [
+    "SimEngine",
+    "set_default_engine",
+    "resolve_engine",
+    "pdp_fastpath_unsupported",
+    "ttp_fastpath_unsupported",
+    "run_pdp",
+    "run_ttp",
+    "cached_run_pdp",
+    "cached_run_ttp",
+    "report_to_payload",
+    "report_from_payload",
+]
+
+_LOG = obslog.get_logger("sim.dispatch")
+
+
+class SimEngine(enum.Enum):
+    """Which simulator implementation executes a run."""
+
+    SCALAR = "scalar"
+    FAST = "fast"
+    AUTO = "auto"
+
+
+_DEFAULT_ENGINE: SimEngine | None = None
+
+
+def _coerce(engine: "SimEngine | str") -> SimEngine:
+    if isinstance(engine, SimEngine):
+        return engine
+    try:
+        return SimEngine(str(engine).lower())
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown sim engine {engine!r}; "
+            f"expected one of {[e.value for e in SimEngine]}"
+        ) from None
+
+
+def set_default_engine(engine: "SimEngine | str | None") -> None:
+    """Set the process default (the runner's ``--sim-engine``)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None if engine is None else _coerce(engine)
+
+
+def resolve_engine(engine: "SimEngine | str | None" = None) -> SimEngine:
+    """Explicit argument > process default > ``REPRO_SIM_ENGINE`` > auto."""
+    if engine is not None:
+        return _coerce(engine)
+    if _DEFAULT_ENGINE is not None:
+        return _DEFAULT_ENGINE
+    env = os.environ.get("REPRO_SIM_ENGINE")
+    if env:
+        return _coerce(env)
+    return SimEngine.AUTO
+
+
+def pdp_fastpath_unsupported(
+    message_set: MessageSet, config: PDPSimConfig
+) -> str | None:
+    """Why the PDP fast path cannot run this configuration (None = it can)."""
+    if config.async_poisson is not None:
+        return "Poisson asynchronous traffic"
+    stations = [stream.station for stream in message_set]
+    if len(set(stations)) != len(stations):
+        return "multiple streams per station"
+    return None
+
+
+def ttp_fastpath_unsupported(config: TTPSimConfig) -> str | None:
+    """Why the TTP fast path cannot run this configuration (None = it can)."""
+    if config.async_poisson is not None:
+        return "Poisson asynchronous traffic"
+    return None
+
+
+def _fallback(protocol: str, reason: str) -> None:
+    _metrics.counter("sim.fastpath.fallbacks").inc()
+    _LOG.debug(
+        "%s fast path unsupported (%s); falling back to the scalar engine",
+        protocol, reason,
+        extra={"protocol": protocol, "reason": reason},
+    )
+
+
+def run_pdp(
+    ring: RingNetwork,
+    frame: FrameFormat,
+    message_set: MessageSet,
+    config: PDPSimConfig,
+    duration_s: float,
+    *,
+    engine: "SimEngine | str | None" = None,
+    max_events: int = 50_000_000,
+) -> SimulationReport:
+    """One PDP run through the engine dispatch (uncached)."""
+    choice = resolve_engine(engine)
+    if choice is not SimEngine.SCALAR:
+        reason = pdp_fastpath_unsupported(message_set, config)
+        if reason is None:
+            return fastpath.run_pdp_fast(
+                ring, frame, message_set, config, duration_s, max_events
+            )
+        if choice is SimEngine.FAST:
+            raise ConfigurationError(
+                f"sim engine 'fast' cannot run this configuration: {reason}"
+            )
+        _fallback("pdp", reason)
+    return PDPRingSimulator(ring, frame, message_set, config).run(
+        duration_s, max_events
+    )
+
+
+def run_ttp(
+    ring: RingNetwork,
+    frame: FrameFormat,
+    message_set: MessageSet,
+    allocation: TTPAllocation,
+    config: TTPSimConfig,
+    duration_s: float,
+    *,
+    engine: "SimEngine | str | None" = None,
+    max_events: int = 50_000_000,
+) -> SimulationReport:
+    """One TTP run through the engine dispatch (uncached)."""
+    choice = resolve_engine(engine)
+    if choice is not SimEngine.SCALAR:
+        reason = ttp_fastpath_unsupported(config)
+        if reason is None:
+            return fastpath_ttp.run_ttp_fast(
+                ring, frame, message_set, allocation, config, duration_s,
+                max_events,
+            )
+        if choice is SimEngine.FAST:
+            raise ConfigurationError(
+                f"sim engine 'fast' cannot run this configuration: {reason}"
+            )
+        _fallback("ttp", reason)
+    return TTPRingSimulator(ring, frame, message_set, allocation, config).run(
+        duration_s, max_events
+    )
+
+
+# -- report serialisation (cache payloads) ----------------------------------
+
+
+def report_to_payload(report: SimulationReport) -> dict:
+    """A JSON-safe dump that :func:`report_from_payload` inverts exactly."""
+    return {
+        "duration": report.duration,
+        "sync_busy_time": report.sync_busy_time,
+        "async_busy_time": report.async_busy_time,
+        "token_time": report.token_time,
+        "streams": [
+            {
+                "stream_index": s.stream_index,
+                "completed": s.completed,
+                "missed": s.missed,
+                "max_response": s.max_response,
+                "total_response": s.total_response,
+                "responses": list(s.responses),
+                "sample_limit": s.sample_limit,
+            }
+            for s in report.streams
+        ],
+        "rotations": [
+            {
+                "station": r.station,
+                "count": r.count,
+                "total": r.total,
+                "maximum": r.maximum,
+                "minimum": r.minimum,
+            }
+            for r in report.rotations
+        ],
+    }
+
+
+def report_from_payload(payload: dict) -> SimulationReport:
+    """Rebuild a report from :func:`report_to_payload` output."""
+    return SimulationReport(
+        duration=float(payload["duration"]),
+        streams=[
+            DeadlineStats(
+                stream_index=int(s["stream_index"]),
+                completed=int(s["completed"]),
+                missed=int(s["missed"]),
+                max_response=float(s["max_response"]),
+                total_response=float(s["total_response"]),
+                responses=[float(r) for r in s["responses"]],
+                sample_limit=(
+                    None if s["sample_limit"] is None else int(s["sample_limit"])
+                ),
+            )
+            for s in payload["streams"]
+        ],
+        rotations=[
+            RotationStats(
+                station=int(r["station"]),
+                count=int(r["count"]),
+                total=float(r["total"]),
+                maximum=float(r["maximum"]),
+                minimum=float(r["minimum"]),
+            )
+            for r in payload["rotations"]
+        ],
+        sync_busy_time=float(payload["sync_busy_time"]),
+        async_busy_time=float(payload["async_busy_time"]),
+        token_time=float(payload["token_time"]),
+    )
+
+
+# -- cached execution --------------------------------------------------------
+
+
+def _streams_key(message_set: MessageSet) -> list:
+    return [
+        [stream.period_s, stream.payload_bits, stream.station]
+        for stream in message_set
+    ]
+
+
+def _pdp_key(
+    ring: RingNetwork,
+    frame: FrameFormat,
+    message_set: MessageSet,
+    config: PDPSimConfig,
+    duration_s: float,
+    effective_engine: str,
+    max_events: int,
+) -> str:
+    return _cache.content_key(
+        {
+            "kind": "sim.pdp",
+            "engine": effective_engine,
+            "ring": asdict(ring),
+            "frame": asdict(frame),
+            "streams": _streams_key(message_set),
+            "config": {
+                "variant": config.variant.value,
+                "phasing": config.phasing.value,
+                "phasing_seed": config.phasing_seed,
+                "async_saturating": config.async_saturating,
+                "token_walk": config.token_walk.value,
+                "collect_responses": config.collect_responses,
+                "response_sample_limit": config.response_sample_limit,
+            },
+            "duration_s": duration_s,
+            "max_events": max_events,
+        }
+    )
+
+
+def _ttp_key(
+    ring: RingNetwork,
+    frame: FrameFormat,
+    message_set: MessageSet,
+    allocation: TTPAllocation,
+    config: TTPSimConfig,
+    duration_s: float,
+    effective_engine: str,
+    max_events: int,
+) -> str:
+    return _cache.content_key(
+        {
+            "kind": "sim.ttp",
+            "engine": effective_engine,
+            "ring": asdict(ring),
+            "frame": asdict(frame),
+            "streams": _streams_key(message_set),
+            "allocation": {
+                "ttrt_s": allocation.ttrt_s,
+                "token_visits": list(allocation.token_visits),
+                "bandwidths_s": list(allocation.bandwidths_s),
+                "augmented_lengths_s": list(allocation.augmented_lengths_s),
+                "delta_s": allocation.delta_s,
+            },
+            "config": {
+                "phasing": config.phasing.value,
+                "phasing_seed": config.phasing_seed,
+                "async_saturating": config.async_saturating,
+                "async_frame_bits": config.async_frame_bits,
+                "track_rotations": config.track_rotations,
+                "collect_responses": config.collect_responses,
+                "response_sample_limit": config.response_sample_limit,
+            },
+            "duration_s": duration_s,
+            "max_events": max_events,
+        }
+    )
+
+
+def _effective_engine(choice: SimEngine, unsupported: str | None) -> str:
+    if choice is SimEngine.SCALAR or (
+        choice is SimEngine.AUTO and unsupported is not None
+    ):
+        return SimEngine.SCALAR.value
+    return SimEngine.FAST.value
+
+
+def cached_run_pdp(
+    ring: RingNetwork,
+    frame: FrameFormat,
+    message_set: MessageSet,
+    config: PDPSimConfig,
+    duration_s: float,
+    *,
+    engine: "SimEngine | str | None" = None,
+    max_events: int = 50_000_000,
+    use_cache: bool = True,
+) -> SimulationReport:
+    """:func:`run_pdp` with content-addressed memoisation."""
+    if not use_cache or config.async_poisson is not None:
+        return run_pdp(
+            ring, frame, message_set, config, duration_s,
+            engine=engine, max_events=max_events,
+        )
+    choice = resolve_engine(engine)
+    key = _pdp_key(
+        ring, frame, message_set, config, duration_s,
+        _effective_engine(choice, pdp_fastpath_unsupported(message_set, config)),
+        max_events,
+    )
+    store = _cache.result_cache()
+    hit = store.get(key, namespace="sim")
+    if hit is not None:
+        return report_from_payload(hit)
+    report = run_pdp(
+        ring, frame, message_set, config, duration_s,
+        engine=choice, max_events=max_events,
+    )
+    store.put(key, report_to_payload(report), namespace="sim")
+    return report
+
+
+def cached_run_ttp(
+    ring: RingNetwork,
+    frame: FrameFormat,
+    message_set: MessageSet,
+    allocation: TTPAllocation,
+    config: TTPSimConfig,
+    duration_s: float,
+    *,
+    engine: "SimEngine | str | None" = None,
+    max_events: int = 50_000_000,
+    use_cache: bool = True,
+) -> SimulationReport:
+    """:func:`run_ttp` with content-addressed memoisation."""
+    if not use_cache or config.async_poisson is not None:
+        return run_ttp(
+            ring, frame, message_set, allocation, config, duration_s,
+            engine=engine, max_events=max_events,
+        )
+    choice = resolve_engine(engine)
+    key = _ttp_key(
+        ring, frame, message_set, allocation, config, duration_s,
+        _effective_engine(choice, ttp_fastpath_unsupported(config)),
+        max_events,
+    )
+    store = _cache.result_cache()
+    hit = store.get(key, namespace="sim")
+    if hit is not None:
+        return report_from_payload(hit)
+    report = run_ttp(
+        ring, frame, message_set, allocation, config, duration_s,
+        engine=choice, max_events=max_events,
+    )
+    store.put(key, report_to_payload(report), namespace="sim")
+    return report

@@ -42,10 +42,11 @@ from repro.analysis.pdp import PDPAnalysis
 from repro.analysis.ttp import TTPAnalysis
 from repro.errors import SimulationError
 from repro.messages.message_set import MessageSet
-from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig, TokenWalkModel
+from repro.sim import dispatch
+from repro.sim.pdp_sim import PDPSimConfig, TokenWalkModel
 from repro.sim.trace import SimulationReport
 from repro.sim.traffic import ArrivalPhasing, SynchronousTraffic
-from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
+from repro.sim.ttp_sim import TTPSimConfig
 
 __all__ = [
     "HORIZON_CAP_PERIODS",
@@ -62,6 +63,16 @@ __all__ = [
 HORIZON_CAP_PERIODS = 64.0
 
 
+#: Memo for :func:`_rational_hyperperiod` — the LCM reduction walks every
+#: period through ``Fraction.limit_denominator`` and ``math.lcm``, which is
+#: pure arithmetic on the period tuple, yet every cross-validation call used
+#: to recompute it from scratch (hundreds of times per fuzz round on the
+#: same message sets).  Bounded so pathological callers cannot grow it
+#: without limit; eviction is insertion-ordered, which is LRU-enough here.
+_HYPERPERIOD_MEMO: dict[tuple, float | None] = {}
+_HYPERPERIOD_MEMO_LIMIT = 4096
+
+
 def _rational_hyperperiod(
     periods: Sequence[float], max_denominator: int = 1_000_000
 ) -> float | None:
@@ -69,8 +80,23 @@ def _rational_hyperperiod(
 
     Returns None when some period is not (near-)exactly a small rational
     — the usual case for randomly drawn floats — or when the LCM blows
-    up beyond any useful horizon.
+    up beyond any useful horizon.  Memoised on the period tuple.
     """
+    memo_key = (tuple(periods), max_denominator)
+    try:
+        return _HYPERPERIOD_MEMO[memo_key]
+    except KeyError:
+        pass
+    result = _rational_hyperperiod_uncached(periods, max_denominator)
+    if len(_HYPERPERIOD_MEMO) >= _HYPERPERIOD_MEMO_LIMIT:
+        _HYPERPERIOD_MEMO.pop(next(iter(_HYPERPERIOD_MEMO)))
+    _HYPERPERIOD_MEMO[memo_key] = result
+    return result
+
+
+def _rational_hyperperiod_uncached(
+    periods: Sequence[float], max_denominator: int = 1_000_000
+) -> float | None:
     fractions: list[Fraction] = []
     for period in periods:
         approx = Fraction(period).limit_denominator(max_denominator)
@@ -180,6 +206,9 @@ def cross_validate_pdp(
     message_set: MessageSet,
     duration_periods: float = 4.0,
     phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS,
+    *,
+    engine: "dispatch.SimEngine | str | None" = None,
+    use_cache: bool = True,
 ) -> CrossValidation:
     """Check Theorem 4.1 against the PDP simulator.
 
@@ -187,22 +216,26 @@ def cross_validate_pdp(
     the ``Θ/2`` expected token cost the theorem itself assumes — plus
     saturating asynchronous traffic and (by default) critical-instant
     phasing.  ``duration_periods`` is the *minimum* horizon in units of
-    ``P_max``; see :func:`default_validation_horizon`.
+    ``P_max``; see :func:`default_validation_horizon`.  ``engine`` and
+    ``use_cache`` route through :mod:`repro.sim.dispatch` (USAGE.md §13).
     """
     schedulable = analysis.is_schedulable(message_set)
-    simulator = PDPRingSimulator(
+    config = PDPSimConfig(
+        variant=analysis.variant,
+        phasing=phasing,
+        async_saturating=True,
+        token_walk=TokenWalkModel.AVERAGE,
+    )
+    duration = default_validation_horizon(message_set, duration_periods)
+    report = dispatch.cached_run_pdp(
         analysis.ring,
         analysis.frame,
         message_set,
-        PDPSimConfig(
-            variant=analysis.variant,
-            phasing=phasing,
-            async_saturating=True,
-            token_walk=TokenWalkModel.AVERAGE,
-        ),
+        config,
+        duration,
+        engine=engine,
+        use_cache=use_cache,
     )
-    duration = default_validation_horizon(message_set, duration_periods)
-    report = simulator.run(duration)
     expected = expected_invocations(message_set, duration, phasing)
     _assert_coverage(report, expected)
     return CrossValidation(
@@ -217,6 +250,9 @@ def cross_validate_ttp(
     message_set: MessageSet,
     duration_periods: float = 4.0,
     phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS,
+    *,
+    engine: "dispatch.SimEngine | str | None" = None,
+    use_cache: bool = True,
 ) -> CrossValidation:
     """Check Theorem 5.1 against the TTP simulator.
 
@@ -225,7 +261,8 @@ def cross_validate_ttp(
     unallocatable set (``q_i < 2``) is reported as analysis-unschedulable
     with a zero-length report, since there is no allocation to simulate.
     ``duration_periods`` is the *minimum* horizon in units of ``P_max``;
-    see :func:`default_validation_horizon`.
+    see :func:`default_validation_horizon`.  ``engine`` and ``use_cache``
+    route through :mod:`repro.sim.dispatch` (USAGE.md §13).
     """
     result = analysis.analyze(message_set)
     if result.allocation is None:
@@ -233,15 +270,18 @@ def cross_validate_ttp(
             analysis_schedulable=result.schedulable,
             report=SimulationReport(duration=0.0),
         )
-    simulator = TTPRingSimulator(
+    config = TTPSimConfig(phasing=phasing, async_saturating=True)
+    duration = default_validation_horizon(message_set, duration_periods)
+    report = dispatch.cached_run_ttp(
         analysis.ring,
         analysis.frame,
         message_set,
         result.allocation,
-        TTPSimConfig(phasing=phasing, async_saturating=True),
+        config,
+        duration,
+        engine=engine,
+        use_cache=use_cache,
     )
-    duration = default_validation_horizon(message_set, duration_periods)
-    report = simulator.run(duration)
     expected = expected_invocations(message_set, duration, phasing)
     _assert_coverage(report, expected)
     return CrossValidation(

@@ -26,6 +26,12 @@ The properties:
     breakdown *utilization* is invariant under payload scaling; scaling
     by powers of two must preserve ``λ(s·M)·s == λ(M)`` to float
     round-off.
+``pdp_fastpath_equiv`` / ``ttp_fastpath_equiv``
+    The event-compressing fast paths (:mod:`repro.sim.fastpath`,
+    :mod:`repro.sim.fastpath_ttp`) must reproduce the scalar oracles'
+    reports **bit for bit** — every response time, rotation statistic,
+    busy total, and verdict — on every supported configuration.  Like
+    the scalar/vector pairs, the fast paths are pure performance work.
 """
 
 from __future__ import annotations
@@ -43,6 +49,12 @@ from repro.analysis.pdp import PDPAnalysis, PDPVariant
 from repro.analysis.ttp import TTPAnalysis
 from repro.errors import AllocationError, ReproError
 from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim import fastpath as fastpath_mod
+from repro.sim import fastpath_ttp as fastpath_ttp_mod
+from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig, TokenWalkModel
+from repro.sim.trace import SimulationReport
+from repro.sim.traffic import ArrivalPhasing
+from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
 from repro.sim.validate import cross_validate_pdp, cross_validate_ttp
 from repro.verify.generators import FuzzCase
 
@@ -314,6 +326,147 @@ def check_scale_invariance(case: FuzzCase) -> Violation | None:
     return None
 
 
+# -- fast path versus scalar oracle --------------------------------------------
+
+
+def _report_diff(scalar: SimulationReport, fast: SimulationReport) -> str | None:
+    """First bit-level difference between two reports, or None."""
+    for name in ("duration", "sync_busy_time", "async_busy_time", "token_time"):
+        a, b = getattr(scalar, name), getattr(fast, name)
+        if a != b:
+            return f"{name}: scalar={a!r} fast={b!r}"
+    if len(scalar.streams) != len(fast.streams):
+        return f"stream count: scalar={len(scalar.streams)} fast={len(fast.streams)}"
+    for a, b in zip(scalar.streams, fast.streams):
+        if vars(a) != vars(b):
+            return f"stream {a.stream_index}: scalar={vars(a)!r} fast={vars(b)!r}"
+    if len(scalar.rotations) != len(fast.rotations):
+        return (
+            f"rotation count: scalar={len(scalar.rotations)} "
+            f"fast={len(fast.rotations)}"
+        )
+    for a, b in zip(scalar.rotations, fast.rotations):
+        if vars(a) != vars(b):
+            return f"rotation {a.station}: scalar={vars(a)!r} fast={vars(b)!r}"
+    return None
+
+
+#: Horizon for the equivalence checks, in periods of the longest stream.
+#: Deliberately *without* the hyperperiod extension the vs-sim checks use:
+#: bit identity holds at any horizon, and a short one keeps the doubled
+#: (scalar + fast) simulation cost inside the fuzz budget.
+_EQUIV_PERIODS = 2.0
+
+#: Scalar-event budget per equivalence run.  The scalar oracles pay a
+#: heap event per frame (PDP, saturating) or per token visit (TTP), so
+#: high-bandwidth cases would burn the whole fuzz budget re-simulating
+#: idle rotations; the horizon is clamped so the scalar side stays under
+#: roughly this many events (the cheap per-event floors below are
+#: conservative, so real runs come in at or below it).
+_EQUIV_EVENT_BUDGET = 1500
+
+
+def _equiv_config_index(case: FuzzCase) -> int:
+    """Which of the two probe configs this case exercises (0 or 1).
+
+    Alternates per *round* of the six-family kind rotation (``index =
+    6·round + family`` → parity of ``round + family``), so every
+    generator family meets both configs across consecutive rounds; a
+    plain index parity would pin each family to a single config.
+    """
+    return (case.index // 6 + case.index) % 2
+
+
+def check_pdp_fastpath_equiv(case: FuzzCase) -> Violation | None:
+    """The PDP fast path must match the scalar oracle bit for bit."""
+    if max(case.periods_s) > _SIM_MAX_PERIOD_S:
+        return None
+    frame = _frame()
+    ring = ieee_802_5_ring(case.bandwidth_bps, n_stations=case.n_stations)
+    message_set = case.message_set()
+    duration = _EQUIV_PERIODS * max(case.periods_s)
+    config = (
+        PDPSimConfig(
+            variant=PDPVariant.STANDARD,
+            phasing=ArrivalPhasing.SIMULTANEOUS,
+            async_saturating=True,
+            token_walk=TokenWalkModel.AVERAGE,
+            collect_responses=True,
+        ),
+        PDPSimConfig(
+            variant=PDPVariant.MODIFIED,
+            phasing=ArrivalPhasing.STAGGERED,
+            async_saturating=False,
+            token_walk=TokenWalkModel.ACTUAL,
+            collect_responses=True,
+        ),
+    )[_equiv_config_index(case)]
+    if config.async_saturating:
+        # Saturating filler sends one full frame per scalar event.
+        occupancy = max(frame.frame_time(ring.bandwidth_bps), ring.theta)
+        duration = min(duration, _EQUIV_EVENT_BUDGET * occupancy)
+    scalar = PDPRingSimulator(ring, frame, message_set, config).run(duration)
+    # Through the module attribute so mutation smoke can hot-patch it.
+    fast = fastpath_mod.run_pdp_fast(ring, frame, message_set, config, duration)
+    diff = _report_diff(scalar, fast)
+    if diff is not None:
+        return Violation(
+            "pdp_fastpath_equiv",
+            case,
+            f"fast path diverged from the scalar oracle "
+            f"({config.variant.value}, saturating="
+            f"{config.async_saturating}): {diff}",
+        )
+    return None
+
+
+def check_ttp_fastpath_equiv(case: FuzzCase) -> Violation | None:
+    """The TTP fast path must match the scalar oracle bit for bit."""
+    if max(case.periods_s) > _SIM_MAX_PERIOD_S:
+        return None
+    analysis = _ttp_analysis(case)
+    message_set = case.message_set()
+    try:
+        allocation = analysis.analyze(message_set).allocation
+    except ReproError:
+        return None
+    if allocation is None:
+        return None  # unallocatable (q_i < 2): nothing to simulate
+    # The scalar oracle pays one event per token visit and a visit takes
+    # at least one Θ/n hop, so this clamp bounds its event count.
+    duration = min(
+        _EQUIV_PERIODS * max(case.periods_s),
+        _EQUIV_EVENT_BUDGET * analysis.ring.theta / case.n_stations,
+    )
+    config = (
+        TTPSimConfig(
+            phasing=ArrivalPhasing.SIMULTANEOUS,
+            async_saturating=True,
+            collect_responses=True,
+        ),
+        TTPSimConfig(
+            phasing=ArrivalPhasing.STAGGERED,
+            async_saturating=False,
+            collect_responses=True,
+        ),
+    )[_equiv_config_index(case)]
+    scalar = TTPRingSimulator(
+        analysis.ring, analysis.frame, message_set, allocation, config
+    ).run(duration)
+    fast = fastpath_ttp_mod.run_ttp_fast(
+        analysis.ring, analysis.frame, message_set, allocation, config, duration
+    )
+    diff = _report_diff(scalar, fast)
+    if diff is not None:
+        return Violation(
+            "ttp_fastpath_equiv",
+            case,
+            f"fast path diverged from the scalar oracle (saturating="
+            f"{config.async_saturating}): {diff}",
+        )
+    return None
+
+
 CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_vs_sim": check_pdp_vs_sim,
     "ttp_vs_sim": check_ttp_vs_sim,
@@ -323,6 +476,8 @@ CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "breakdown_batch": check_breakdown_batch,
     "shrink_monotonic": check_shrink_monotonic,
     "scale_invariance": check_scale_invariance,
+    "pdp_fastpath_equiv": check_pdp_fastpath_equiv,
+    "ttp_fastpath_equiv": check_ttp_fastpath_equiv,
 }
 
 

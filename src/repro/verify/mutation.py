@@ -32,6 +32,12 @@ The mutants, and the property expected to catch each:
     unconditionally, overcounting frames at exact info-field multiples →
     caught bit-for-bit by ``scalar_vector_split`` /
     ``scalar_vector_augmented``.
+``pdp_fastpath_short_frame``
+    The PDP fast path's short-last-frame occupancy drops the ``Θ`` floor
+    (``(chunk + ovh)/bw`` instead of ``max(…, Θ)``) — undercharging
+    every sub-frame tail in the high-bandwidth regime where wire time
+    beats the ring latency → caught bit-for-bit by
+    ``pdp_fastpath_equiv`` against the scalar oracle.
 """
 
 from __future__ import annotations
@@ -136,6 +142,10 @@ def _buggy_split_counts(self, payloads_bits):
     return total, full
 
 
+def _buggy_short_frame_occupancy(chunk_bits, overhead_bits, bandwidth_bps, theta):
+    return (chunk_bits + overhead_bits) / bandwidth_bps  # BUG: drops the Θ floor
+
+
 def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
     """(owner, attribute, replacement) triples for one mutant.
 
@@ -148,6 +158,7 @@ def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
     from repro.analysis import sba as sba_mod
     from repro.analysis import ttp as ttp_mod
     from repro.network import frames as frames_mod
+    from repro.sim import fastpath as fastpath_mod
 
     if mutant == "boundary_absolute_epsilon":
         return [
@@ -169,6 +180,10 @@ def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
         return [
             (frames_mod.FrameFormat, "split_counts", _buggy_split_counts)
         ]
+    if mutant == "pdp_fastpath_short_frame":
+        return [
+            (fastpath_mod, "_short_frame_occupancy", _buggy_short_frame_occupancy)
+        ]
     raise KeyError(mutant)
 
 
@@ -177,14 +192,24 @@ MUTANTS: tuple[str, ...] = (
     "pdp_short_frame_dropped",
     "ttp_budget_off_by_one",
     "split_counts_overshoot",
+    "pdp_fastpath_short_frame",
 )
 
 
 @contextlib.contextmanager
 def inject_mutant(mutant: str):
-    """Apply one deliberate bug for the duration of the context."""
+    """Apply one deliberate bug for the duration of the context.
+
+    The content-addressed result cache is dropped on entry *and* exit:
+    a mutant changes results without changing inputs, so entries written
+    while it is live would poison identical-keyed runs after the
+    restore (and vice versa).
+    """
+    from repro import cache as cache_mod
+
     sites = _patch_sites(mutant)
     saved = [(owner, attr, getattr(owner, attr)) for owner, attr, _ in sites]
+    cache_mod.clear()
     try:
         for owner, attr, replacement in sites:
             setattr(owner, attr, replacement)
@@ -192,6 +217,7 @@ def inject_mutant(mutant: str):
     finally:
         for owner, attr, original in saved:
             setattr(owner, attr, original)
+        cache_mod.clear()
 
 
 # -- the smoke run --------------------------------------------------------------

@@ -10,6 +10,10 @@ supposed to honour:
   exact-test cache shows *nonzero hits* (the paired-sampling design makes
   the structure cache pay off after the first bandwidth — zero hits means
   the cache or its accounting broke);
+* the run is given ``--cache-dir``, so the content-addressed result
+  cache must surface ``cache.breakdown.*`` traffic in the manifest
+  (USAGE.md §13) — writes on the first pass, and the persisted entries
+  must actually exist on disk;
 * every line of the JSONL log parses as JSON and carries the mandatory
   fields;
 * the CSV uses the current 10-column schema.
@@ -18,6 +22,13 @@ It then smoke-tests the verification harness itself
 (:mod:`repro.verify`): the mutation smoke must flag **every**
 deliberately injected off-by-one bug — a differential harness that
 cannot catch known bugs would be handing out vacuous green lights.
+
+Finally the perf-regression guard re-runs the ``bench-quick`` canary
+benchmarks and compares their means against the committed
+``BENCH_figure1.json`` baseline: any benchmark that got more than 2x
+slower (with a 50 ms absolute floor, so microsecond jitter cannot trip
+it) fails the build.  When the baseline was recorded on different
+hardware the comparison is meaningless and is skipped with a notice.
 
 Exit code 0 on success; raises (nonzero exit) with a diagnostic on any
 violation.  ``make verify`` runs this after the tier-1 test suite.
@@ -40,6 +51,7 @@ def run_smoke() -> None:
         csv_path = os.path.join(tmp, "figure1.csv")
         jsonl_path = os.path.join(tmp, "run.jsonl")
         manifest_path = os.path.join(tmp, "manifest.json")
+        cache_dir = os.path.join(tmp, "result-cache")
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (os.path.join(REPO_ROOT, "src"),
@@ -49,6 +61,7 @@ def run_smoke() -> None:
             [
                 sys.executable, "-m", "repro.experiments.runner",
                 "figure1", "--fast", "--jobs", "2",
+                "--cache-dir", cache_dir,
                 "--csv", csv_path, "--log-json", jsonl_path, "--quiet",
             ],
             cwd=REPO_ROOT,
@@ -89,6 +102,48 @@ def run_smoke() -> None:
             )
         if not any("/bw" in key for key in manifest["spans"]):
             raise AssertionError("manifest spans carry no per-cell timings")
+        cache_writes = manifest["metrics"].get("cache.breakdown.writes", {})
+        if not cache_writes.get("value", 0) > 0:
+            raise AssertionError(
+                "--cache-dir run shows no cache.breakdown.writes in the "
+                "manifest — result-cache accounting broke"
+            )
+        persisted = [
+            name
+            for _, _, files in os.walk(os.path.join(cache_dir, "breakdown"))
+            for name in files if name.endswith(".json")
+        ]
+        if not persisted:
+            raise AssertionError(
+                f"--cache-dir wrote no breakdown entries under {cache_dir}"
+            )
+
+        # A second process against the same cache dir must *hit*: the keys
+        # are content-addressed, so nothing about process identity may
+        # change them, and the hit rate must be visible in its manifest.
+        manifest2_path = os.path.join(tmp, "manifest2.json")
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments.runner",
+                "figure1", "--fast", "--cache-dir", cache_dir,
+                "--manifest", manifest2_path, "--quiet",
+            ],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            raise AssertionError(
+                f"cached re-run exited {proc.returncode}\n"
+                f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+            )
+        with open(manifest2_path, encoding="utf-8") as handle:
+            manifest2 = json.load(handle)
+        cache_hits = manifest2["metrics"].get("cache.breakdown.hits", {})
+        if not cache_hits.get("value", 0) > 0:
+            raise AssertionError(
+                "re-run against a warm --cache-dir shows no "
+                "cache.breakdown.hits in the manifest"
+            )
 
         # -- structured log ---------------------------------------------
         with open(jsonl_path, encoding="utf-8") as handle:
@@ -133,6 +188,96 @@ def run_mutation_smoke_check() -> None:
     )
 
 
+#: Regression thresholds: a benchmark fails only when it is BOTH more
+#: than RATIO times slower than the committed baseline AND slower by at
+#: least FLOOR_S absolute — the floor keeps microsecond-scale benches
+#: from tripping on scheduler jitter.
+_BENCH_RATIO = 2.0
+_BENCH_FLOOR_S = 0.05
+
+#: The bench-quick canary selection (must match the Makefile target).
+_BENCH_CANARY = [
+    "benchmarks/test_bench_figure1.py::test_bench_figure1_single_point",
+    "benchmarks/test_bench_analysis_micro.py",
+]
+
+
+def run_bench_guard() -> None:
+    """Fail on a >2x slowdown against the committed bench canary.
+
+    Compares per-benchmark mean times of a fresh ``bench-quick`` run
+    against ``BENCH_figure1.json``.  Skips (with a notice) when there is
+    no baseline or it was recorded on different hardware — cross-machine
+    wall-clock comparison is noise, not signal.
+    """
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_figure1.json")
+    if not os.path.exists(baseline_path):
+        print("verify_smoke: bench guard skipped (no committed baseline)")
+        return
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.obs.benchjson import summarize_benchmark_json
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        fresh_path = os.path.join(tmp, "bench.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest", *_BENCH_CANARY,
+                "--benchmark-only", f"--benchmark-json={fresh_path}", "-q",
+            ],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            raise AssertionError(
+                f"bench canary run exited {proc.returncode}\n"
+                f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+            )
+        with open(fresh_path, encoding="utf-8") as handle:
+            fresh = summarize_benchmark_json(json.load(handle))
+
+    if fresh.get("machine") != baseline.get("machine"):
+        print(
+            "verify_smoke: bench guard skipped (baseline recorded on "
+            f"different hardware: {baseline.get('machine')})"
+        )
+        return
+
+    fresh_means = {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in fresh.get("benchmarks", [])
+    }
+    regressions = []
+    for bench in baseline.get("benchmarks", []):
+        name = bench["fullname"]
+        base_mean = bench["stats"]["mean"]
+        now = fresh_means.get(name)
+        if now is None or base_mean is None:
+            continue  # renamed or removed benches are not regressions
+        if now > _BENCH_RATIO * base_mean and now - base_mean > _BENCH_FLOOR_S:
+            regressions.append(
+                f"  {name}: {base_mean * 1e3:.1f} ms -> {now * 1e3:.1f} ms "
+                f"({now / base_mean:.1f}x)"
+            )
+    if regressions:
+        raise AssertionError(
+            "bench canary regressed more than "
+            f"{_BENCH_RATIO}x vs BENCH_figure1.json:\n" + "\n".join(regressions)
+        )
+    print(
+        "verify_smoke: ok (bench guard, "
+        f"{len(fresh_means)} benchmarks within {_BENCH_RATIO}x of baseline)"
+    )
+
+
 if __name__ == "__main__":
     run_smoke()
     run_mutation_smoke_check()
+    run_bench_guard()
