@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service serve examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
@@ -22,6 +22,10 @@ help:
 	@echo "  bench-sim        simulator canary: cross-validation + fast-path"
 	@echo "                   micro-benches -> BENCH_sim.json (events/sec"
 	@echo "                   and compression ratios in extra_info)"
+	@echo "  bench-service    admission-service canary: spawn the server,"
+	@echo "                   5 s closed-loop load -> BENCH_service.json"
+	@echo "                   (throughput + latency percentiles)"
+	@echo "  serve            run the admission service on localhost:8787"
 	@echo "  examples         run every example script"
 	@echo "  figure1          full Figure 1 run, CSV output"
 	@echo "  report           full markdown report"
@@ -60,6 +64,16 @@ bench-sim:
 		benchmarks/test_bench_sim_fastpath.py \
 		--benchmark-only --benchmark-json=BENCH_sim.json
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.obs.benchjson BENCH_sim.json
+
+bench-service:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner loadgen \
+		--spawn --duration 5 --load-workers 8 --no-manifest \
+		--log-level warning --bench-json BENCH_service.json
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.obs.benchjson BENCH_service.json
+
+serve:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner serve \
+		--port 8787 --no-manifest
 
 examples:
 	@for script in examples/*.py; do \

@@ -20,22 +20,57 @@ the admitted set.  Three admission policies:
 
 Station assignment is handled by the controller (one stream per station,
 as in the paper's model); releases free their stations for reuse.
+
+Concurrency contract (the admission *service* of :mod:`repro.service`
+drives one controller from a batching dispatcher plus request handlers):
+
+* every state transition — :meth:`AdmissionController.request`,
+  :meth:`~AdmissionController.release`,
+  :meth:`~AdmissionController.process_batch` — is atomic under one
+  reentrant lock, so interleaved callers can never double-assign a
+  station or corrupt the free list;
+* releasing an unknown or already-released stream raises the typed
+  :class:`~repro.errors.AdmissionError` (never silently re-frees a
+  station); ``idempotent=True`` turns that into a recorded no-op for
+  at-least-once retry paths;
+* :meth:`~AdmissionController.process_batch` serializes a batch of
+  operations in arrival order and answers each against exactly the state
+  its predecessors left — decisions are **bit-identical** to issuing the
+  same calls sequentially, while read-only runs of the batch are
+  evaluated through one stacked
+  :meth:`~repro.analysis.rm.ExactRMTest.is_schedulable_batch` pass.
+
+Decisions can optionally be fronted by the content-addressed result
+cache (:mod:`repro.cache`): pass ``cache_namespace`` and every computed
+``(schedulable, tested_by)`` verdict is stored under a key covering the
+analysis signature, policy, admitted population, and candidate — a
+repeat query against the same population short-circuits both tests.
+Cached verdicts are replayed values of the same computation, so results
+stay bit-identical with the cache on, off, warm, or cold.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass
 
 from repro.analysis.bounds import pdp_sufficient_test, ttp_sufficient_test
 from repro.analysis.pdp import PDPAnalysis
 from repro.analysis.ttp import TTPAnalysis
-from repro.errors import ConfigurationError, MessageSetError
+from repro.errors import AdmissionError, ConfigurationError, ReproError
 from repro.messages.message_set import MessageSet
 from repro.messages.stream import SynchronousStream
 
-__all__ = ["AdmissionPolicy", "AdmissionDecision", "AdmissionController"]
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionOp",
+    "ReleaseOutcome",
+    "OpFault",
+    "AdmissionController",
+]
 
 
 class AdmissionPolicy(enum.Enum):
@@ -51,11 +86,15 @@ class AdmissionDecision:
     """The controller's answer to one admission request.
 
     Attributes:
-        admitted: whether the stream was accepted.
-        stream_id: controller-assigned id (present iff admitted).
-        station: ring station assigned (present iff admitted).
-        reason: human-readable explanation for rejections.
-        tested_by: which test decided ("sufficient" or "exact").
+        admitted: whether the stream was (or, for a check, would be)
+            accepted.
+        stream_id: controller-assigned id (present iff a stream was
+            actually installed — checks never carry one).
+        station: ring station assigned, or the station a check's
+            candidate would occupy (None on rejection).
+        reason: human-readable explanation.
+        tested_by: which test decided ("sufficient", "exact", or
+            "capacity").
         utilization_after: admitted-set utilization had/has the stream
             been included.
     """
@@ -68,6 +107,64 @@ class AdmissionDecision:
     utilization_after: float
 
 
+@dataclass(frozen=True)
+class ReleaseOutcome:
+    """The result of one release operation.
+
+    ``released`` is False only in idempotent mode, recording that the
+    stream was already gone (a retried release, or a typo the caller
+    chose to tolerate).
+    """
+
+    released: bool
+    stream_id: int
+
+
+@dataclass(frozen=True)
+class OpFault:
+    """A batch operation that would have raised when issued directly.
+
+    :meth:`AdmissionController.process_batch` must answer *every*
+    operation, so instead of letting one malformed request poison the
+    whole batch, the exception is captured here — ``error`` is the
+    exception class name, ``detail`` its message.  The service layer maps
+    these to 4xx responses.
+    """
+
+    error: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class AdmissionOp:
+    """One operation in a :meth:`AdmissionController.process_batch` batch.
+
+    Build with the :meth:`check`, :meth:`admit`, and :meth:`release`
+    constructors rather than by hand.
+    """
+
+    kind: str
+    period_s: float | None = None
+    payload_bits: float | None = None
+    stream_id: int | None = None
+    idempotent: bool = False
+
+    @staticmethod
+    def check(period_s: float, payload_bits: float) -> "AdmissionOp":
+        """A non-mutating what-if query."""
+        return AdmissionOp("check", period_s=period_s, payload_bits=payload_bits)
+
+    @staticmethod
+    def admit(period_s: float, payload_bits: float) -> "AdmissionOp":
+        """An admission request (installs the stream on acceptance)."""
+        return AdmissionOp("admit", period_s=period_s, payload_bits=payload_bits)
+
+    @staticmethod
+    def release(stream_id: int, idempotent: bool = False) -> "AdmissionOp":
+        """A release of a previously admitted stream."""
+        return AdmissionOp("release", stream_id=stream_id, idempotent=idempotent)
+
+
 class AdmissionController:
     """Online admission control over one protocol analysis.
 
@@ -75,15 +172,22 @@ class AdmissionController:
         analysis: a :class:`PDPAnalysis` or :class:`TTPAnalysis`; the
             controller dispatches the matching sufficient bound.
         policy: the admission policy (default HYBRID).
+        cache_namespace: when set, front decisions with the
+            content-addressed result cache under this namespace (the
+            admission service passes ``"admission"``); None — the
+            default — computes every decision.
 
-    The controller is deliberately synchronous and in-memory: it models
-    the decision logic, not a distributed signalling protocol.
+    Thread safety: all public operations are atomic under an internal
+    reentrant lock (see the module docstring).  The controller models the
+    decision logic, not a distributed signalling protocol.
     """
 
     def __init__(
         self,
         analysis: PDPAnalysis | TTPAnalysis,
         policy: AdmissionPolicy = AdmissionPolicy.HYBRID,
+        *,
+        cache_namespace: str | None = None,
     ):
         if not isinstance(analysis, (PDPAnalysis, TTPAnalysis)):
             raise ConfigurationError(
@@ -93,8 +197,16 @@ class AdmissionController:
         self._policy = policy
         self._streams: dict[int, SynchronousStream] = {}
         self._ids = itertools.count(1)
+        self._lock = threading.RLock()
         n = analysis.ring.n_stations
         self._free_stations: list[int] = list(range(n - 1, -1, -1))
+        self._cache_namespace = cache_namespace
+        # An analysis without a canonical signature (e.g. a custom TTRT
+        # policy object) cannot be content-addressed; fall back to
+        # computing every decision rather than guessing a key.
+        self._cache_signature = (
+            analysis.cache_signature() if cache_namespace is not None else None
+        )
 
     # -- views ---------------------------------------------------------------
 
@@ -111,11 +223,13 @@ class AdmissionController:
     @property
     def admitted_count(self) -> int:
         """Number of currently admitted streams."""
-        return len(self._streams)
+        with self._lock:
+            return len(self._streams)
 
     def current_set(self) -> MessageSet:
         """The admitted population as a message set."""
-        return MessageSet(self._streams.values())
+        with self._lock:
+            return MessageSet(self._streams.values())
 
     def utilization(self) -> float:
         """Admitted utilization at the ring's bandwidth."""
@@ -128,18 +242,190 @@ class AdmissionController:
             return pdp_sufficient_test(self._analysis, candidate).admitted
         return ttp_sufficient_test(self._analysis, candidate).admitted
 
-    def _evaluate(self, candidate: MessageSet) -> tuple[bool, str]:
-        """Returns (schedulable, which-test-decided)."""
-        if self._policy is AdmissionPolicy.SUFFICIENT:
-            return self._sufficient_test(candidate), "sufficient"
-        if self._policy is AdmissionPolicy.EXACT:
-            return self._analysis.is_schedulable(candidate), "exact"
-        # HYBRID: cheap accept path, exact fallback.
-        if self._sufficient_test(candidate):
-            return True, "sufficient"
-        return self._analysis.is_schedulable(candidate), "exact"
+    def _cache_key(self, base: list[SynchronousStream], candidate: SynchronousStream):
+        """Content key for one decision, or None when caching is off.
+
+        Stations are deliberately excluded: both criteria and both
+        sufficient bounds depend only on the (period, payload) multiset,
+        so keying on placements would shrink the hit rate for nothing.
+        """
+        if self._cache_signature is None:
+            return None
+        from repro.cache.keys import content_key
+
+        return content_key(
+            {
+                "admission": 1,
+                "signature": self._cache_signature,
+                "policy": self._policy.value,
+                "base": sorted([s.period_s, s.payload_bits] for s in base),
+                "candidate": [candidate.period_s, candidate.payload_bits],
+            }
+        )
+
+    def _evaluate_many(
+        self, candidates: list[MessageSet], keys: list
+    ) -> list[tuple[bool, str] | ReproError]:
+        """(schedulable, which-test-decided) per candidate, or the error
+        deciding it would have raised.  Read-only; lock held by callers.
+
+        Exactly the sequential policy logic, vectorized: cache hits
+        short-circuit, the sufficient bound screens HYBRID/SUFFICIENT,
+        and every exact evaluation left over goes through one
+        ``is_schedulable_many`` dispatch (stacked
+        :meth:`ExactRMTest.is_schedulable_batch` rows for PDP candidates
+        sharing a period vector).
+        """
+        from repro.cache.store import result_cache
+
+        n = len(candidates)
+        out: list[tuple[bool, str] | ReproError | None] = [None] * n
+        cache = result_cache() if self._cache_namespace is not None else None
+        if cache is not None:
+            for i, key in enumerate(keys):
+                if key is None:
+                    continue
+                hit = cache.get(key, namespace=self._cache_namespace)
+                if hit is not None:
+                    out[i] = (bool(hit[0]), str(hit[1]))
+        misses = [i for i in range(n) if out[i] is None]
+
+        computed: dict[int, tuple[bool, str]] = {}
+        if self._policy is not AdmissionPolicy.EXACT:
+            for i in misses:
+                if self._sufficient_test(candidates[i]):
+                    computed[i] = (True, "sufficient")
+                elif self._policy is AdmissionPolicy.SUFFICIENT:
+                    computed[i] = (False, "sufficient")
+            misses = [i for i in misses if i not in computed]
+        if misses:
+            try:
+                verdicts = self._analysis.is_schedulable_many(
+                    [candidates[i] for i in misses]
+                )
+                for i, ok in zip(misses, verdicts):
+                    computed[i] = (bool(ok), "exact")
+            except ReproError:
+                # A degenerate candidate (e.g. TTP q_i < 2) aborts the
+                # batched call without naming the culprit; re-evaluate
+                # one by one so only the faulting candidates carry the
+                # error, exactly as sequential calls would.
+                for i in misses:
+                    try:
+                        ok = self._analysis.is_schedulable_many([candidates[i]])[0]
+                        computed[i] = (bool(ok), "exact")
+                    except ReproError as exc:
+                        out[i] = exc
+        for i, value in computed.items():
+            out[i] = value
+            if cache is not None and keys[i] is not None:
+                cache.put(
+                    keys[i], list(value), namespace=self._cache_namespace
+                )
+        return out
+
+    def _decide_many(
+        self, requests: list[tuple[float, float]], faults: bool
+    ) -> list[AdmissionDecision | OpFault]:
+        """Full decisions for many what-if candidates, lock held.
+
+        Read-only: every candidate is judged against the *same* current
+        state, which is what makes the result bit-identical to deciding
+        each request first in a sequential interleaving.  With
+        ``faults=False`` (the direct-call API) an invalid request raises;
+        with ``faults=True`` (the batch path) it yields an
+        :class:`OpFault` so the rest of the batch still gets answers.
+        """
+        if not requests:
+            return []
+        n_stations = self._analysis.ring.n_stations
+        if not self._free_stations:
+            utilization = self.utilization()
+            return [
+                AdmissionDecision(
+                    admitted=False,
+                    stream_id=None,
+                    station=None,
+                    reason=f"all {n_stations} stations occupied",
+                    tested_by="capacity",
+                    utilization_after=utilization,
+                )
+                for _ in requests
+            ]
+        station = self._free_stations[-1]
+        base = list(self._streams.values())
+        bandwidth = self._analysis.ring.bandwidth_bps
+
+        decisions: list[AdmissionDecision | OpFault | None] = [None] * len(requests)
+        candidates: list[MessageSet] = []
+        keys: list = []
+        positions: list[int] = []
+        for j, (period_s, payload_bits) in enumerate(requests):
+            try:
+                stream = SynchronousStream(
+                    period_s=period_s, payload_bits=payload_bits, station=station
+                )
+            except ReproError as exc:
+                if not faults:
+                    raise
+                decisions[j] = OpFault(type(exc).__name__, str(exc))
+                continue
+            candidates.append(MessageSet([*base, stream]))
+            keys.append(self._cache_key(base, stream))
+            positions.append(j)
+
+        for j, candidate, verdict in zip(
+            positions, candidates, self._evaluate_many(candidates, keys)
+        ):
+            if isinstance(verdict, ReproError):
+                if not faults:
+                    raise verdict
+                decisions[j] = OpFault(type(verdict).__name__, str(verdict))
+                continue
+            schedulable, tested_by = verdict
+            decisions[j] = AdmissionDecision(
+                admitted=schedulable,
+                stream_id=None,
+                station=station if schedulable else None,
+                reason=(
+                    "schedulable"
+                    if schedulable
+                    else "admission would make the set unschedulable"
+                ),
+                tested_by=tested_by,
+                utilization_after=candidate.utilization(bandwidth),
+            )
+        return decisions
+
+    def _commit(
+        self, period_s: float, payload_bits: float, decision: AdmissionDecision
+    ) -> AdmissionDecision:
+        """Install an accepted candidate; lock held, state unchanged since
+        ``decision`` was computed."""
+        station = self._free_stations.pop()
+        stream_id = next(self._ids)
+        self._streams[stream_id] = SynchronousStream(
+            period_s=period_s, payload_bits=payload_bits, station=station
+        )
+        return AdmissionDecision(
+            admitted=True,
+            stream_id=stream_id,
+            station=station,
+            reason="admitted",
+            tested_by=decision.tested_by,
+            utilization_after=decision.utilization_after,
+        )
 
     # -- operations --------------------------------------------------------------
+
+    def check(self, period_s: float, payload_bits: float) -> AdmissionDecision:
+        """Non-mutating what-if decision (capacity plus schedulability)."""
+        with self._lock:
+            return self._decide_many([(period_s, payload_bits)], faults=False)[0]
+
+    def would_admit(self, period_s: float, payload_bits: float) -> bool:
+        """Non-mutating what-if verdict; ``check(...).admitted``."""
+        return self.check(period_s, payload_bits).admitted
 
     def request(
         self, period_s: float, payload_bits: float
@@ -147,64 +433,103 @@ class AdmissionController:
         """Ask to admit a new periodic stream.
 
         On acceptance the stream is installed at a free station and its
-        id returned; on rejection the admitted set is unchanged.
+        id returned; on rejection the admitted set is unchanged.  Atomic:
+        the decision and the installation happen under one lock.
         """
-        if not self._free_stations:
-            return AdmissionDecision(
-                admitted=False,
-                stream_id=None,
-                station=None,
-                reason=f"all {self._analysis.ring.n_stations} stations occupied",
-                tested_by="capacity",
-                utilization_after=self.utilization(),
-            )
-        station = self._free_stations[-1]
-        candidate_stream = SynchronousStream(
-            period_s=period_s, payload_bits=payload_bits, station=station
-        )
-        candidate = MessageSet([*self._streams.values(), candidate_stream])
-        bandwidth = self._analysis.ring.bandwidth_bps
-        schedulable, tested_by = self._evaluate(candidate)
-        if not schedulable:
-            return AdmissionDecision(
-                admitted=False,
-                stream_id=None,
-                station=None,
-                reason="admission would make the set unschedulable",
-                tested_by=tested_by,
-                utilization_after=candidate.utilization(bandwidth),
-            )
-        self._free_stations.pop()
-        stream_id = next(self._ids)
-        self._streams[stream_id] = candidate_stream
-        return AdmissionDecision(
-            admitted=True,
-            stream_id=stream_id,
-            station=station,
-            reason="admitted",
-            tested_by=tested_by,
-            utilization_after=candidate.utilization(bandwidth),
-        )
+        with self._lock:
+            decision = self._decide_many([(period_s, payload_bits)], faults=False)[0]
+            if not decision.admitted:
+                return decision
+            return self._commit(period_s, payload_bits, decision)
 
-    def release(self, stream_id: int) -> None:
-        """Remove an admitted stream and free its station."""
-        stream = self._streams.pop(stream_id, None)
-        if stream is None:
-            raise MessageSetError(f"unknown stream id: {stream_id!r}")
-        self._free_stations.append(stream.station)
+    def release(self, stream_id: int, idempotent: bool = False) -> ReleaseOutcome:
+        """Remove an admitted stream and free its station.
 
-    def would_admit(self, period_s: float, payload_bits: float) -> bool:
-        """Non-mutating what-if query (capacity plus schedulability)."""
-        if not self._free_stations:
-            return False
-        station = self._free_stations[-1]
-        candidate = MessageSet(
-            [
-                *self._streams.values(),
-                SynchronousStream(
-                    period_s=period_s, payload_bits=payload_bits, station=station
-                ),
-            ]
-        )
-        schedulable, __ = self._evaluate(candidate)
-        return schedulable
+        Releasing an unknown or already-released id raises
+        :class:`~repro.errors.AdmissionError` — never touching the free
+        list, so a duplicate release cannot hand one station to two
+        streams.  With ``idempotent=True`` (the service retry path) it
+        instead returns ``ReleaseOutcome(released=False, ...)``.
+        """
+        with self._lock:
+            stream = self._streams.pop(stream_id, None)
+            if stream is None:
+                if idempotent:
+                    return ReleaseOutcome(released=False, stream_id=stream_id)
+                raise AdmissionError(
+                    f"unknown or already-released stream id: {stream_id!r}"
+                )
+            self._free_stations.append(stream.station)
+            return ReleaseOutcome(released=True, stream_id=stream_id)
+
+    def process_batch(
+        self, ops: "list[AdmissionOp]"
+    ) -> "list[AdmissionDecision | ReleaseOutcome | OpFault]":
+        """Serialize a batch of operations, answering every one.
+
+        Operations are applied in list order under one lock, and each is
+        decided against exactly the state its predecessors left — the
+        results are **bit-identical** to issuing the same calls
+        sequentially (pinned by tests and the ``service_batch_equiv``
+        fuzz property).  The speed-up comes from speculation: all
+        check/admit candidates still pending are evaluated against the
+        current state in one stacked pass, and those answers stay valid
+        until some operation actually mutates state (a committed admit
+        or a successful release), at which point the remainder of the
+        batch is re-evaluated.  Check-heavy and saturated (all-rejecting)
+        batches therefore collapse into a single batched exact-test
+        evaluation.
+
+        Operations that would have raised when issued directly come back
+        as :class:`OpFault` instead, so one malformed request never
+        poisons its batchmates.
+        """
+        results: dict[int, AdmissionDecision | ReleaseOutcome | OpFault] = {}
+        with self._lock:
+            pending = list(enumerate(ops))
+            while pending:
+                decisions: dict[int, AdmissionDecision | OpFault] = {}
+                requests = [
+                    (k, (op.period_s, op.payload_bits))
+                    for k, (_, op) in enumerate(pending)
+                    if op.kind in ("check", "admit")
+                ]
+                for (k, _), decision in zip(
+                    requests,
+                    self._decide_many([r for _, r in requests], faults=True),
+                ):
+                    decisions[k] = decision
+                consumed = 0
+                for k, (i, op) in enumerate(pending):
+                    consumed = k + 1
+                    if op.kind == "release":
+                        try:
+                            outcome = self.release(
+                                op.stream_id, idempotent=op.idempotent
+                            )
+                        except AdmissionError as exc:
+                            results[i] = OpFault(type(exc).__name__, str(exc))
+                            continue
+                        results[i] = outcome
+                        if outcome.released:
+                            break  # state changed: re-evaluate the rest
+                        continue
+                    if op.kind not in ("check", "admit"):
+                        results[i] = OpFault(
+                            "ServiceError", f"unknown operation kind {op.kind!r}"
+                        )
+                        continue
+                    decision = decisions[k]
+                    if (
+                        isinstance(decision, OpFault)
+                        or op.kind == "check"
+                        or not decision.admitted
+                    ):
+                        results[i] = decision
+                        continue
+                    results[i] = self._commit(
+                        op.period_s, op.payload_bits, decision
+                    )
+                    break  # state changed: re-evaluate the rest
+                pending = pending[consumed:]
+        return [results[i] for i in range(len(ops))]

@@ -326,6 +326,46 @@ class PDPAnalysis:
         test = self._exact_test_for(ordered)
         return test.is_schedulable(self.augmented_lengths(ordered), self.blocking)
 
+    def is_schedulable_many(self, message_sets: "Sequence[MessageSet]") -> np.ndarray:
+        """Theorem 4.1 verdicts for many independent message sets at once.
+
+        Sets sharing a period vector (after rate-monotonic ordering) are
+        stacked through one :meth:`ExactRMTest.is_schedulable_batch`
+        evaluation; singleton period vectors take the scalar path.  Both
+        paths are pinned bit-identical to calling :meth:`is_schedulable`
+        per set (the batched exact test and the vectorized ``C'_i`` are
+        pure performance work), which is what lets the admission service's
+        micro-batcher coalesce concurrent requests without moving a single
+        verdict.
+        """
+        verdicts = np.ones(len(message_sets), dtype=bool)
+        ordered: list[MessageSet | None] = []
+        groups: dict[tuple[float, ...], list[int]] = {}
+        for i, message_set in enumerate(message_sets):
+            if len(message_set) == 0:
+                ordered.append(None)  # empty sets are trivially schedulable
+                continue
+            ordered_set = message_set.rate_monotonic()
+            ordered.append(ordered_set)
+            groups.setdefault(ordered_set.periods, []).append(i)
+        blocking = self.blocking
+        for indices in groups.values():
+            test = self._exact_test_for(ordered[indices[0]])
+            if len(indices) == 1:
+                i = indices[0]
+                verdicts[i] = test.is_schedulable(
+                    self.augmented_lengths(ordered[i]), blocking
+                )
+                continue
+            payloads = np.stack(
+                [np.asarray(ordered[i].payloads_bits, dtype=float) for i in indices]
+            )
+            costs = pdp_augmented_lengths(
+                payloads, self._ring, self._frame, self._variant
+            )
+            verdicts[indices] = test.is_schedulable_batch(costs, blocking)
+        return verdicts
+
     def schedulable_at_scales(
         self, message_set: MessageSet, scales: Sequence[float]
     ) -> np.ndarray:

@@ -26,7 +26,10 @@ __all__ = ["CACHE_SCHEMA_VERSION", "canonical_json", "code_salt", "content_key"]
 CACHE_SCHEMA_VERSION = 1
 
 #: Modules whose source participates in the code-version salt: an edit to
-#: any simulation or breakdown semantics must orphan memoised verdicts.
+#: any simulation, analysis, or admission semantics must orphan memoised
+#: verdicts.  The analysis modules matter twice over — the breakdown
+#: searches memoise through them, and the admission service caches
+#: ``(schedulable, tested_by)`` decisions they compute.
 _SALT_MODULES: tuple[str, ...] = (
     "repro.sim.engine",
     "repro.sim.token_ring",
@@ -39,6 +42,13 @@ _SALT_MODULES: tuple[str, ...] = (
     "repro.sim.dispatch",
     "repro.sim.validate",
     "repro.analysis.breakdown",
+    "repro.analysis.rm",
+    "repro.analysis.pdp",
+    "repro.analysis.ttp",
+    "repro.analysis.ttrt",
+    "repro.analysis.boundary",
+    "repro.analysis.bounds",
+    "repro.admission",
 )
 
 #: Salt memo keyed by schema version, so tests that bump the version see a

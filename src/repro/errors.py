@@ -12,8 +12,10 @@ __all__ = [
     "ConfigurationError",
     "InfeasibleParameterError",
     "MessageSetError",
+    "AdmissionError",
     "AllocationError",
     "SimulationError",
+    "ServiceError",
 ]
 
 
@@ -47,6 +49,17 @@ class MessageSetError(ReproError):
     """
 
 
+class AdmissionError(MessageSetError):
+    """An admission-control operation is invalid in the current state.
+
+    Raised by :class:`repro.admission.AdmissionController` when a release
+    names a stream that is unknown or already released.  Subclasses
+    :class:`MessageSetError` so callers written against the pre-service
+    API keep working, while the service layer can catch admission-state
+    faults specifically (and map them to a 404 instead of a 500).
+    """
+
+
 class AllocationError(ReproError):
     """A synchronous bandwidth allocation scheme cannot allocate.
 
@@ -61,4 +74,13 @@ class SimulationError(ReproError):
 
     These indicate bugs (two tokens on the ring, events scheduled in the
     past), never ordinary protocol behaviour such as a deadline miss.
+    """
+
+
+class ServiceError(ReproError):
+    """The admission service rejected a request at the transport layer.
+
+    Covers malformed wire payloads, unknown endpoints, and load-shedding
+    backpressure (HTTP 429) — faults of the *request*, never of the
+    admission decision logic.
     """

@@ -19,6 +19,13 @@ With ``jobs=1`` (the default) no pool is created at all — the tasks run
 inline in the calling process, which preserves single-process profiling
 and keeps the sequential path free of pickling constraints.
 
+Interrupts degrade gracefully: Ctrl-C — or a SIGTERM, which is routed
+through ``KeyboardInterrupt`` while the pool is active — cancels the
+cells that have not started, lets in-flight cells finish, merges the
+finished cells' metric/span snapshots into the parent registries, and
+re-raises, so the runner can still write a partial run manifest saying
+exactly what completed.
+
 Observability rides along transparently (and never changes results):
 
 * each worker resets its process-global metrics registry and span
@@ -36,6 +43,8 @@ Observability rides along transparently (and never changes results):
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -144,16 +153,42 @@ def parallel_map(
         futures = [pool.submit(_worker_call, task) for task in task_list]
         pending = set(futures)
         done_count = 0
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-            done_count += len(finished)
-            _LOG.info(
-                "%s: %d/%d cells done",
+        previous_term = _sigterm_as_interrupt()
+        try:
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done_count += len(finished)
+                _LOG.info(
+                    "%s: %d/%d cells done",
+                    name,
+                    done_count,
+                    total,
+                    extra={"grid": name, "done": done_count, "total": total},
+                )
+        except KeyboardInterrupt:
+            # Graceful abort: drop what hasn't started, let in-flight
+            # cells finish (a worker cannot be stopped mid-cell without
+            # killing it), and keep the completed cells' observability so
+            # the partial manifest still says what ran.
+            cancelled = sum(1 for future in futures if future.cancel())
+            _LOG.warning(
+                "%s: interrupted with %d/%d cells done; cancelled %d queued",
                 name,
                 done_count,
                 total,
-                extra={"grid": name, "done": done_count, "total": total},
+                cancelled,
+                extra={
+                    "grid": name,
+                    "done": done_count,
+                    "total": total,
+                    "cancelled": cancelled,
+                },
             )
+            _merge_completed(futures)
+            raise
+        finally:
+            if previous_term is not None:
+                signal.signal(signal.SIGTERM, previous_term)
         results = []
         for future in futures:
             result, metric_snap, span_snap = future.result()
@@ -161,3 +196,35 @@ def parallel_map(
             timing.merge(span_snap)
             results.append(result)
         return results
+
+
+def _sigterm_as_interrupt():
+    """Route SIGTERM through KeyboardInterrupt while a pool is active.
+
+    ``kill <runner pid>`` then takes the same graceful-abort path as
+    Ctrl-C (cancel queued cells, merge finished snapshots, partial
+    manifest).  Returns the previous handler, or None when one cannot be
+    installed (non-main thread, unsupported platform) — callers restore
+    it iff non-None.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def _handler(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        return signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        return None
+
+
+def _merge_completed(futures) -> None:
+    """Fold the snapshots of every successfully finished cell into the
+    parent registries (used on the interrupt path, where only some
+    futures have results)."""
+    for future in futures:
+        if future.done() and not future.cancelled() and future.exception() is None:
+            _result, metric_snap, span_snap = future.result()
+            metrics.merge(metric_snap)
+            timing.merge(span_snap)

@@ -12,6 +12,16 @@ Usage::
     python -m repro.experiments.runner crossover
     python -m repro.experiments.runner all --fast
     python -m repro.experiments.runner fuzz --fuzz-cases 60 --mutation-smoke
+    python -m repro.experiments.runner serve --port 8711 --policy exact
+    python -m repro.experiments.runner loadgen --spawn --duration 5
+
+``serve`` runs the admission-control service of :mod:`repro.service`
+(USAGE.md §14) until SIGTERM/ctrl-c, then drains gracefully; ``loadgen``
+drives a running server (or spawns one in-process on an ephemeral port
+with ``--spawn``) and writes the latency/throughput canary
+``BENCH_service.json``.  Both record a session summary in the run
+manifest.  An interrupted run — any experiment — still writes its
+manifest, flagged ``extra.interrupted``, and exits 130.
 
 The ``fuzz`` experiment runs the differential verification harness
 (:mod:`repro.verify`): a seeded, deterministic campaign that pits the
@@ -55,11 +65,13 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
 
 from repro.experiments.config import PaperParameters
 from repro.experiments.crossover import crossover_map
+from repro.experiments.parallel import _sigterm_as_interrupt
 from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.reporting import write_csv
 from repro.experiments.sweeps import (
@@ -128,6 +140,175 @@ def _run_sweep(sweep_result) -> None:
     console(sweep_result.to_table())
 
 
+def _service_config(args: argparse.Namespace, *, port: int | None = None):
+    from repro.service.protocol import ServiceConfig
+
+    return ServiceConfig(
+        host=args.host,
+        port=args.port if port is None else port,
+        protocol=args.service_protocol,
+        variant=args.variant,
+        bandwidth_mbps=args.bandwidth,
+        n_stations=args.stations if args.stations is not None else 40,
+        policy=args.policy,
+        batch_window_s=args.batch_window,
+        batch_max=args.batch_max,
+        queue_limit=args.queue_limit,
+        rate_limit_rps=args.rate_limit,
+    )
+
+
+def _run_serve(args: argparse.Namespace, manifest_extra: dict) -> list[str]:
+    import asyncio
+
+    from repro.service.server import AdmissionServer
+
+    config = _service_config(args)
+    server = AdmissionServer(config)
+
+    async def session():
+        await server.start()
+        console(
+            f"admission service on {config.host}:{server.port} "
+            f"({config.protocol}/{config.policy}); SIGTERM or ctrl-c drains"
+        )
+        await server.serve_until_signalled()
+
+    asyncio.run(session())
+    manifest_extra["service"] = server.summary()
+    return []
+
+
+def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> list[str]:
+    import asyncio
+    import dataclasses
+    import json
+
+    from repro.service.loadgen import (
+        LoadConfig,
+        bench_document,
+        run_against_spawned_server,
+        run_load,
+    )
+
+    load = LoadConfig(
+        host=args.host,
+        port=args.port,
+        duration_s=args.duration,
+        workers=args.load_workers,
+        target_rps=args.target_rps,
+        seed=seed,
+        catalogue_size=args.catalogue,
+    )
+    if args.spawn:
+        config = dataclasses.replace(_service_config(args, port=0))
+        report, summary = asyncio.run(run_against_spawned_server(config, load))
+    else:
+        report = asyncio.run(run_load(load))
+        summary = None
+    console(
+        f"{report.requests} requests in {report.duration_s:.2f}s "
+        f"-> {report.throughput_rps:.0f} req/s"
+    )
+    if report.latency_s:
+        console(
+            "latency ms: "
+            + "  ".join(
+                f"{key}={report.latency_s[key] * 1e3:.3f}"
+                for key in ("mean", "p50", "p90", "p99", "max")
+            )
+        )
+    console(
+        f"ops={report.ops}  admitted={report.admitted} "
+        f"rejected={report.rejected}  shed={report.shed} "
+        f"draining={report.draining}  errors={report.errors}"
+    )
+    document = bench_document(report, config=load, server_summary=summary)
+    with open(args.bench_json, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    console(f"wrote {args.bench_json}")
+    manifest_extra["loadgen"] = report.to_dict()
+    return [args.bench_json]
+
+
+def _dispatch(
+    args: argparse.Namespace,
+    params: PaperParameters,
+    artifacts: list[str],
+    manifest_extra: dict,
+) -> int:
+    """Run the selected experiment(s); returns the exit code."""
+    exit_code = 0
+    if args.experiment == "serve":
+        artifacts.extend(_run_serve(args, manifest_extra))
+    if args.experiment == "loadgen":
+        artifacts.extend(_run_loadgen(args, params.seed, manifest_extra))
+    if args.experiment == "fuzz":
+        from repro.verify import FuzzConfig, run_fuzz, run_mutation_smoke
+
+        seed = args.fuzz_seed if args.fuzz_seed is not None else params.seed
+        fuzz_report = run_fuzz(
+            FuzzConfig(
+                seed=seed,
+                n_cases=args.fuzz_cases,
+                repro_dir=args.repro_dir,
+            )
+        )
+        console(fuzz_report.summary())
+        artifacts.extend(fuzz_report.repro_paths)
+        if not fuzz_report.ok:
+            exit_code = 1
+        if args.mutation_smoke:
+            smoke = run_mutation_smoke(seed=seed)
+            console(smoke.summary())
+            if not smoke.all_detected:
+                exit_code = 1
+    if args.experiment in ("figure1", "all"):
+        artifacts.extend(_run_figure1(args, params))
+    if args.experiment in ("ttrt", "all"):
+        _run_sweep(ttrt_sweep(params, args.bandwidth, jobs=args.jobs))
+    if args.experiment in ("frames", "all"):
+        _run_sweep(frame_size_sweep(params, args.bandwidth, jobs=args.jobs))
+    if args.experiment in ("periods", "all"):
+        _run_sweep(period_sweep(params, args.bandwidth, jobs=args.jobs))
+    if args.experiment in ("sba", "all"):
+        _run_sweep(sba_comparison(params, args.bandwidth))
+    if args.experiment in ("ringsize", "all"):
+        _run_sweep(ring_size_sweep(params, args.bandwidth, jobs=args.jobs))
+    if args.experiment in ("throughput", "all"):
+        console("throughput division (sync at half breakdown, async saturating)")
+        console(throughput_experiment(params).to_table())
+    if args.experiment in ("crossover", "all"):
+        counts = (5, 10, 20) if params.n_stations <= 20 else (10, 25, 50, 100)
+        console("crossover frontier (ring size -> handover bandwidth)")
+        console(crossover_map(params, station_counts=counts).to_table())
+    if args.experiment in ("sharpness", "all"):
+        from repro.experiments.sharpness import sharpness_experiment
+
+        sharp_params = params.scaled_down(
+            min(params.n_stations, 8), params.monte_carlo_sets
+        )
+        console("criterion sharpness (empirical / analytic breakdown scale)")
+        console(
+            sharpness_experiment(
+                sharp_params, bandwidth_mbps=args.bandwidth, n_sets=5
+            ).to_table()
+        )
+    if args.experiment == "report":
+        from repro.experiments.report import generate_report
+
+        text = generate_report(params)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            console(f"wrote {args.out}")
+            artifacts.append(args.out)
+        else:
+            console(text)
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -138,8 +319,61 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "figure1", "ttrt", "frames", "periods", "sba", "ringsize",
-            "throughput", "crossover", "sharpness", "report", "fuzz", "all",
+            "throughput", "crossover", "sharpness", "report", "fuzz",
+            "serve", "loadgen", "all",
         ],
+    )
+    service = parser.add_argument_group(
+        "admission service", "options for the serve/loadgen commands "
+        "(USAGE.md §14)"
+    )
+    service.add_argument("--host", type=str, default="127.0.0.1",
+                         help="serve/loadgen: bind/connect address")
+    service.add_argument("--port", type=int, default=8711,
+                         help="serve/loadgen: TCP port (serve: 0 = ephemeral)")
+    service.add_argument(
+        "--service-protocol", type=str, default="pdp", choices=["pdp", "ttp"],
+        help="serve: which protocol analysis backs admission",
+    )
+    service.add_argument(
+        "--variant", type=str, default="modified",
+        choices=["standard", "modified"],
+        help="serve: PDP criterion variant",
+    )
+    service.add_argument(
+        "--policy", type=str, default="exact",
+        choices=["exact", "sufficient", "hybrid"],
+        help="serve: admission policy",
+    )
+    service.add_argument("--batch-window", type=float, default=0.002,
+                         help="serve: micro-batch coalescing window (s)")
+    service.add_argument("--batch-max", type=int, default=64,
+                         help="serve: largest coalesced batch")
+    service.add_argument("--queue-limit", type=int, default=256,
+                         help="serve: intake queue bound (full = 429)")
+    service.add_argument(
+        "--rate-limit", type=float, default=0.0,
+        help="serve: per-client sustained rps (0 disables)",
+    )
+    service.add_argument("--duration", type=float, default=5.0,
+                         help="loadgen: seconds of load")
+    service.add_argument("--load-workers", type=int, default=8,
+                         help="loadgen: concurrent closed-loop clients")
+    service.add_argument(
+        "--target-rps", type=float, default=0.0,
+        help="loadgen: paced aggregate request rate (0 = closed loop)",
+    )
+    service.add_argument("--catalogue", type=int, default=32,
+                         help="loadgen: distinct candidate streams "
+                         "(smaller = hotter cache)")
+    service.add_argument(
+        "--spawn", action="store_true",
+        help="loadgen: spawn an in-process server on an ephemeral port "
+        "instead of targeting --host/--port",
+    )
+    service.add_argument(
+        "--bench-json", type=str, default="BENCH_service.json",
+        metavar="PATH", help="loadgen: canary output path",
     )
     parser.add_argument(
         "--fuzz-cases", type=int, default=60,
@@ -229,71 +463,31 @@ def main(argv: list[str] | None = None) -> int:
     params = build_parameters(args.fast, args.sets, args.stations)
     started = time.perf_counter()
     artifacts: list[str] = []
+    manifest_extra: dict = {}
     exit_code = 0
+    interrupted = False
 
-    with timing.span(f"runner/{args.experiment}"):
-        if args.experiment == "fuzz":
-            from repro.verify import FuzzConfig, run_fuzz, run_mutation_smoke
-
-            seed = args.fuzz_seed if args.fuzz_seed is not None else params.seed
-            fuzz_report = run_fuzz(
-                FuzzConfig(
-                    seed=seed,
-                    n_cases=args.fuzz_cases,
-                    repro_dir=args.repro_dir,
-                )
-            )
-            console(fuzz_report.summary())
-            artifacts.extend(fuzz_report.repro_paths)
-            if not fuzz_report.ok:
-                exit_code = 1
-            if args.mutation_smoke:
-                smoke = run_mutation_smoke(seed=seed)
-                console(smoke.summary())
-                if not smoke.all_detected:
-                    exit_code = 1
-        if args.experiment in ("figure1", "all"):
-            artifacts.extend(_run_figure1(args, params))
-        if args.experiment in ("ttrt", "all"):
-            _run_sweep(ttrt_sweep(params, args.bandwidth, jobs=args.jobs))
-        if args.experiment in ("frames", "all"):
-            _run_sweep(frame_size_sweep(params, args.bandwidth, jobs=args.jobs))
-        if args.experiment in ("periods", "all"):
-            _run_sweep(period_sweep(params, args.bandwidth, jobs=args.jobs))
-        if args.experiment in ("sba", "all"):
-            _run_sweep(sba_comparison(params, args.bandwidth))
-        if args.experiment in ("ringsize", "all"):
-            _run_sweep(ring_size_sweep(params, args.bandwidth, jobs=args.jobs))
-        if args.experiment in ("throughput", "all"):
-            console("throughput division (sync at half breakdown, async saturating)")
-            console(throughput_experiment(params).to_table())
-        if args.experiment in ("crossover", "all"):
-            counts = (5, 10, 20) if params.n_stations <= 20 else (10, 25, 50, 100)
-            console("crossover frontier (ring size -> handover bandwidth)")
-            console(crossover_map(params, station_counts=counts).to_table())
-        if args.experiment in ("sharpness", "all"):
-            from repro.experiments.sharpness import sharpness_experiment
-
-            sharp_params = params.scaled_down(
-                min(params.n_stations, 8), params.monte_carlo_sets
-            )
-            console("criterion sharpness (empirical / analytic breakdown scale)")
-            console(
-                sharpness_experiment(
-                    sharp_params, bandwidth_mbps=args.bandwidth, n_sets=5
-                ).to_table()
-            )
-        if args.experiment == "report":
-            from repro.experiments.report import generate_report
-
-            text = generate_report(params)
-            if args.out:
-                with open(args.out, "w", encoding="utf-8") as handle:
-                    handle.write(text)
-                console(f"wrote {args.out}")
-                artifacts.append(args.out)
-            else:
-                console(text)
+    # SIGTERM takes the same graceful path as ctrl-c for the whole
+    # invocation (the serve command's event loop installs its own handler
+    # on top, so a served session drains instead).
+    previous_term = _sigterm_as_interrupt()
+    try:
+        with timing.span(f"runner/{args.experiment}"):
+            exit_code = _dispatch(args, params, artifacts, manifest_extra)
+    except KeyboardInterrupt:
+        # Still write the manifest: a partial run that says what finished
+        # beats an aborted run that says nothing.  130 = killed by SIGINT.
+        interrupted = True
+        exit_code = 130
+        manifest_extra["interrupted"] = True
+        log.warning(
+            "interrupted; writing partial manifest",
+            extra={"experiment": args.experiment},
+        )
+        console("\ninterrupted")
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
 
     elapsed = time.perf_counter() - started
     manifest_path = resolve_manifest_path(args)
@@ -309,6 +503,7 @@ def main(argv: list[str] | None = None) -> int:
             metrics=metrics.snapshot(),
             spans=timing.snapshot(),
             artifacts=artifacts,
+            extra=manifest_extra or None,
         )
         obsmanifest.write_manifest(manifest_path, document)
         log.info("wrote manifest %s", manifest_path,
@@ -316,7 +511,12 @@ def main(argv: list[str] | None = None) -> int:
         console(f"wrote {manifest_path}")
 
     console(f"\nelapsed: {elapsed:.1f}s")
-    log.info("finished in %.2fs", elapsed, extra={"wall_time_s": elapsed})
+    log.info(
+        "%s in %.2fs",
+        "interrupted" if interrupted else "finished",
+        elapsed,
+        extra={"wall_time_s": elapsed, "interrupted": interrupted},
+    )
     return exit_code
 
 

@@ -181,14 +181,20 @@ class MetricsRegistry:
         """The histogram named ``name`` (created on first use)."""
         return self._get_or_create(name, Histogram)
 
-    def snapshot(self) -> dict:
+    def snapshot(self, prefix: str | tuple[str, ...] | None = None) -> dict:
         """All metrics as a plain picklable ``{name: dict}`` mapping.
 
         Metrics still at their zero state are skipped, so a snapshot
-        reflects only what a run actually touched.
+        reflects only what a run actually touched.  ``prefix`` restricts
+        the snapshot to names starting with the given prefix (or any of a
+        tuple of prefixes) — the admission service's ``/metrics``
+        endpoint uses this to report its own ``service.*`` family without
+        shipping the whole registry.
         """
         out: dict[str, dict] = {}
         for name, metric in sorted(self._metrics.items()):
+            if prefix is not None and not name.startswith(prefix):
+                continue
             if isinstance(metric, (Counter, Gauge)) and metric.value == 0.0:
                 continue
             if isinstance(metric, Histogram) and metric.count == 0:
@@ -272,9 +278,9 @@ def disable() -> None:
     _GLOBAL.enabled = False
 
 
-def snapshot() -> dict:
-    """Snapshot of the global registry."""
-    return _GLOBAL.snapshot()
+def snapshot(prefix: str | tuple[str, ...] | None = None) -> dict:
+    """Snapshot of the global registry (optionally prefix-filtered)."""
+    return _GLOBAL.snapshot(prefix)
 
 
 def merge(snap: dict) -> None:

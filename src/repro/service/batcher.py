@@ -1,0 +1,222 @@
+"""Dynamic micro-batching dispatcher for the admission service.
+
+Concurrent requests are coalesced into one
+:meth:`~repro.admission.AdmissionController.process_batch` call: the
+dispatcher takes the first queued operation, then keeps collecting until
+either ``batch_max`` operations are in hand or ``batch_window_s`` has
+elapsed since the batch opened.  Under load the window never waits —
+batches fill instantly and the service amortizes one stacked exact-test
+evaluation over up to ``batch_max`` requests; at low load a request pays
+at most one window of added latency.
+
+Correctness is delegated entirely to the controller:
+``process_batch`` serializes its operations in arrival order, so batching
+is invisible in the results — only in the throughput.
+
+Backpressure: the intake queue is bounded at ``queue_limit``.
+:meth:`MicroBatcher.submit` never blocks the event loop waiting for
+room; a full queue raises :class:`QueueFullError` immediately, carrying a
+``retry_after_s`` hint, and the server maps that to **429**.  Shed
+requests were never evaluated — no admission state is consumed.
+
+The batch itself runs on a dedicated single-thread executor: admission
+decisions are CPU-bound numpy work that must not stall the event loop,
+and keeping *one* worker thread preserves batch ordering and keeps the
+``service/batch`` timing spans on a single coherent span stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionOp,
+    OpFault,
+    ReleaseOutcome,
+)
+from repro.errors import ServiceError
+from repro.obs import metrics, timing
+
+__all__ = ["QueueFullError", "MicroBatcher"]
+
+
+class QueueFullError(ServiceError):
+    """The intake queue is at ``queue_limit``; the request was shed.
+
+    ``retry_after_s`` estimates when the backlog will have drained enough
+    to try again (the server surfaces it as a ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after_s: float):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class MicroBatcher:
+    """Coalesces concurrent admission operations into controller batches.
+
+    Args:
+        controller: the :class:`AdmissionController` all batches run
+            against.
+        batch_window_s: how long an open batch waits for more operations.
+        batch_max: largest batch handed to ``process_batch``.
+        queue_limit: bound on queued-but-unbatched operations.
+
+    Lifecycle: :meth:`start` spawns the dispatcher task; :meth:`drain`
+    stops intake, answers **every** queued operation, and only then
+    shuts the dispatcher down — a drained batcher has no silently
+    dropped requests.
+    """
+
+    def __init__(
+        self,
+        controller: AdmissionController,
+        *,
+        batch_window_s: float = 0.002,
+        batch_max: int = 64,
+        queue_limit: int = 256,
+    ):
+        self._controller = controller
+        self._window = float(batch_window_s)
+        self._batch_max = int(batch_max)
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=int(queue_limit))
+        self._dispatcher: asyncio.Task | None = None
+        self._draining = False
+        # One worker thread, by design: batches stay ordered and the
+        # span recorder's stack stays coherent (it is not thread-safe
+        # across interleaved spans).
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-admit"
+        )
+        self._m_submitted = metrics.counter("service.requests")
+        self._m_shed = metrics.counter("service.shed")
+        self._m_batches = metrics.counter("service.batches")
+        self._m_batch_size = metrics.histogram("service.batch_size")
+        self._m_queue_depth = metrics.gauge("service.queue_depth")
+
+    @property
+    def draining(self) -> bool:
+        """Whether intake has been closed by :meth:`drain`."""
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Operations queued but not yet dispatched."""
+        return self._queue.qsize()
+
+    def start(self) -> None:
+        """Spawn the dispatcher task on the running event loop."""
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_forever(), name="repro-admit-dispatcher"
+            )
+
+    async def submit(
+        self, op: AdmissionOp
+    ) -> AdmissionDecision | ReleaseOutcome | OpFault:
+        """Queue one operation and wait for its batch to answer it.
+
+        Raises :class:`QueueFullError` when the queue is at capacity and
+        :class:`ServiceError` when the batcher is draining; neither
+        touches admission state.
+        """
+        if self._dispatcher is None:
+            raise ServiceError("batcher is not started")
+        if self._draining:
+            raise ServiceError("service is draining; not accepting requests")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((op, future))
+        except asyncio.QueueFull:
+            self._m_shed.inc()
+            # Rough time for the standing backlog to clear: one window
+            # per batch_max operations ahead of us, floored at one window.
+            backlog_batches = max(1.0, self._queue.qsize() / self._batch_max)
+            raise QueueFullError(
+                f"admission queue full ({self._queue.maxsize} pending)",
+                retry_after_s=max(self._window, 0.001) * backlog_batches,
+            ) from None
+        self._m_submitted.inc()
+        self._m_queue_depth.set(self._queue.qsize())
+        return await future
+
+    async def run_on_worker(self, fn, *args):
+        """Run ``fn(*args)`` on the batch worker thread.
+
+        Serializes with batch execution (one worker thread), which is
+        what the breakdown endpoint wants: it reads a consistent admitted
+        snapshot and its numpy work never lands on the event loop.
+        """
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def drain(self) -> None:
+        """Close intake, answer everything queued, stop the dispatcher."""
+        self._draining = True
+        if self._dispatcher is None:
+            self._executor.shutdown(wait=True)
+            return
+        await self._queue.join()
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        self._dispatcher = None
+        self._executor.shutdown(wait=True)
+
+    # -- dispatcher ------------------------------------------------------------
+
+    async def _dispatch_forever(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self._window
+            while len(batch) < self._batch_max:
+                if not self._queue.empty():
+                    batch.append(self._queue.get_nowait())
+                    continue
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._m_queue_depth.set(self._queue.qsize())
+            await self._run_batch(loop, batch)
+
+    async def _run_batch(self, loop, batch) -> None:
+        ops = [op for op, _ in batch]
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._process, ops
+            )
+        except BaseException as exc:  # defensive: answer rather than hang
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(
+                        ServiceError(f"batch execution failed: {exc}")
+                    )
+                self._queue.task_done()
+            if isinstance(exc, asyncio.CancelledError):
+                raise
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():  # client may have disconnected
+                future.set_result(result)
+            self._queue.task_done()
+
+    def _process(self, ops: "list[AdmissionOp]"):
+        with timing.span("service/batch"):
+            results = self._controller.process_batch(ops)
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(ops))
+        return results

@@ -1,0 +1,284 @@
+"""Clients for the admission service: blocking and asyncio, stdlib only.
+
+:class:`ServiceClient` wraps :mod:`http.client` with a persistent
+keep-alive connection — the natural fit for scripts and tests.
+:class:`AsyncServiceClient` speaks the same wire protocol over one
+asyncio stream and is what the load generator multiplexes by the
+hundreds.
+
+Both expose the same surface:
+
+* ``check(period_s, payload_bits)`` / ``admit(...)`` — returns the wire
+  decision dict (``admitted``, ``stream_id``, ``station``, ``reason``,
+  ``tested_by``, ``utilization_after``);
+* ``release(stream_id, idempotent=False)`` — returns the wire release
+  outcome;
+* ``breakdown()`` / ``healthz()`` / ``metrics()`` — the GET endpoints;
+* ``request(method, path, body)`` — the raw ``(status, payload)`` escape
+  hatch.
+
+Error contract: transport failures and non-2xx responses raise
+:class:`~repro.errors.ServiceError`.  Backpressure (429/503) raises
+:class:`Backoff`, a ``ServiceError`` carrying ``status`` and
+``retry_after_s`` so callers can implement honest retry loops; a 404 on
+release raises :class:`~repro.errors.AdmissionError`, mirroring the
+direct-call API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+from repro.errors import AdmissionError, ServiceError
+
+__all__ = ["Backoff", "ServiceClient", "AsyncServiceClient"]
+
+
+class Backoff(ServiceError):
+    """The service shed the request (429) or is draining (503)."""
+
+    def __init__(self, message: str, status: int, retry_after_s: float):
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+def _raise_for_status(status: int, payload: dict, headers: dict) -> None:
+    if 200 <= status < 300:
+        return
+    detail = payload.get("detail", payload.get("error", "unknown error"))
+    if status in (429, 503):
+        retry_after = payload.get("retry_after_s")
+        if retry_after is None:
+            try:
+                retry_after = float(headers.get("retry-after", 1.0))
+            except (TypeError, ValueError):
+                retry_after = 1.0
+        raise Backoff(f"HTTP {status}: {detail}", status, float(retry_after))
+    if status == 404 and payload.get("error") == "AdmissionError":
+        raise AdmissionError(detail)
+    raise ServiceError(f"HTTP {status}: {detail}")
+
+
+def _decode(raw: bytes) -> dict:
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed response body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ServiceError(f"expected a JSON object, got {raw[:80]!r}")
+    return payload
+
+
+class _EndpointMixin:
+    """The high-level endpoint surface, shared sync/async via ``_call``."""
+
+    def check(self, period_s: float, payload_bits: float):
+        """Non-mutating what-if decision."""
+        return self._call(
+            "POST",
+            "/v1/check",
+            {"period_s": period_s, "payload_bits": payload_bits},
+        )
+
+    def admit(self, period_s: float, payload_bits: float):
+        """Admission request; the decision carries ``stream_id`` on success."""
+        return self._call(
+            "POST",
+            "/v1/admit",
+            {"period_s": period_s, "payload_bits": payload_bits},
+        )
+
+    def release(self, stream_id: int, idempotent: bool = False):
+        """Release an admitted stream."""
+        return self._call(
+            "POST",
+            "/v1/release",
+            {"stream_id": stream_id, "idempotent": idempotent},
+        )
+
+    def breakdown(self):
+        """Headroom report for the admitted population."""
+        return self._call("GET", "/v1/breakdown", None)
+
+    def healthz(self):
+        """Liveness / drain status."""
+        return self._call("GET", "/healthz", None)
+
+    def metrics(self):
+        """The service's metric snapshot."""
+        return self._call("GET", "/metrics", None)
+
+
+class ServiceClient(_EndpointMixin):
+    """Blocking client over one keep-alive :mod:`http.client` connection.
+
+    Usable as a context manager; reconnects transparently if the server
+    closed the idle connection.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8711,
+        *,
+        client_id: str | None = None,
+        timeout_s: float = 30.0,
+    ):
+        self._host = host
+        self._port = port
+        self._client_id = client_id
+        self._timeout_s = timeout_s
+        self._conn: http.client.HTTPConnection | None = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the persistent connection (if any)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str, body: dict | None = None):
+        """Raw ``(status, payload)`` without status-based raising."""
+        data = (
+            json.dumps(body, separators=(",", ":")).encode("utf-8")
+            if body is not None
+            else None
+        )
+        headers = {"Content-Type": "application/json"}
+        if self._client_id is not None:
+            headers["X-Client-Id"] = self._client_id
+        for attempt in (1, 2):  # one transparent reconnect for stale sockets
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout_s
+                )
+            try:
+                self._conn.request(method, path, body=data, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self.close()
+                if attempt == 2:
+                    raise ServiceError(
+                        f"admission service at "
+                        f"{self._host}:{self._port} unreachable: {exc}"
+                    ) from exc
+                continue
+            return response.status, _decode(raw), dict(response.getheaders())
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call(self, method: str, path: str, body: dict | None):
+        status, payload, headers = self.request(method, path, body)
+        _raise_for_status(
+            status, payload, {k.lower(): v for k, v in headers.items()}
+        )
+        return payload
+
+
+class AsyncServiceClient(_EndpointMixin):
+    """Asyncio client over one keep-alive stream.
+
+    Every high-level method is awaitable (``_call`` is a coroutine, so the
+    mixin methods return coroutines here).  One client = one connection =
+    one in-flight request; the load generator opens one per worker.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8711,
+        *,
+        client_id: str | None = None,
+    ):
+        self._host = host
+        self._port = port
+        self._client_id = client_id
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        await self._connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+
+    async def close(self) -> None:
+        """Close the stream."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, method: str, path: str, body: dict | None = None):
+        """Raw ``(status, payload, headers)`` without status-based raising."""
+        if self._writer is None:
+            await self._connect()
+        data = (
+            json.dumps(body, separators=(",", ":")).encode("utf-8")
+            if body is not None
+            else b""
+        )
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self._host}:{self._port}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(data)}",
+            "Connection: keep-alive",
+        ]
+        if self._client_id is not None:
+            lines.append(f"X-Client-Id: {self._client_id}")
+        try:
+            self._writer.write(
+                ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + data
+            )
+            await self._writer.drain()
+            return await self._read_response()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            await self.close()
+            raise ServiceError(
+                f"admission service at {self._host}:{self._port} "
+                f"dropped the connection: {exc}"
+            ) from exc
+
+    async def _read_response(self):
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise asyncio.IncompleteReadError(status_line, None)
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServiceError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        raw = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, _decode(raw), headers
+
+    async def _call(self, method: str, path: str, body: dict | None):
+        status, payload, headers = await self.request(method, path, body)
+        _raise_for_status(status, payload, headers)
+        return payload

@@ -1,0 +1,314 @@
+"""Closed-loop load generator for the admission service.
+
+``runner loadgen`` drives a live server with a configurable worker fleet
+and reports what the service actually sustained: throughput, latency
+percentiles, shed (429) and drain (503) counts, and the server's own
+``service.*`` metrics.  The report lands in ``BENCH_service.json`` using
+the same summarized canary schema as the other ``BENCH_*.json`` files
+(:mod:`repro.obs.benchjson` schema version 2), so the performance
+trajectory of the service is tracked exactly like the figures'.
+
+Workload model: each worker owns one keep-alive connection and issues
+requests back to back (closed loop) or paced to a target rate.  Streams
+are drawn from a small seeded catalogue of (period, payload) pairs —
+repeat queries against a stable admitted population are precisely the
+regime the content-addressed cache serves, so the warm-cache fast path
+gets exercised alongside cold exact-test evaluations.  The op mix is
+mostly ``check`` with a trickle of ``admit``/``release`` churn
+(idempotent releases, as a retrying client would issue).
+
+Everything here is deterministic given the seed **except** timing:
+decision outcomes depend only on the op sequence, which is seeded per
+worker; latencies are whatever the host delivers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime
+import platform
+import random
+import statistics
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.obs.benchjson import BENCH_SCHEMA_VERSION
+from repro.service.client import AsyncServiceClient, Backoff
+from repro.service.protocol import ServiceConfig
+from repro.service.server import AdmissionServer
+
+__all__ = [
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+    "run_against_spawned_server",
+    "bench_document",
+]
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load-generation run.
+
+    ``target_rps <= 0`` means closed-loop: every worker issues its next
+    request the moment the previous answer arrives.  ``catalogue_size``
+    bounds the set of distinct (period, payload) candidates — smaller
+    catalogues run hotter caches.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8711
+    duration_s: float = 5.0
+    workers: int = 8
+    target_rps: float = 0.0
+    seed: int = 0
+    catalogue_size: int = 32
+    admit_fraction: float = 0.05
+    release_fraction: float = 0.05
+
+
+@dataclass
+class LoadReport:
+    """What one load run observed, client side."""
+
+    duration_s: float = 0.0
+    requests: int = 0
+    throughput_rps: float = 0.0
+    ops: dict = field(default_factory=dict)
+    latency_s: dict = field(default_factory=dict)
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    draining: int = 0
+    errors: int = 0
+    latencies: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (without the raw latency samples)."""
+        return {
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "throughput_rps": self.throughput_rps,
+            "ops": dict(self.ops),
+            "latency_s": dict(self.latency_s),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "draining": self.draining,
+            "errors": self.errors,
+        }
+
+
+def _catalogue(config: LoadConfig) -> list[tuple[float, float]]:
+    """The seeded candidate streams all workers draw from."""
+    rng = random.Random(config.seed)
+    catalogue = []
+    for _ in range(config.catalogue_size):
+        period_s = rng.choice([0.008, 0.016, 0.032, 0.064, 0.128, 0.256])
+        payload_bits = float(rng.randrange(64, 2048, 64))
+        catalogue.append((period_s, payload_bits))
+    return catalogue
+
+
+async def _worker(
+    index: int,
+    config: LoadConfig,
+    catalogue: list[tuple[float, float]],
+    deadline: float,
+    report: LoadReport,
+    admitted_ids: list[int],
+) -> None:
+    # Integer arithmetic, not a tuple seed: tuple seeding goes through
+    # hash(), which PYTHONHASHSEED randomizes across processes.
+    rng = random.Random(config.seed * 100_003 + index)
+    interval = (
+        config.workers / config.target_rps if config.target_rps > 0 else 0.0
+    )
+    loop = asyncio.get_running_loop()
+    next_slot = loop.time()
+    async with AsyncServiceClient(
+        config.host, config.port, client_id=f"loadgen-{index}"
+    ) as client:
+        while loop.time() < deadline:
+            if interval:
+                next_slot += interval
+                delay = next_slot - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            roll = rng.random()
+            period_s, payload_bits = rng.choice(catalogue)
+            started = loop.time()
+            try:
+                if roll < config.release_fraction and admitted_ids:
+                    kind = "release"
+                    stream_id = admitted_ids.pop(
+                        rng.randrange(len(admitted_ids))
+                    )
+                    await client.release(stream_id, idempotent=True)
+                elif roll < config.release_fraction + config.admit_fraction:
+                    kind = "admit"
+                    decision = await client.admit(period_s, payload_bits)
+                    if decision["admitted"]:
+                        admitted_ids.append(decision["stream_id"])
+                        report.admitted += 1
+                    else:
+                        report.rejected += 1
+                else:
+                    kind = "check"
+                    await client.check(period_s, payload_bits)
+            except Backoff as exc:
+                report.requests += 1
+                report.shed += exc.status == 429
+                report.draining += exc.status == 503
+                await asyncio.sleep(min(exc.retry_after_s, 0.05))
+                continue
+            except ServiceError:
+                report.requests += 1
+                report.errors += 1
+                continue
+            report.requests += 1
+            report.ops[kind] = report.ops.get(kind, 0) + 1
+            report.latencies.append(loop.time() - started)
+
+
+def _summarize_latencies(report: LoadReport) -> None:
+    if not report.latencies:
+        report.latency_s = {}
+        return
+    samples = np.asarray(report.latencies, dtype=float)
+    q = np.percentile(samples, [50.0, 90.0, 99.0])
+    report.latency_s = {
+        "mean": float(samples.mean()),
+        "p50": float(q[0]),
+        "p90": float(q[1]),
+        "p99": float(q[2]),
+        "max": float(samples.max()),
+    }
+
+
+async def run_load(config: LoadConfig) -> LoadReport:
+    """Drive a running service; returns the client-side report."""
+    catalogue = _catalogue(config)
+    report = LoadReport()
+    admitted_ids: list[int] = []
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    deadline = started + config.duration_s
+    await asyncio.gather(
+        *(
+            _worker(i, config, catalogue, deadline, report, admitted_ids)
+            for i in range(config.workers)
+        )
+    )
+    report.duration_s = loop.time() - started
+    report.throughput_rps = (
+        report.requests / report.duration_s if report.duration_s > 0 else 0.0
+    )
+    _summarize_latencies(report)
+    return report
+
+
+async def run_against_spawned_server(
+    service_config: ServiceConfig, load_config: LoadConfig
+) -> tuple[LoadReport, dict]:
+    """Spawn a server in-process, load it, drain it.
+
+    Returns ``(client report, server summary)``.  The load config's
+    host/port are overridden with wherever the server actually bound
+    (pass ``port=0`` in the service config for an ephemeral port).
+    """
+    server = AdmissionServer(service_config)
+    await server.start()
+    try:
+        effective = LoadConfig(
+            **{
+                **load_config.__dict__,
+                "host": service_config.host,
+                "port": server.port,
+            }
+        )
+        report = await run_load(effective)
+    finally:
+        await server.drain_and_stop()
+    return report, server.summary()
+
+
+def bench_document(
+    report: LoadReport,
+    *,
+    config: LoadConfig,
+    server_summary: dict | None = None,
+) -> dict:
+    """The run as a ``BENCH_*.json`` canary document.
+
+    Emitted directly in :data:`~repro.obs.benchjson.BENCH_SCHEMA_VERSION`
+    form — per-request latency statistics in ``stats`` (so the fields
+    line up with the pytest-benchmark-derived canaries), throughput and
+    shed counts in ``extra_info``.
+    """
+    samples = report.latencies
+    if samples:
+        q1, median, q3 = (
+            float(x) for x in np.percentile(samples, [25.0, 50.0, 75.0])
+        )
+        stats = {
+            "min": float(min(samples)),
+            "max": float(max(samples)),
+            "mean": float(statistics.fmean(samples)),
+            "stddev": float(statistics.pstdev(samples)),
+            "median": median,
+            "iqr": q3 - q1,
+            "q1": q1,
+            "q3": q3,
+            "ops": report.throughput_rps,
+            "total": float(sum(samples)),
+            "rounds": len(samples),
+            "iterations": 1,
+        }
+    else:
+        stats = {
+            key: None
+            for key in (
+                "min", "max", "mean", "stddev", "median", "iqr", "q1", "q3",
+                "ops", "total", "rounds", "iterations",
+            )
+        }
+    extra_info = {
+        "load_config": {
+            "duration_s": config.duration_s,
+            "workers": config.workers,
+            "target_rps": config.target_rps,
+            "seed": config.seed,
+            "catalogue_size": config.catalogue_size,
+        },
+        "report": report.to_dict(),
+    }
+    if server_summary is not None:
+        extra_info["server"] = server_summary
+    uname = platform.uname()
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "datetime": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "pytest_benchmark_version": None,
+        "commit_info": None,
+        "machine": {
+            "node": uname.node,
+            "machine": uname.machine,
+            "system": uname.system,
+            "release": uname.release,
+            "python_version": platform.python_version(),
+            "cpu": {"brand": uname.processor or None, "count": None, "arch": uname.machine},
+        },
+        "benchmarks": [
+            {
+                "group": "service",
+                "name": "loadgen",
+                "fullname": "repro.service.loadgen::run_load",
+                "params": None,
+                "extra_info": extra_info,
+                "stats": stats,
+            }
+        ],
+    }

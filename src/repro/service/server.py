@@ -1,0 +1,415 @@
+"""The admission-control server: asyncio JSON-over-HTTP, stdlib only.
+
+One :class:`AdmissionServer` owns one :class:`AdmissionController`, one
+:class:`~repro.service.batcher.MicroBatcher`, and one per-client rate
+limiter, and serves the endpoints documented in
+:mod:`repro.service.protocol`.  HTTP/1.1 with keep-alive is hand-rolled
+over asyncio streams — the protocol subset is tiny (request line,
+headers, Content-Length bodies) and taking it on keeps the service free
+of new dependencies.
+
+Request path for ``/v1/check``, ``/v1/admit``, ``/v1/release``::
+
+    parse -> rate limit -> batcher.submit -> (coalesced) process_batch
+
+so every decision flows through the micro-batcher and is bit-identical
+to a direct controller call (the batcher only changes *when* work runs,
+never its serialization order).
+
+Shutdown is a *drain*: SIGTERM/SIGINT (or :meth:`drain_and_stop`) stops
+accepting connections, answers every queued operation, then exits.  New
+requests during the drain get **503**; nothing already accepted is
+dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import signal
+
+from repro.admission import AdmissionOp, OpFault
+from repro.analysis.breakdown import breakdown_scale
+from repro.errors import ReproError, ServiceError
+from repro.obs import metrics, timing
+from repro.obs.logging import get_logger
+from repro.service.batcher import MicroBatcher, QueueFullError
+from repro.service.protocol import (
+    ServiceConfig,
+    WIRE_SCHEMA_VERSION,
+    build_controller,
+    decision_to_wire,
+    dump_body,
+    fault_status,
+    fault_to_wire,
+    load_body,
+    parse_release_body,
+    parse_stream_body,
+    release_to_wire,
+)
+from repro.service.ratelimit import ClientRateLimiter
+
+__all__ = ["AdmissionServer"]
+
+_LOG = get_logger("repro.service.server")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Request bodies above this are rejected outright (no admission body is
+#: more than a few dozen bytes of JSON).
+_MAX_BODY_BYTES = 64 * 1024
+
+
+class AdmissionServer:
+    """One admission service session.
+
+    Args:
+        config: the :class:`~repro.service.protocol.ServiceConfig`.
+        controller: optionally, a pre-built controller (tests inject one
+            with known state); by default built from the config.
+
+    Usage::
+
+        server = AdmissionServer(ServiceConfig(port=0))
+        await server.start()          # server.port now holds the bound port
+        ...
+        await server.drain_and_stop()
+    """
+
+    def __init__(self, config: ServiceConfig, controller=None):
+        self.config = config
+        self.controller = (
+            controller if controller is not None else build_controller(config)
+        )
+        self.batcher = MicroBatcher(
+            self.controller,
+            batch_window_s=config.batch_window_s,
+            batch_max=config.batch_max,
+            queue_limit=config.queue_limit,
+        )
+        self.limiter = ClientRateLimiter(
+            config.rate_limit_rps, config.rate_limit_burst
+        )
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._m_http = metrics.counter("service.http_requests")
+        self._m_errors = metrics.counter("service.http_errors")
+        self._m_limited = metrics.counter("service.rate_limited")
+        self._m_latency = metrics.histogram("service.request_latency_s")
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start the dispatcher."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        _LOG.info(
+            "admission service listening on %s:%d (%s/%s, policy=%s)",
+            self.config.host,
+            self.port,
+            self.config.protocol,
+            self.config.variant,
+            self.config.policy,
+        )
+
+    async def drain_and_stop(self) -> None:
+        """Stop accepting, answer everything queued, shut down."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        _LOG.info("drain requested: closing listener, flushing queue")
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(
+                self.batcher.drain(), timeout=self.config.drain_grace_s
+            )
+        except asyncio.TimeoutError:  # pragma: no cover - defensive
+            _LOG.warning(
+                "drain exceeded %.1fs grace; shutting down anyway",
+                self.config.drain_grace_s,
+            )
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._drained.set()
+        _LOG.info("admission service stopped")
+
+    async def serve_until_signalled(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain and return."""
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or unsupported platform
+        try:
+            await stop.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+        await self.drain_and_stop()
+
+    def summary(self) -> dict:
+        """Session counters for the run manifest / loadgen report."""
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "admitted": self.controller.admitted_count,
+            "utilization": self.controller.utilization(),
+            "metrics": metrics.snapshot(prefix=("service.", "cache.admission.")),
+            "spans": {
+                path: stats
+                for path, stats in timing.snapshot().items()
+                if path.startswith("service/")
+            },
+        }
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                started = asyncio.get_running_loop().time()
+                status, payload, extra_headers = await self._route(
+                    method, path, headers, body, peer_host
+                )
+                self._m_http.inc()
+                if status >= 400:
+                    self._m_errors.inc()
+                self._m_latency.observe(
+                    asyncio.get_running_loop().time() - started
+                )
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                await self._write_response(
+                    writer, status, payload, extra_headers, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader):
+        """One HTTP request as ``(method, path, headers, body)``; None at EOF."""
+        try:
+            line = await reader.readline()
+        except (ConnectionError, OSError):
+            return None
+        if not line:
+            return None
+        parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(line, None)
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise asyncio.IncompleteReadError(b"", None)
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method, path, headers, body
+
+    async def _write_response(
+        self, writer, status, payload, extra_headers, keep_alive
+    ) -> None:
+        body = dump_body(payload)
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in extra_headers:
+            lines.append(f"{name}: {value}")
+        writer.write(
+            ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        )
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(self, method, path, headers, body, peer_host):
+        """Dispatch one request; returns (status, payload, extra_headers)."""
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return 200, self._healthz(), []
+            if path == "/metrics":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return (
+                    200,
+                    {
+                        "schema_version": WIRE_SCHEMA_VERSION,
+                        "metrics": metrics.snapshot(
+                            prefix=("service.", "cache.admission.")
+                        ),
+                    },
+                    [],
+                )
+            if path == "/v1/breakdown":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                if self._draining:
+                    return self._draining_response()
+                return 200, await self._breakdown(), []
+            if path in ("/v1/check", "/v1/admit", "/v1/release"):
+                if method != "POST":
+                    return self._method_not_allowed("POST")
+                return await self._admission_endpoint(
+                    path, headers, body, peer_host
+                )
+            return (
+                404,
+                {"error": "NotFound", "detail": f"no such endpoint: {path}"},
+                [],
+            )
+        except ServiceError as exc:
+            return 400, {"error": "ServiceError", "detail": str(exc)}, []
+        except ReproError as exc:  # pragma: no cover - route-level catch-all
+            return 422, {"error": type(exc).__name__, "detail": str(exc)}, []
+        except Exception as exc:  # noqa: BLE001 - never kill the connection loop
+            _LOG.exception("unhandled error serving %s %s", method, path)
+            return 500, {"error": "InternalError", "detail": str(exc)}, []
+
+    async def _admission_endpoint(self, path, headers, body, peer_host):
+        if self._draining or self.batcher.draining:
+            return self._draining_response()
+        client = headers.get("x-client-id", peer_host)
+        wait = self.limiter.check(
+            client, asyncio.get_running_loop().time()
+        )
+        if wait > 0:
+            self._m_limited.inc()
+            return (
+                429,
+                {
+                    "error": "RateLimited",
+                    "detail": (
+                        f"client {client!r} over "
+                        f"{self.limiter.rate_per_s:g} rps"
+                    ),
+                    "retry_after_s": wait,
+                },
+                [("Retry-After", str(max(1, math.ceil(wait))))],
+            )
+        parsed = load_body(body)
+        if path == "/v1/release":
+            stream_id, idempotent = parse_release_body(parsed)
+            op = AdmissionOp.release(stream_id, idempotent=idempotent)
+        else:
+            period_s, payload_bits = parse_stream_body(parsed)
+            op = (
+                AdmissionOp.check(period_s, payload_bits)
+                if path == "/v1/check"
+                else AdmissionOp.admit(period_s, payload_bits)
+            )
+        try:
+            result = await self.batcher.submit(op)
+        except QueueFullError as exc:
+            return (
+                429,
+                {
+                    "error": "QueueFull",
+                    "detail": str(exc),
+                    "retry_after_s": exc.retry_after_s,
+                },
+                [("Retry-After", str(max(1, math.ceil(exc.retry_after_s))))],
+            )
+        except ServiceError:
+            return self._draining_response()
+        if isinstance(result, OpFault):
+            return fault_status(result), fault_to_wire(result), []
+        if op.kind == "release":
+            return 200, release_to_wire(result), []
+        return 200, decision_to_wire(result), []
+
+    def _healthz(self) -> dict:
+        return {
+            "schema_version": WIRE_SCHEMA_VERSION,
+            "status": "draining" if self._draining else "ok",
+            "queue_depth": self.batcher.queue_depth,
+            "admitted": self.controller.admitted_count,
+            "protocol": self.config.protocol,
+            "policy": self.config.policy,
+        }
+
+    async def _breakdown(self) -> dict:
+        """Headroom of the admitted population (off the event loop)."""
+
+        def compute():
+            current = self.controller.current_set()
+            report = {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "streams": len(current),
+                "utilization": current.utilization(
+                    self.controller.analysis.ring.bandwidth_bps
+                ),
+            }
+            if len(current) == 0:
+                report.update(scale=None, evaluations=0)
+                return report
+            scale, evaluations = breakdown_scale(
+                current, self.controller.analysis, rel_tol=1e-3
+            )
+            report.update(scale=scale, evaluations=evaluations)
+            return report
+
+        return await self.batcher.run_on_worker(compute)
+
+    @staticmethod
+    def _method_not_allowed(allowed: str):
+        return (
+            405,
+            {"error": "MethodNotAllowed", "detail": f"use {allowed}"},
+            [("Allow", allowed)],
+        )
+
+    @staticmethod
+    def _draining_response():
+        return (
+            503,
+            {
+                "error": "Draining",
+                "detail": "service is draining; not accepting requests",
+            },
+            [("Retry-After", "1")],
+        )

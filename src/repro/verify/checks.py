@@ -32,15 +32,26 @@ The properties:
     reports **bit for bit** — every response time, rotation statistic,
     busy total, and verdict — on every supported configuration.  Like
     the scalar/vector pairs, the fast paths are pure performance work.
+``service_batch_equiv``
+    The admission service's micro-batched dispatch
+    (:meth:`~repro.admission.AdmissionController.process_batch`) must
+    answer a derived op sequence — interleaved checks, admits, and
+    releases, including invalid ones — **identically** to issuing the
+    same calls one at a time on a fresh controller: same decisions,
+    same station/id assignments, same faults.  Batching is pure
+    performance work too.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+
+from repro import admission as admission_mod
 
 from repro.analysis import boundary as boundary_mod
 from repro.analysis import pdp as pdp_mod
@@ -467,6 +478,64 @@ def check_ttp_fastpath_equiv(case: FuzzCase) -> Violation | None:
     return None
 
 
+def check_service_batch_equiv(case: FuzzCase) -> Violation | None:
+    """Batched admission dispatch must equal sequential direct calls."""
+    policy = (
+        admission_mod.AdmissionPolicy.EXACT,
+        admission_mod.AdmissionPolicy.SUFFICIENT,
+        admission_mod.AdmissionPolicy.HYBRID,
+    )[case.index % 3]
+    if case.index % 2:
+        analyses = (_ttp_analysis(case), _ttp_analysis(case))
+    else:
+        analyses = (
+            _pdp_analysis(case, PDPVariant.MODIFIED),
+            _pdp_analysis(case, PDPVariant.MODIFIED),
+        )
+    batched = admission_mod.AdmissionController(analyses[0], policy)
+    sequential = admission_mod.AdmissionController(analyses[1], policy)
+
+    # A deterministic interleaving of admits, checks, and releases —
+    # releases deliberately include ids that are unknown, already
+    # released, or not yet assigned, in both strict and idempotent modes.
+    rng = random.Random(case.seed * 1_000_003 + case.index)
+    ops: list[admission_mod.AdmissionOp] = []
+    for period_s, payload_bits in zip(case.periods_s, case.payloads_bits):
+        if rng.random() < 0.5:
+            ops.append(admission_mod.AdmissionOp.admit(period_s, payload_bits))
+        else:
+            ops.append(admission_mod.AdmissionOp.check(period_s, payload_bits))
+        if rng.random() < 0.3:
+            ops.append(
+                admission_mod.AdmissionOp.release(
+                    rng.randrange(1, len(case.periods_s) + 2),
+                    idempotent=rng.random() < 0.5,
+                )
+            )
+    batch_results = batched.process_batch(list(ops))
+
+    def issue_directly(op):
+        try:
+            if op.kind == "check":
+                return sequential.check(op.period_s, op.payload_bits)
+            if op.kind == "admit":
+                return sequential.request(op.period_s, op.payload_bits)
+            return sequential.release(op.stream_id, idempotent=op.idempotent)
+        except ReproError as exc:
+            return admission_mod.OpFault(type(exc).__name__, str(exc))
+
+    for position, (op, got) in enumerate(zip(ops, batch_results)):
+        want = issue_directly(op)
+        if got != want:
+            return Violation(
+                "service_batch_equiv",
+                case,
+                f"op {position} ({op.kind}) diverged: batched={got!r}, "
+                f"sequential={want!r}",
+            )
+    return None
+
+
 CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_vs_sim": check_pdp_vs_sim,
     "ttp_vs_sim": check_ttp_vs_sim,
@@ -478,6 +547,7 @@ CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "scale_invariance": check_scale_invariance,
     "pdp_fastpath_equiv": check_pdp_fastpath_equiv,
     "ttp_fastpath_equiv": check_ttp_fastpath_equiv,
+    "service_batch_equiv": check_service_batch_equiv,
 }
 
 

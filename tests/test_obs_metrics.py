@@ -96,6 +96,18 @@ class TestRegistry:
         assert snap["g"] == {"type": "gauge", "value": 5.0}
         assert snap["h"]["count"] == 1 and snap["h"]["mean"] == 1.5
 
+    def test_snapshot_prefix_filters(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("service.requests").inc()
+        reg.counter("cache.admission.hits").inc()
+        reg.counter("sim.runs").inc()
+        assert set(reg.snapshot(prefix="service.")) == {"service.requests"}
+        assert set(reg.snapshot(prefix=("service.", "cache.admission."))) == {
+            "service.requests",
+            "cache.admission.hits",
+        }
+        assert len(reg.snapshot()) == 3
+
     def test_merge_combines_worker_snapshots(self):
         a = metrics.MetricsRegistry()
         b = metrics.MetricsRegistry()

@@ -23,6 +23,12 @@ It then smoke-tests the verification harness itself
 deliberately injected off-by-one bug — a differential harness that
 cannot catch known bugs would be handing out vacuous green lights.
 
+Next the admission-service canary spawns the asyncio server in-process
+(``runner loadgen --spawn``) and drives two seconds of *paced* load:
+at nominal rate the service must shed nothing, see zero transport
+errors, and keep p99 latency under 250 ms — the operational floor of
+USAGE.md §14.
+
 Finally the perf-regression guard re-runs the ``bench-quick`` canary
 benchmarks and compares their means against the committed
 ``BENCH_figure1.json`` baseline: any benchmark that got more than 2x
@@ -277,7 +283,83 @@ def run_bench_guard() -> None:
     )
 
 
+#: Service canary load: paced (not closed-loop) so the assertion tests
+#: behaviour at *nominal* load — the service must shed nothing and stay
+#: comfortably under the latency bound when it is not saturated.
+_SERVICE_DURATION_S = 2.0
+_SERVICE_TARGET_RPS = 400.0
+_SERVICE_P99_BOUND_S = 0.25
+
+
+def run_service_canary() -> None:
+    """Spawn the admission service, drive nominal load, check the canary.
+
+    Runs ``runner loadgen --spawn`` (in-process server on an ephemeral
+    port) and asserts the operational floor of the service layer: the
+    run completes, zero requests are shed (429) or refused (503), zero
+    transport errors, p99 latency under the bound, and at least half the
+    paced request budget actually served — a stalled batcher cannot hide
+    behind a green exit code.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-service-") as tmp:
+        bench_path = os.path.join(tmp, "BENCH_service.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments.runner", "loadgen",
+                "--spawn",
+                "--duration", str(_SERVICE_DURATION_S),
+                "--load-workers", "4",
+                "--target-rps", str(_SERVICE_TARGET_RPS),
+                "--bench-json", bench_path,
+                "--no-manifest", "--quiet", "--log-level", "error",
+            ],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            raise AssertionError(
+                f"service canary exited {proc.returncode}\n"
+                f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+            )
+        with open(bench_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        report = document["benchmarks"][0]["extra_info"]["report"]
+        if report["shed"] or report["draining"]:
+            raise AssertionError(
+                f"service shed at nominal load: shed={report['shed']} "
+                f"draining={report['draining']} (target "
+                f"{_SERVICE_TARGET_RPS} rps, queue should be nowhere near "
+                "full)"
+            )
+        if report["errors"]:
+            raise AssertionError(
+                f"service canary saw {report['errors']} transport errors"
+            )
+        p99 = report["latency_s"].get("p99")
+        if p99 is None or p99 > _SERVICE_P99_BOUND_S:
+            raise AssertionError(
+                f"service p99 latency {p99!r}s exceeds the "
+                f"{_SERVICE_P99_BOUND_S}s bound at nominal load"
+            )
+        floor = 0.5 * _SERVICE_TARGET_RPS * _SERVICE_DURATION_S
+        if report["requests"] < floor:
+            raise AssertionError(
+                f"service served only {report['requests']} requests; "
+                f"expected at least {floor:.0f} at the paced rate"
+            )
+    print(
+        "verify_smoke: ok (service canary, "
+        f"{report['requests']} requests, p99 {p99 * 1e3:.1f} ms, 0 shed)"
+    )
+
+
 if __name__ == "__main__":
     run_smoke()
     run_mutation_smoke_check()
+    run_service_canary()
     run_bench_guard()
