@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service serve examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service bench-admission serve examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
@@ -24,7 +24,12 @@ help:
 	@echo "                   and compression ratios in extra_info)"
 	@echo "  bench-service    admission-service canary: spawn the server,"
 	@echo "                   5 s closed-loop load -> BENCH_service.json"
-	@echo "                   (throughput + latency percentiles)"
+	@echo "                   (throughput + per-op latency percentiles +"
+	@echo "                   admission-cache hit ratio)"
+	@echo "  bench-admission  admission-engine canary: scalar vs incremental,"
+	@echo "                   cold vs warm cache, check- vs churn-heavy mixes"
+	@echo "                   -> BENCH_admission.json (the verify guard"
+	@echo "                   checks warm hit ratios against it)"
 	@echo "  serve            run the admission service on localhost:8787"
 	@echo "  examples         run every example script"
 	@echo "  figure1          full Figure 1 run, CSV output"
@@ -70,6 +75,11 @@ bench-service:
 		--spawn --duration 5 --load-workers 8 --no-manifest \
 		--log-level warning --bench-json BENCH_service.json
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.obs.benchjson BENCH_service.json
+
+bench-admission:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner \
+		bench-admission --no-manifest --log-level warning \
+		--bench-admission-json BENCH_admission.json
 
 serve:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner serve \

@@ -216,6 +216,12 @@ class AdmissionController:
         return self._analysis
 
     @property
+    def engine_name(self) -> str:
+        """Which admission engine answers exact tests (see
+        :mod:`repro.admission_incremental` for the alternative)."""
+        return "scalar"
+
+    @property
     def policy(self) -> AdmissionPolicy:
         """The admission policy in force."""
         return self._policy
@@ -251,17 +257,31 @@ class AdmissionController:
         """
         if self._cache_signature is None:
             return None
-        from repro.cache.keys import content_key
+        from repro.cache.keys import content_key, set_signature
 
         return content_key(
             {
                 "admission": 1,
                 "signature": self._cache_signature,
                 "policy": self._policy.value,
-                "base": sorted([s.period_s, s.payload_bits] for s in base),
+                "base": set_signature(
+                    (s.period_s, s.payload_bits) for s in base
+                ),
                 "candidate": [candidate.period_s, candidate.payload_bits],
             }
         )
+
+    def _exact_verdicts(self, candidates: list[MessageSet]):
+        """Exact-test verdicts, one per candidate set; the engine hook.
+
+        The scalar engine delegates straight to the analysis's batched
+        dispatch; :class:`~repro.admission_incremental
+        .IncrementalAdmissionController` overrides this with the
+        per-level snapshot evaluation.  Either way the caller treats the
+        analysis as the oracle: a raising candidate must raise exactly
+        the error the analysis would have raised.
+        """
+        return self._analysis.is_schedulable_many(candidates)
 
     def _evaluate_many(
         self, candidates: list[MessageSet], keys: list
@@ -300,9 +320,7 @@ class AdmissionController:
             misses = [i for i in misses if i not in computed]
         if misses:
             try:
-                verdicts = self._analysis.is_schedulable_many(
-                    [candidates[i] for i in misses]
-                )
+                verdicts = self._exact_verdicts([candidates[i] for i in misses])
                 for i, ok in zip(misses, verdicts):
                     computed[i] = (bool(ok), "exact")
             except ReproError:
@@ -312,7 +330,7 @@ class AdmissionController:
                 # error, exactly as sequential calls would.
                 for i in misses:
                     try:
-                        ok = self._analysis.is_schedulable_many([candidates[i]])[0]
+                        ok = self._exact_verdicts([candidates[i]])[0]
                         computed[i] = (bool(ok), "exact")
                     except ReproError as exc:
                         out[i] = exc

@@ -1,0 +1,439 @@
+"""Incremental admission engine: O(changed-priority-levels) re-testing.
+
+Both schedulability criteria are *priority monotone*, which is what makes
+online admission incremental:
+
+* **Theorem 4.1 (PDP).**  The exact-test verdict for priority level ``i``
+  depends only on the streams at positions ``<= i`` of the rate-monotonic
+  order (the interference matrix columns above ``i`` are zero on level
+  ``i``'s scheduling points).  Admitting a candidate at position ``i``
+  therefore leaves every level ``< i`` verdict unchanged — those verdicts
+  are snapshotted per base population and reused, and only levels
+  ``>= i`` are re-evaluated (one sliced matrix product over the cached
+  :class:`~repro.analysis.rm.ExactRMTest` structure instead of the full
+  stacked evaluation).
+* **Theorem 5.1 (TTP).**  Equation (13) is a per-stream sum
+  ``Σ h_i <= TTRT - δ``; for a fixed TTRT the base population's partial
+  sum is snapshotted and a candidate costs one ``h`` term.  The TTRT is
+  policy-selected *per candidate set*, so the snapshot is keyed by TTRT
+  (the sqrt rule usually lands on the same value across candidates
+  sharing a base).
+
+On release, schedulability can only improve (both criteria are monotone
+in the population), so no test runs at all; the snapshot is invalidated
+lazily — a version bump now, a rebuild on the next decision that needs
+it.  Rebuilds are mostly cache hits: every per-level verdict is also
+published to the content-addressed result cache under a **canonical
+sorted-prefix key** (:func:`repro.cache.keys.chained_prefix_keys`), so a
+population reached twice — admit/release churn, permutation-equivalent
+histories, even across processes via the disk tier — reuses the levels it
+shares with any previously seen population.
+
+Decisions are pinned to the batch oracle
+(:meth:`~repro.admission.AdmissionController._exact_verdicts` on the
+plain controller) by the ``admission_incremental_equiv`` fuzz property
+over randomized admit/release/check interleavings; like the batched
+exact test and the simulator fast paths, the incremental engine is pure
+performance work and may not move a verdict.
+
+Engine selection mirrors :mod:`repro.sim.dispatch`: explicit argument >
+:func:`set_default_engine` (the runner's ``--admission-engine``) >
+``REPRO_ADMISSION_ENGINE`` > ``auto``.  ``auto`` currently always picks
+the incremental engine — it supports both analyses and falls back to the
+oracle *per operation* where it cannot answer (counted in
+``admission.incremental.fallbacks``) — leaving ``scalar`` as the forced
+oracle path.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+
+import numpy as np
+
+from repro.admission import AdmissionController, AdmissionPolicy, ReleaseOutcome
+from repro.analysis import boundary as boundary_mod
+from repro.analysis.pdp import PDPAnalysis
+from repro.analysis.rm import ExactRMTest
+from repro.cache.keys import prefix_chain_extend, prefix_chain_seed
+from repro.cache.store import result_cache
+from repro.errors import ConfigurationError
+from repro.messages.message_set import MessageSet
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "AdmissionEngine",
+    "set_default_engine",
+    "resolve_engine",
+    "build_admission_controller",
+    "IncrementalAdmissionController",
+]
+
+_M_EVALUATIONS = _metrics.counter("admission.incremental.evaluations")
+_M_LEVELS_REUSED = _metrics.counter("admission.incremental.levels_reused")
+_M_LEVELS_COMPUTED = _metrics.counter("admission.incremental.levels_computed")
+_M_INVALIDATIONS = _metrics.counter("admission.incremental.invalidations")
+_M_FALLBACKS = _metrics.counter("admission.incremental.fallbacks")
+
+
+class AdmissionEngine(enum.Enum):
+    """Which implementation answers exact admission tests."""
+
+    SCALAR = "scalar"
+    INCREMENTAL = "incremental"
+    AUTO = "auto"
+
+
+_DEFAULT_ENGINE: AdmissionEngine | None = None
+
+
+def _coerce(engine: "AdmissionEngine | str") -> AdmissionEngine:
+    if isinstance(engine, AdmissionEngine):
+        return engine
+    try:
+        return AdmissionEngine(str(engine).lower())
+    except ValueError:
+        raise ConfigurationError(
+            f"unknown admission engine {engine!r}; "
+            f"expected one of {[e.value for e in AdmissionEngine]}"
+        ) from None
+
+
+def set_default_engine(engine: "AdmissionEngine | str | None") -> None:
+    """Set the process default (the runner's ``--admission-engine``)."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = None if engine is None else _coerce(engine)
+
+
+def resolve_engine(
+    engine: "AdmissionEngine | str | None" = None,
+) -> AdmissionEngine:
+    """Explicit argument > process default > ``REPRO_ADMISSION_ENGINE`` > auto."""
+    if engine is not None:
+        return _coerce(engine)
+    if _DEFAULT_ENGINE is not None:
+        return _DEFAULT_ENGINE
+    env = os.environ.get("REPRO_ADMISSION_ENGINE")
+    if env:
+        return _coerce(env)
+    return AdmissionEngine.AUTO
+
+
+def build_admission_controller(
+    analysis,
+    policy: AdmissionPolicy = AdmissionPolicy.HYBRID,
+    *,
+    cache_namespace: str | None = None,
+    engine: "AdmissionEngine | str | None" = None,
+) -> AdmissionController:
+    """An admission controller behind the engine switch.
+
+    ``scalar`` forces the plain :class:`AdmissionController` (the batch
+    oracle); ``incremental`` and ``auto`` build an
+    :class:`IncrementalAdmissionController` — ``auto`` is not a distinct
+    engine, it names "incremental where possible", and the incremental
+    controller already falls back to the oracle per operation where the
+    snapshot cannot answer.
+    """
+    choice = resolve_engine(engine)
+    if choice is AdmissionEngine.SCALAR:
+        return AdmissionController(
+            analysis, policy, cache_namespace=cache_namespace
+        )
+    return IncrementalAdmissionController(
+        analysis, policy, cache_namespace=cache_namespace
+    )
+
+
+def _snapshot_reusable_levels(position: int) -> int:
+    """How many leading priority levels a candidate inherits from its base.
+
+    A candidate inserted at rate-monotonic position ``i`` leaves exactly
+    the levels ``0 .. i-1`` untouched (its interference column is zero on
+    their scheduling points), so ``i`` levels are reusable from the
+    per-base snapshot.  Level ``i`` itself — the candidate's own level —
+    must always be evaluated fresh.
+    """
+    return position
+
+
+def _level_verdicts(
+    test: ExactRMTest, costs: np.ndarray, blocking: float, lo: int, hi: int
+) -> np.ndarray:
+    """Per-level exact-test verdicts for levels ``lo .. hi-1``, sliced.
+
+    One matrix product over just those levels' scheduling-point rows of
+    the precomputed stacked structure, against the same thresholds the
+    full evaluation uses — the per-level analogue of
+    :meth:`ExactRMTest._evaluate`.
+    """
+    if hi <= lo:
+        return np.empty(0, dtype=bool)
+    starts = test._segment_starts
+    a = int(starts[lo])
+    b = int(starts[hi]) if hi < test.n_streams else test._flat_points.size
+    demand = test._matrix[a:b] @ costs + blocking
+    ok = demand <= test._flat_thresholds[a:b]
+    return np.logical_or.reduceat(ok, starts[lo:hi] - a)
+
+
+class IncrementalAdmissionController(AdmissionController):
+    """:class:`AdmissionController` with per-level incremental evaluation.
+
+    Drop-in replacement: same constructor, same operations, same
+    decisions (pinned by the ``admission_incremental_equiv`` fuzz
+    property).  What changes is the cost profile — admits re-test only
+    the levels at or below the candidate's priority, releases test
+    nothing, and per-level verdicts are shared through the result cache
+    under canonical sorted-prefix keys so populations revisit past work
+    instead of recomputing it.
+
+    The snapshot is guarded by a version counter bumped on every state
+    mutation (committed admit, successful release) and rebuilt lazily on
+    the next decision; all access happens under the controller lock the
+    base class already holds around every decision.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._base_version = 0
+        self._snap_version = 0
+        self._pdp_level_ok: dict[int, bool] = {}
+        self._ttp_partials: dict[float, tuple[float, bool]] = {}
+        # The base population's sorted-prefix cache keys, rebuilt lazily
+        # once per base version (one running SHA-256 per rebuild).
+        self._chain: list[str] | None = None
+        # Candidates whose incremental verdict was all-levels-True at the
+        # current snapshot version, keyed by (period, payload): if one is
+        # committed, its verdicts *are* the new base's snapshot.
+        self._promotable: dict[tuple[float, float], tuple] = {}
+
+    @property
+    def engine_name(self) -> str:
+        """See :attr:`AdmissionController.engine_name`."""
+        return "incremental"
+
+    def _cache_key(self, base, candidate):
+        # No per-decision cache entries: the per-level prefix cache
+        # subsumes them with strictly better sharing (a level verdict is
+        # reused by every candidate above it and by every base that
+        # extends the same sorted prefix, where a (base, candidate)
+        # decision key is reused only by its exact repeat).  Stacking
+        # both would double the writes and, under churn, flood the
+        # counters with decision misses the level cache then answers.
+        return None
+
+    # -- snapshot lifecycle ----------------------------------------------------
+
+    def _snapshot(self) -> None:
+        """Lazily invalidate on version mismatch; lock held by callers."""
+        if self._snap_version != self._base_version:
+            self._snap_version = self._base_version
+            self._pdp_level_ok.clear()
+            self._ttp_partials.clear()
+            self._promotable.clear()
+            self._chain = None
+            _M_INVALIDATIONS.inc()
+
+    def _commit(self, period_s, payload_bits, decision):
+        promo = None
+        if self._snap_version == self._base_version:
+            promo = self._promotable.get((period_s, payload_bits))
+        result = super()._commit(period_s, payload_bits, decision)
+        self._base_version += 1
+        self._chain = None
+        if promo is not None:
+            # The committed candidate passed every level of its own
+            # candidate set, and that set *is* the new base — so its
+            # verdicts carry over as the new snapshot instead of being
+            # invalidated (the common admit path never rebuilds).
+            self._snap_version = self._base_version
+            self._promotable.clear()
+            if promo[0] == "pdp":
+                self._pdp_level_ok = {j: True for j in range(promo[1])}
+                # Publish the new base's (all-True) prefix levels so a
+                # later rebuild — release churn, another process via the
+                # disk tier — hits instead of recomputing.  Publishing
+                # here, on the rare admit, keeps the hot check path free
+                # of cache writes entirely.
+                cache, namespace = self._level_cache()
+                if cache is not None:
+                    for key in self._prefix_chain():
+                        cache.put(key, True, namespace=namespace)
+            else:
+                self._ttp_partials = {promo[1]: (promo[2], True)}
+        return result
+
+    def release(self, stream_id: int, idempotent: bool = False) -> ReleaseOutcome:
+        """See :meth:`AdmissionController.release`; here a successful
+        release only bumps the snapshot version — schedulability can
+        only improve when a stream leaves, so no test runs and the
+        snapshot rebuild is deferred to the next decision needing it."""
+        outcome = super().release(stream_id, idempotent=idempotent)
+        if outcome.released:
+            self._base_version += 1
+            self._chain = None
+        return outcome
+
+    # -- the engine hook --------------------------------------------------------
+
+    def _exact_verdicts(self, candidates: "list[MessageSet]"):
+        self._snapshot()
+        if isinstance(self._analysis, PDPAnalysis):
+            return [self._pdp_verdict(ms) for ms in candidates]
+        return [self._ttp_verdict(ms) for ms in candidates]
+
+    # -- PDP: per-level sliced evaluation --------------------------------------
+
+    def _level_cache(self):
+        """(cache, namespace) for per-level verdicts, or (None, None)."""
+        if self._cache_signature is None:
+            return None, None
+        return result_cache(), self._cache_namespace
+
+    def _prefix_chain(self) -> list[str]:
+        """The base population's canonical sorted-prefix keys.
+
+        ``keys[j]`` is the cache key of the base's first ``j + 1``
+        rate-monotonic streams (a candidate sorting at position ``i``
+        shares exactly the first ``i`` of them).  Rebuilt lazily once
+        per base version, one running SHA-256 for the whole vector.
+        """
+        chain = self._chain
+        if chain is None:
+            digest = prefix_chain_seed(
+                {"admission_level": 1, "signature": self._cache_signature}
+            )
+            chain = self._chain = [
+                prefix_chain_extend(digest, s.period_s, s.payload_bits)
+                for s in sorted(self._streams.values())
+            ]
+        return chain
+
+    def _pdp_verdict(self, ms: MessageSet) -> bool:
+        analysis = self._analysis
+        ordered = ms.rate_monotonic()
+        members = ordered.streams
+        n_levels = len(members)
+        candidate = ms.streams[-1]
+        position = next(k for k, s in enumerate(members) if s is candidate)
+        test = analysis._exact_test_for(ordered)
+        costs = analysis.augmented_lengths(ordered)
+        blocking = analysis.blocking
+        _M_EVALUATIONS.inc()
+
+        cache, namespace = self._level_cache()
+        snap = self._pdp_level_ok
+        reusable = min(_snapshot_reusable_levels(position), n_levels - 1)
+
+        missing = [j for j in range(reusable) if j not in snap]
+        reused = reusable - len(missing)
+        base_keys = None
+        if missing and cache is not None:
+            # For levels < position the candidate set's prefixes are the
+            # base population's own sorted prefixes, so snapshot rebuilds
+            # hit entries written by any earlier permutation-equivalent
+            # population (and by the suffix publication below).
+            base_keys = self._prefix_chain()
+            still: list[int] = []
+            for j in missing:
+                hit = cache.get(base_keys[j], namespace=namespace)
+                if hit is None:
+                    still.append(j)
+                else:
+                    snap[j] = bool(hit)
+                    reused += 1
+            missing = still
+        computed = len(missing)
+        lo = 0
+        while lo < computed:
+            hi = lo + 1
+            while hi < computed and missing[hi] == missing[hi - 1] + 1:
+                hi += 1
+            fresh = _level_verdicts(
+                test, costs, blocking, missing[lo], missing[hi - 1] + 1
+            )
+            for j, ok in zip(missing[lo:hi], fresh):
+                verdict = bool(ok)
+                snap[j] = verdict
+                if base_keys is not None:
+                    cache.put(base_keys[j], verdict, namespace=namespace)
+            lo = hi
+        if reused:
+            _M_LEVELS_REUSED.inc(reused)
+        if computed:
+            _M_LEVELS_COMPUTED.inc(computed)
+        if not all(snap[j] for j in range(reusable)):
+            return False
+
+        fresh = _level_verdicts(test, costs, blocking, reusable, n_levels)
+        _M_LEVELS_COMPUTED.inc(n_levels - reusable)
+        if bool(fresh.all()):
+            self._promotable[(candidate.period_s, candidate.payload_bits)] = (
+                "pdp",
+                n_levels,
+            )
+            return True
+        return False
+
+    # -- TTP: partial-sum snapshot ----------------------------------------------
+
+    def _ttp_verdict(self, ms: MessageSet) -> bool:
+        analysis = self._analysis
+        members = ms.streams
+        candidate = members[-1]
+        base = members[:-1]
+        ttrt = analysis.select_ttrt(ms)
+        if ttrt <= 0:
+            # The allocator rejects non-positive TTRTs with a typed
+            # error; route through the oracle so the exception matches.
+            _M_FALLBACKS.inc()
+            return bool(analysis.is_schedulable_many([ms])[0])
+        _M_EVALUATIONS.inc()
+
+        entry = self._ttp_partials.get(ttrt)
+        if entry is None:
+            bandwidth = analysis.ring.bandwidth_bps
+            f_ovhd = analysis.frame_overhead_time
+            partial = 0.0
+            allocatable = True
+            for stream in base:
+                q_i = boundary_mod.token_visit_count(stream.period_s, ttrt)
+                if q_i < 2:
+                    allocatable = False
+                    break
+                # Same term, same left-to-right accumulation order as
+                # ``sum(TTPAllocation.bandwidths_s)`` over the candidate
+                # set (base order is construction order there too), so
+                # the total below is bit-identical to the oracle's.
+                partial = partial + (
+                    stream.payload_time(bandwidth) / (q_i - 1) + f_ovhd
+                )
+            entry = (partial, allocatable)
+            self._ttp_partials[ttrt] = entry
+            _M_LEVELS_COMPUTED.inc(len(base))
+        else:
+            _M_LEVELS_REUSED.inc(len(base))
+        partial, allocatable = entry
+        if not allocatable:
+            return False
+        q_c = boundary_mod.token_visit_count(candidate.period_s, ttrt)
+        if q_c < 2:
+            return False
+        h_c = (
+            candidate.payload_time(analysis.ring.bandwidth_bps) / (q_c - 1)
+            + analysis.frame_overhead_time
+        )
+        total = partial + h_c
+        verdict = (ttrt - analysis.delta - total) >= -1e-12 * max(ttrt, 1.0)
+        if verdict:
+            # ``total`` accumulated the base terms left-to-right and then
+            # the candidate's — exactly the new base's partial sum if this
+            # candidate is committed (the base class appends it last).
+            self._promotable[(candidate.period_s, candidate.payload_bits)] = (
+                "ttp",
+                ttrt,
+                total,
+            )
+        return verdict

@@ -133,28 +133,55 @@ class ExactRMTest:
         """
         periods = self._periods
         n = periods.size
-        segments: list[np.ndarray] = []
-        for i in range(n):
-            p_i = periods[i]
-            multiples: list[np.ndarray] = []
-            for k in range(i + 1):
-                l_max = int(np.floor(p_i / periods[k] + 1e-12))
-                if l_max >= 1:
-                    multiples.append(periods[k] * np.arange(1, l_max + 1))
-            segments.append(np.unique(np.concatenate(multiples)))
+        # Streams sharing a period share everything: the same scheduling
+        # points and the same ceil(t/P) interference coefficients.  All
+        # per-point work therefore runs once per *distinct* period and is
+        # expanded to per-stream columns afterwards — an admission
+        # service draws periods from a small catalogue, so this turns the
+        # O(n^2) small-array loop (the dominant tail term of served
+        # decisions) into an O(m^2) one with m = distinct periods.
+        distinct, inverse = np.unique(periods, return_inverse=True)
+        group_counts = np.bincount(inverse, minlength=distinct.size)
+        offsets = np.concatenate(([0], np.cumsum(group_counts)))
+        group_points: list[np.ndarray] = []
+        group_coef: list[np.ndarray] = []
+        for t, d_t in enumerate(distinct):
+            multiples = [
+                d_u * np.arange(1, int(np.floor(d_t / d_u + 1e-12)) + 1)
+                for d_u in distinct[: t + 1]
+            ]
+            pts = np.unique(np.concatenate(multiples))
+            group_points.append(pts)
+            # ceil with a tolerance: t is an exact multiple of some P_k,
+            # and floating-point noise must not push ceil(t/P_j) up a
+            # step when t/P_j is integral.
+            group_coef.append(
+                np.ceil(pts[:, None] / distinct[None, : t + 1] - 1e-9)
+            )
+        segments = [group_points[t] for t in inverse]
         counts = np.array([s.size for s in segments], dtype=np.intp)
         starts = np.zeros(n, dtype=np.intp)
         np.cumsum(counts[:-1], out=starts[1:])
         flat_points = np.concatenate(segments)
         matrix = np.zeros((flat_points.size, n))
-        for i, points in enumerate(segments):
-            rows = slice(starts[i], starts[i] + points.size)
-            if i > 0:
-                # ceil with a tolerance: t is an exact multiple of some P_k,
-                # and floating-point noise must not push ceil(t/P_j) up a
-                # step when t/P_j is integral.
-                matrix[rows, :i] = np.ceil(points[:, None] / periods[None, :i] - 1e-9)
-            matrix[rows, i] = 1.0
+        for t in range(distinct.size):
+            pts = group_points[t]
+            coef = group_coef[t]
+            # One column per higher-priority stream: the group's
+            # coefficient columns repeated by group size.  Within the
+            # group, rate-monotonic order adds one same-period column
+            # per position (the triangular cutoff), then the exact 1 in
+            # the stream's own column.
+            before = np.repeat(coef[:, :t], group_counts[:t], axis=1)
+            own = coef[:, t]
+            for g in range(group_counts[t]):
+                i = offsets[t] + g
+                rows = slice(starts[i], starts[i] + pts.size)
+                if t > 0:
+                    matrix[rows, : offsets[t]] = before
+                if g > 0:
+                    matrix[rows, offsets[t]: i] = own[:, None]
+                matrix[rows, i] = 1.0
         self._segment_starts = starts
         self._flat_points = flat_points
         self._flat_thresholds = flat_points * (1.0 + 1e-12)

@@ -10,8 +10,10 @@ payloads.  Hit/miss counters surface as ``cache.*`` metrics in manifests.
 from repro.cache.keys import (
     CACHE_SCHEMA_VERSION,
     canonical_json,
+    chained_prefix_keys,
     code_salt,
     content_key,
+    set_signature,
 )
 from repro.cache.store import ResultCache, clear, configure, result_cache
 
@@ -19,9 +21,11 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "ResultCache",
     "canonical_json",
+    "chained_prefix_keys",
     "clear",
     "code_salt",
     "configure",
     "content_key",
     "result_cache",
+    "set_signature",
 ]

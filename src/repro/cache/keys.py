@@ -17,9 +17,18 @@ import importlib.util
 import json
 import os
 
+from typing import Iterable, Sequence
+
 from repro.errors import ConfigurationError
 
-__all__ = ["CACHE_SCHEMA_VERSION", "canonical_json", "code_salt", "content_key"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "canonical_json",
+    "code_salt",
+    "content_key",
+    "set_signature",
+    "chained_prefix_keys",
+]
 
 #: Bump to invalidate every cached result without touching code the salt
 #: already covers (e.g. when the *meaning* of a stored payload changes).
@@ -49,6 +58,7 @@ _SALT_MODULES: tuple[str, ...] = (
     "repro.analysis.boundary",
     "repro.analysis.bounds",
     "repro.admission",
+    "repro.admission_incremental",
 )
 
 #: Salt memo keyed by schema version, so tests that bump the version see a
@@ -113,3 +123,67 @@ def content_key(payload: object) -> str:
     digest.update(b"\x00")
     digest.update(canonical_json(payload).encode("utf-8"))
     return digest.hexdigest()
+
+
+def set_signature(
+    pairs: "Iterable[Sequence[float]]",
+) -> list[list[float]]:
+    """Canonical signature of a ``(period, payload)`` multiset.
+
+    Both schedulability criteria depend only on the multiset of
+    ``(period, payload)`` pairs — never on construction order or station
+    placement — so permutation-equivalent message sets must share cache
+    entries.  The signature is the sorted list of pairs, floats kept
+    exact (``canonical_json`` round-trips them through ``repr``).
+    """
+    return sorted([float(period), float(payload)] for period, payload in pairs)
+
+
+def prefix_chain_seed(seed_payload: object):
+    """The running digest every prefix key chain starts from.
+
+    Covers the code salt and the caller's seed payload (analysis
+    signature, schema tag) exactly like :func:`content_key`, so chained
+    keys share the same invalidation behaviour.  The returned object is a
+    ``hashlib`` digest; callers may ``.copy()`` intermediate states to
+    branch a chain cheaply (the incremental admission engine resumes the
+    base population's chain per candidate instead of re-hashing it).
+    """
+    digest = hashlib.sha256()
+    digest.update(code_salt().encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(canonical_json(seed_payload).encode("utf-8"))
+    return digest
+
+
+def prefix_chain_extend(digest, period: float, payload: float) -> str:
+    """Fold one ``(period, payload)`` pair into a chain; the prefix's key.
+
+    Mutates ``digest`` in place and returns the content key of the
+    multiset consumed so far.  Floats are folded through ``repr`` (the
+    same exactness contract as :func:`canonical_json`), with field and
+    record separators so pair boundaries cannot alias.
+    """
+    digest.update(f"\x00{float(period)!r}\x1f{float(payload)!r}".encode("ascii"))
+    return digest.hexdigest()
+
+
+def chained_prefix_keys(
+    seed_payload: object, sorted_pairs: "Sequence[Sequence[float]]"
+) -> list[str]:
+    """Content keys for every prefix of a canonically sorted pair multiset.
+
+    ``sorted_pairs`` must already be in :func:`set_signature` order; key
+    ``i`` then identifies the sub-multiset ``sorted_pairs[: i + 1]``
+    (prefixes of the sorted order are themselves canonical — a sorted
+    multiset and its sorted prefix sequence determine each other).  The
+    digest is chained, so the whole key vector costs one running SHA-256
+    instead of re-hashing ``O(n²)`` pairs; like :func:`content_key`, every
+    key covers the code salt and the caller's seed payload, so
+    permutation-equivalent prefixes collide exactly and nothing else does.
+    """
+    digest = prefix_chain_seed(seed_payload)
+    return [
+        prefix_chain_extend(digest, period, payload)
+        for period, payload in sorted_pairs
+    ]

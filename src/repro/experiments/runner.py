@@ -13,7 +13,8 @@ Usage::
     python -m repro.experiments.runner all --fast
     python -m repro.experiments.runner fuzz --fuzz-cases 60 --mutation-smoke
     python -m repro.experiments.runner serve --port 8711 --policy exact
-    python -m repro.experiments.runner loadgen --spawn --duration 5
+    python -m repro.experiments.runner loadgen --spawn --duration 5 [--churn]
+    python -m repro.experiments.runner bench-admission
 
 ``serve`` runs the admission-control service of :mod:`repro.service`
 (USAGE.md §14) until SIGTERM/ctrl-c, then drains gracefully; ``loadgen``
@@ -44,7 +45,11 @@ pool there only adds fork/pickle overhead.
 ``--sim-engine {scalar,fast,auto}`` pins the simulator implementation
 and ``--cache-dir DIR`` persists the content-addressed result cache
 across runs; both are documented in USAGE.md §13.  Cache traffic shows
-up as ``cache.*`` metrics in the manifest.
+up as ``cache.*`` metrics in the manifest.  ``--admission-engine
+{scalar,incremental,auto}`` pins the admission engine the same way
+(USAGE.md §15); ``bench-admission`` measures both engines head to head
+(cold vs warm cache, check-heavy vs churn-heavy mixes) and writes the
+``BENCH_admission.json`` canary.
 
 Observability (see :mod:`repro.obs` and docs/USAGE.md §11):
 
@@ -151,6 +156,7 @@ def _service_config(args: argparse.Namespace, *, port: int | None = None):
         bandwidth_mbps=args.bandwidth,
         n_stations=args.stations if args.stations is not None else 40,
         policy=args.policy,
+        admission_engine=args.admission_engine,
         batch_window_s=args.batch_window,
         batch_max=args.batch_max,
         queue_limit=args.queue_limit,
@@ -191,6 +197,13 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
         run_load,
     )
 
+    # --churn turns the trickle of admit/release into a mutation-heavy
+    # mix: the admitted set changes on most operations, which is the
+    # regime the incremental engine's snapshot invalidation has to earn
+    # its keep in (and the one that used to leave the cache miss-heavy).
+    admit_fraction, release_fraction = (
+        (0.30, 0.30) if args.churn else (0.05, 0.05)
+    )
     load = LoadConfig(
         host=args.host,
         port=args.port,
@@ -199,6 +212,8 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
         target_rps=args.target_rps,
         seed=seed,
         catalogue_size=args.catalogue,
+        admit_fraction=admit_fraction,
+        release_fraction=release_fraction,
     )
     if args.spawn:
         config = dataclasses.replace(_service_config(args, port=0))
@@ -218,18 +233,62 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
                 for key in ("mean", "p50", "p90", "p99", "max")
             )
         )
+    for kind, latency in report.op_latency_s.items():
+        console(
+            f"  {kind}: "
+            + "  ".join(
+                f"{key}={latency[key] * 1e3:.3f}"
+                for key in ("mean", "p50", "p90", "p99", "max")
+            )
+        )
     console(
         f"ops={report.ops}  admitted={report.admitted} "
         f"rejected={report.rejected}  shed={report.shed} "
         f"draining={report.draining}  errors={report.errors}"
     )
     document = bench_document(report, config=load, server_summary=summary)
+    if summary is not None:
+        cache = document["benchmarks"][0]["extra_info"]["admission_cache"]
+        ratio = cache["hit_ratio"]
+        console(
+            f"admission cache: hits={cache['hits']:.0f} "
+            f"misses={cache['misses']:.0f} hit_ratio="
+            + (f"{ratio:.3f}" if ratio is not None else "n/a")
+            + f"  engine={summary.get('admission_engine')}"
+        )
     with open(args.bench_json, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
     console(f"wrote {args.bench_json}")
     manifest_extra["loadgen"] = report.to_dict()
     return [args.bench_json]
+
+
+def _run_admission_bench(
+    args: argparse.Namespace, seed: int, manifest_extra: dict
+) -> list[str]:
+    import json
+
+    from repro.experiments.admission_bench import run_admission_bench
+
+    document = run_admission_bench(seed)
+    for bench in document["benchmarks"]:
+        stats = bench["stats"]
+        ratio = bench["extra_info"]["cache_hit_ratio"]
+        console(
+            f"  {bench['name']:<28} mean={stats['mean'] * 1e6:8.1f} us  "
+            f"p50={stats['median'] * 1e6:8.1f} us  hit_ratio="
+            + (f"{ratio:.3f}" if ratio is not None else "  n/a")
+        )
+    out_path = args.bench_admission_json
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    console(f"wrote {out_path}")
+    manifest_extra["admission_bench"] = {
+        bench["name"]: bench["extra_info"] for bench in document["benchmarks"]
+    }
+    return [out_path]
 
 
 def _dispatch(
@@ -244,6 +303,8 @@ def _dispatch(
         artifacts.extend(_run_serve(args, manifest_extra))
     if args.experiment == "loadgen":
         artifacts.extend(_run_loadgen(args, params.seed, manifest_extra))
+    if args.experiment == "bench-admission":
+        artifacts.extend(_run_admission_bench(args, params.seed, manifest_extra))
     if args.experiment == "fuzz":
         from repro.verify import FuzzConfig, run_fuzz, run_mutation_smoke
 
@@ -320,7 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "figure1", "ttrt", "frames", "periods", "sba", "ringsize",
             "throughput", "crossover", "sharpness", "report", "fuzz",
-            "serve", "loadgen", "all",
+            "serve", "loadgen", "bench-admission", "all",
         ],
     )
     service = parser.add_argument_group(
@@ -344,6 +405,13 @@ def main(argv: list[str] | None = None) -> int:
         "--policy", type=str, default="exact",
         choices=["exact", "sufficient", "hybrid"],
         help="serve: admission policy",
+    )
+    service.add_argument(
+        "--admission-engine", type=str, default=None,
+        choices=["scalar", "incremental", "auto"],
+        help="admission engine: the full batch oracle, the "
+        "O(changed-levels) incremental engine, or auto (incremental "
+        "where supported; the default — USAGE.md §15)",
     )
     service.add_argument("--batch-window", type=float, default=0.002,
                          help="serve: micro-batch coalescing window (s)")
@@ -372,8 +440,17 @@ def main(argv: list[str] | None = None) -> int:
         "instead of targeting --host/--port",
     )
     service.add_argument(
+        "--churn", action="store_true",
+        help="loadgen: mutation-heavy op mix (30%% admits / 30%% "
+        "releases) instead of the 5%%/5%% serving trickle",
+    )
+    service.add_argument(
         "--bench-json", type=str, default="BENCH_service.json",
         metavar="PATH", help="loadgen: canary output path",
+    )
+    service.add_argument(
+        "--bench-admission-json", type=str, default="BENCH_admission.json",
+        metavar="PATH", help="bench-admission: canary output path",
     )
     parser.add_argument(
         "--fuzz-cases", type=int, default=60,
@@ -448,6 +525,12 @@ def main(argv: list[str] | None = None) -> int:
         sim_dispatch.set_default_engine(args.sim_engine)
         log.info("sim engine forced to %s", args.sim_engine,
                  extra={"sim_engine": args.sim_engine})
+    if args.admission_engine is not None:
+        from repro import admission_incremental
+
+        admission_incremental.set_default_engine(args.admission_engine)
+        log.info("admission engine forced to %s", args.admission_engine,
+                 extra={"admission_engine": args.admission_engine})
     if args.cache_dir is not None:
         from repro import cache as result_cache_mod
 

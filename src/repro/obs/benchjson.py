@@ -25,9 +25,15 @@ With one path, the file is summarized in place.
 from __future__ import annotations
 
 import json
+import os
 import sys
 
-__all__ = ["BENCH_SCHEMA_VERSION", "summarize_benchmark_json", "main"]
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "cpu_info",
+    "summarize_benchmark_json",
+    "main",
+]
 
 #: Version of the summarized canary format (raw pytest-benchmark has none).
 BENCH_SCHEMA_VERSION = 2
@@ -52,6 +58,30 @@ _STAT_FIELDS = (
 _MACHINE_FIELDS = ("node", "machine", "system", "release", "python_version")
 
 
+def cpu_info(arch: str | None = None) -> dict:
+    """``{"brand", "count", "arch"}`` for the canary machine block.
+
+    pytest-benchmark fills these from ``py-cpuinfo`` when it is
+    installed; without it (and in the hand-built loadgen documents) the
+    block used to come out all-``null``, which made the verify guard's
+    same-hardware comparison vacuous.  ``count`` comes from
+    :func:`os.cpu_count`; ``brand`` is a best-effort read of the first
+    ``model name`` line in ``/proc/cpuinfo`` (absent on non-Linux hosts,
+    in which case it stays ``None`` rather than guessing).
+    """
+    brand = None
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    _, _, value = line.partition(":")
+                    brand = value.strip() or None
+                    break
+    except OSError:
+        pass
+    return {"brand": brand, "count": os.cpu_count(), "arch": arch}
+
+
 def summarize_benchmark_json(raw: dict) -> dict:
     """Reduce a raw pytest-benchmark document to the tracked summary.
 
@@ -64,9 +94,10 @@ def summarize_benchmark_json(raw: dict) -> dict:
     machine = {k: machine_info.get(k) for k in _MACHINE_FIELDS}
     cpu = machine_info.get("cpu", {})
     if isinstance(cpu, dict):
+        probed = cpu_info(arch=cpu.get("arch"))
         machine["cpu"] = {
-            "brand": cpu.get("brand_raw"),
-            "count": cpu.get("count"),
+            "brand": cpu.get("brand_raw") or probed["brand"],
+            "count": cpu.get("count") or probed["count"],
             "arch": cpu.get("arch"),
         }
     benchmarks = []

@@ -2,12 +2,13 @@
 
 Concurrent requests are coalesced into one
 :meth:`~repro.admission.AdmissionController.process_batch` call: the
-dispatcher takes the first queued operation, then keeps collecting until
-either ``batch_max`` operations are in hand or ``batch_window_s`` has
-elapsed since the batch opened.  Under load the window never waits —
-batches fill instantly and the service amortizes one stacked exact-test
-evaluation over up to ``batch_max`` requests; at low load a request pays
-at most one window of added latency.
+dispatcher takes the first queued operation, then greedily drains
+whatever else is already queued (up to ``batch_max``) and dispatches
+immediately.  Batching emerges from backpressure alone — operations
+pile up while the previous batch is on the worker thread and ship
+together — so an idle service adds zero artificial latency, while under
+load one stacked exact-test evaluation amortizes over up to
+``batch_max`` requests.
 
 Correctness is delegated entirely to the controller:
 ``process_batch`` serializes its operations in arrival order, so batching
@@ -61,7 +62,9 @@ class MicroBatcher:
     Args:
         controller: the :class:`AdmissionController` all batches run
             against.
-        batch_window_s: how long an open batch waits for more operations.
+        batch_window_s: nominal batch cadence, used only to scale the
+            ``retry_after_s`` backoff hint on shed requests (dispatch
+            itself never waits — see the module docstring).
         batch_max: largest batch handed to ``process_batch``.
         queue_limit: bound on queued-but-unbatched operations.
 
@@ -101,6 +104,11 @@ class MicroBatcher:
     def draining(self) -> bool:
         """Whether intake has been closed by :meth:`drain`."""
         return self._draining
+
+    @property
+    def engine_name(self) -> str:
+        """Admission engine of the underlying controller (for reports)."""
+        return getattr(self._controller, "engine_name", "scalar")
 
     @property
     def queue_depth(self) -> int:
@@ -176,20 +184,14 @@ class MicroBatcher:
         while True:
             first = await self._queue.get()
             batch = [first]
-            deadline = loop.time() + self._window
-            while len(batch) < self._batch_max:
-                if not self._queue.empty():
-                    batch.append(self._queue.get_nowait())
-                    continue
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
-                try:
-                    batch.append(
-                        await asyncio.wait_for(self._queue.get(), remaining)
-                    )
-                except asyncio.TimeoutError:
-                    break
+            # Natural coalescing: take everything already queued —
+            # the arrivals that piled up while the previous batch was
+            # processing — and dispatch immediately.  An idle worker
+            # adds zero artificial latency (the old fixed window made
+            # every closed-loop client convoy behind the slowest one),
+            # while under load batches fill from backpressure alone.
+            while len(batch) < self._batch_max and not self._queue.empty():
+                batch.append(self._queue.get_nowait())
             self._m_queue_depth.set(self._queue.qsize())
             await self._run_batch(loop, batch)
 

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ServiceError
-from repro.obs.benchjson import BENCH_SCHEMA_VERSION
+from repro.obs.benchjson import BENCH_SCHEMA_VERSION, cpu_info
 from repro.service.client import AsyncServiceClient, Backoff
 from repro.service.protocol import ServiceConfig
 from repro.service.server import AdmissionServer
@@ -44,6 +44,7 @@ __all__ = [
     "LoadReport",
     "run_load",
     "run_against_spawned_server",
+    "admission_cache_summary",
     "bench_document",
 ]
 
@@ -78,12 +79,14 @@ class LoadReport:
     throughput_rps: float = 0.0
     ops: dict = field(default_factory=dict)
     latency_s: dict = field(default_factory=dict)
+    op_latency_s: dict = field(default_factory=dict)
     admitted: int = 0
     rejected: int = 0
     shed: int = 0
     draining: int = 0
     errors: int = 0
     latencies: list = field(default_factory=list)
+    latencies_by_op: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """Plain-dict form (without the raw latency samples)."""
@@ -93,6 +96,7 @@ class LoadReport:
             "throughput_rps": self.throughput_rps,
             "ops": dict(self.ops),
             "latency_s": dict(self.latency_s),
+            "op_latency_s": {k: dict(v) for k, v in self.op_latency_s.items()},
             "admitted": self.admitted,
             "rejected": self.rejected,
             "shed": self.shed,
@@ -170,21 +174,35 @@ async def _worker(
                 continue
             report.requests += 1
             report.ops[kind] = report.ops.get(kind, 0) + 1
-            report.latencies.append(loop.time() - started)
+            elapsed = loop.time() - started
+            report.latencies.append(elapsed)
+            report.latencies_by_op.setdefault(kind, []).append(elapsed)
 
 
-def _summarize_latencies(report: LoadReport) -> None:
-    if not report.latencies:
-        report.latency_s = {}
-        return
-    samples = np.asarray(report.latencies, dtype=float)
+def _percentile_summary(latencies: list) -> dict:
+    samples = np.asarray(latencies, dtype=float)
     q = np.percentile(samples, [50.0, 90.0, 99.0])
-    report.latency_s = {
+    return {
         "mean": float(samples.mean()),
         "p50": float(q[0]),
         "p90": float(q[1]),
         "p99": float(q[2]),
         "max": float(samples.max()),
+    }
+
+
+def _summarize_latencies(report: LoadReport) -> None:
+    if not report.latencies:
+        report.latency_s = {}
+        report.op_latency_s = {}
+        return
+    report.latency_s = _percentile_summary(report.latencies)
+    # Per-op percentiles: a release is a dict pop while a cold check is a
+    # full exact-test evaluation — the aggregate percentiles blur kinds
+    # with ~100x latency spread, so triage needs them split out.
+    report.op_latency_s = {
+        kind: _percentile_summary(samples)
+        for kind, samples in sorted(report.latencies_by_op.items())
     }
 
 
@@ -235,6 +253,30 @@ async def run_against_spawned_server(
     return report, server.summary()
 
 
+def admission_cache_summary(server_summary: dict) -> dict:
+    """Hit/miss accounting of the server's admission result cache.
+
+    Distills the ``cache.admission.*`` counters of a server summary into
+    ``{"hits", "misses", "hit_ratio"}`` — the number the canary guard
+    watches: a warm serving mix whose decisions are miss-dominated means
+    the content-addressed keys stopped matching (e.g. a signature change
+    that broke permutation-invariance), not that the workload changed.
+    """
+    counters = server_summary.get("metrics", {})
+
+    def _value(name: str) -> float:
+        return float(counters.get(name, {}).get("value", 0.0))
+
+    hits = _value("cache.admission.hits")
+    misses = _value("cache.admission.misses")
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_ratio": hits / total if total else None,
+    }
+
+
 def bench_document(
     report: LoadReport,
     *,
@@ -282,11 +324,14 @@ def bench_document(
             "target_rps": config.target_rps,
             "seed": config.seed,
             "catalogue_size": config.catalogue_size,
+            "admit_fraction": config.admit_fraction,
+            "release_fraction": config.release_fraction,
         },
         "report": report.to_dict(),
     }
     if server_summary is not None:
         extra_info["server"] = server_summary
+        extra_info["admission_cache"] = admission_cache_summary(server_summary)
     uname = platform.uname()
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -299,7 +344,7 @@ def bench_document(
             "system": uname.system,
             "release": uname.release,
             "python_version": platform.python_version(),
-            "cpu": {"brand": uname.processor or None, "count": None, "arch": uname.machine},
+            "cpu": cpu_info(arch=uname.machine),
         },
         "benchmarks": [
             {

@@ -119,12 +119,14 @@ class AdmissionServer:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         _LOG.info(
-            "admission service listening on %s:%d (%s/%s, policy=%s)",
+            "admission service listening on %s:%d (%s/%s, policy=%s, "
+            "engine=%s)",
             self.config.host,
             self.port,
             self.config.protocol,
             self.config.variant,
             self.config.policy,
+            self.controller.engine_name,
         )
 
     async def drain_and_stop(self) -> None:
@@ -174,7 +176,14 @@ class AdmissionServer:
             "schema_version": WIRE_SCHEMA_VERSION,
             "admitted": self.controller.admitted_count,
             "utilization": self.controller.utilization(),
-            "metrics": metrics.snapshot(prefix=("service.", "cache.admission.")),
+            "admission_engine": self.controller.engine_name,
+            "metrics": metrics.snapshot(
+                prefix=(
+                    "service.",
+                    "cache.admission.",
+                    "admission.incremental.",
+                )
+            ),
             "spans": {
                 path: stats
                 for path, stats in timing.snapshot().items()
@@ -221,24 +230,28 @@ class AdmissionServer:
                 pass
 
     async def _read_request(self, reader):
-        """One HTTP request as ``(method, path, headers, body)``; None at EOF."""
+        """One HTTP request as ``(method, path, headers, body)``; None at EOF.
+
+        The whole header block is taken in a single ``readuntil`` — one
+        stream operation instead of one per header line, which matters on
+        this hot path (every served decision pays this parse).
+        """
         try:
-            line = await reader.readline()
-        except (ConnectionError, OSError):
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None  # EOF between requests, or client died mid-header
+        except (asyncio.LimitOverrunError, ConnectionError, OSError):
             return None
-        if not line:
-            return None
-        parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+        request_line, _, header_block = head.partition(b"\r\n")
+        parts = request_line.decode("latin-1").split(" ")
         if len(parts) != 3:
-            raise asyncio.IncompleteReadError(line, None)
+            raise asyncio.IncompleteReadError(request_line, None)
         method, target, _version = parts
         headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if not line or line in (b"\r\n", b"\n"):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
+        for line in header_block.decode("latin-1").split("\r\n"):
+            if line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or 0)
         if length > _MAX_BODY_BYTES:
             raise asyncio.IncompleteReadError(b"", None)
@@ -280,7 +293,11 @@ class AdmissionServer:
                     {
                         "schema_version": WIRE_SCHEMA_VERSION,
                         "metrics": metrics.snapshot(
-                            prefix=("service.", "cache.admission.")
+                            prefix=(
+                                "service.",
+                                "cache.admission.",
+                                "admission.incremental.",
+                            )
                         ),
                     },
                     [],
@@ -370,6 +387,7 @@ class AdmissionServer:
             "admitted": self.controller.admitted_count,
             "protocol": self.config.protocol,
             "policy": self.config.policy,
+            "admission_engine": self.controller.engine_name,
         }
 
     async def _breakdown(self) -> dict:

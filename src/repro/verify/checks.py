@@ -40,6 +40,15 @@ The properties:
     same calls one at a time on a fresh controller: same decisions,
     same station/id assignments, same faults.  Batching is pure
     performance work too.
+``admission_incremental_equiv``
+    The incremental admission engine
+    (:class:`~repro.admission_incremental.IncrementalAdmissionController`,
+    per-level snapshots + canonical sorted-prefix cache keys) must answer
+    a randomized admit/release/check interleaving — including
+    near-saturation probe ladders that cross the feasibility boundary at
+    one priority level — **identically** to the scalar oracle, with the
+    level cache enabled on the incremental side only (so stale or
+    poisoned snapshot/cache entries cannot hide).
 """
 
 from __future__ import annotations
@@ -52,6 +61,7 @@ from typing import Callable
 import numpy as np
 
 from repro import admission as admission_mod
+from repro import admission_incremental as admission_incremental_mod
 
 from repro.analysis import boundary as boundary_mod
 from repro.analysis import pdp as pdp_mod
@@ -105,6 +115,13 @@ def _frame():
 def _pdp_analysis(case: FuzzCase, variant: PDPVariant) -> PDPAnalysis:
     ring = ieee_802_5_ring(case.bandwidth_bps, n_stations=case.n_stations)
     return PDPAnalysis(ring, _frame(), variant)
+
+
+def _pdp_analysis_stations(case: FuzzCase, n_stations: int) -> PDPAnalysis:
+    """Like :func:`_pdp_analysis` but with a fixed station count (for
+    scenarios that need more concurrent streams than the case's ring)."""
+    ring = ieee_802_5_ring(case.bandwidth_bps, n_stations=n_stations)
+    return PDPAnalysis(ring, _frame(), PDPVariant.MODIFIED)
 
 
 def _ttp_analysis(case: FuzzCase) -> TTPAnalysis:
@@ -536,6 +553,162 @@ def check_service_batch_equiv(case: FuzzCase) -> Violation | None:
     return None
 
 
+def check_admission_incremental_equiv(case: FuzzCase) -> Violation | None:
+    """The incremental admission engine must match the scalar oracle."""
+    policy = (
+        admission_mod.AdmissionPolicy.EXACT,
+        admission_mod.AdmissionPolicy.SUFFICIENT,
+        admission_mod.AdmissionPolicy.HYBRID,
+    )[case.index % 3]
+    if case.index % 2:
+        analyses = (_ttp_analysis(case), _ttp_analysis(case))
+    else:
+        analyses = (
+            _pdp_analysis(case, PDPVariant.MODIFIED),
+            _pdp_analysis(case, PDPVariant.MODIFIED),
+        )
+    oracle = admission_mod.AdmissionController(analyses[0], policy)
+    # The level cache is live on the incremental side only: a stale or
+    # poisoned per-level entry has no twin on the oracle side to cancel
+    # against, so corruption surfaces as a decision mismatch.
+    engine = admission_incremental_mod.IncrementalAdmissionController(
+        analyses[1], policy, cache_namespace="admission"
+    )
+
+    rng = random.Random(case.seed * 1_000_003 + case.index)
+    bandwidth = analyses[0].ring.bandwidth_bps
+    # Probe ladder: same short period, payloads stepping across the
+    # feasibility boundary, so one priority level flips between
+    # consecutive evaluations — the regime where a snapshot off-by-one
+    # (reusing the candidate's own level) changes a verdict.
+    probe_period = min(case.periods_s) / 4
+    probe_payloads = [
+        max(64.0, frac * probe_period * bandwidth)
+        for frac in (0.3, 0.45, 0.55, 0.65, 0.8, 1.1)
+    ]
+
+    def issue(controller, op):
+        try:
+            if op.kind == "check":
+                return controller.check(op.period_s, op.payload_bits)
+            if op.kind == "admit":
+                return controller.request(op.period_s, op.payload_bits)
+            return controller.release(op.stream_id, idempotent=op.idempotent)
+        except ReproError as exc:
+            return admission_mod.OpFault(type(exc).__name__, str(exc))
+
+    def crafted_prologue(controller):
+        """A deterministic snapshot-staleness scenario (PDP cases).
+
+        Geometry: a peer stream at period ``p1`` plus a light long-period
+        stream at ``4·p1``, then a feather-weight admit at ``1.5·p1``
+        followed by a heavy admit at the same period.  Near the boundary
+        the heavy candidate's *own* level fails only by ceil-quantization
+        (``2·C'_peer + C'`` against ``1.5·p1``) while the long stream's
+        level still passes — so an engine that substitutes a lighter
+        set's snapshotted own-level verdict admits what the oracle
+        rejects.  The (peer, heavy) weight grid straddles the boundary
+        wherever framing overheads land it; everything is released
+        between combos so each starts from an empty base.
+        """
+        results = []
+        budget = probe_period * bandwidth
+        for peer_frac, heavy_frac in (
+            (0.4, 0.5),
+            (0.5, 0.4),
+            (0.45, 0.45),
+            (0.4, 0.45),
+            (0.5, 0.5),
+            (0.55, 0.45),
+            (0.6, 0.4),
+            (0.45, 0.55),
+        ):
+            admitted = []
+            for period_s, payload_bits in (
+                (probe_period, peer_frac * budget),
+                (4.0 * probe_period, 0.05 * budget),
+                (1.5 * probe_period, 64.0),
+                (1.5 * probe_period, heavy_frac * budget),
+            ):
+                outcome = issue(
+                    controller,
+                    admission_mod.AdmissionOp.admit(period_s, payload_bits),
+                )
+                results.append(outcome)
+                if getattr(outcome, "stream_id", None) is not None:
+                    admitted.append(outcome.stream_id)
+            for stream_id in admitted:
+                results.append(
+                    issue(controller, admission_mod.AdmissionOp.release(stream_id))
+                )
+        return results
+
+    if not case.index % 2:
+        # Dedicated controllers: the scenario needs four concurrent
+        # streams (fuzz rings can have a single station) and the exact
+        # test on every admit, independent of the case's policy draw.
+        crafted_engine = admission_incremental_mod.IncrementalAdmissionController(
+            _pdp_analysis_stations(case, 8),
+            admission_mod.AdmissionPolicy.EXACT,
+            cache_namespace="admission",
+        )
+        crafted_oracle = admission_mod.AdmissionController(
+            _pdp_analysis_stations(case, 8), admission_mod.AdmissionPolicy.EXACT
+        )
+        engine_results = crafted_prologue(crafted_engine)
+        oracle_results = crafted_prologue(crafted_oracle)
+        for position, (got, want) in enumerate(
+            zip(engine_results, oracle_results)
+        ):
+            if got != want:
+                return Violation(
+                    "admission_incremental_equiv",
+                    case,
+                    f"crafted op {position} diverged: incremental={got!r}, "
+                    f"oracle={want!r}",
+                )
+
+    # Several rounds over the case's streams: the stale-snapshot bugs
+    # this property exists to catch need a light probe admitted *before*
+    # a heavier probe at the same priority level, with releases in
+    # between — one pass over a small case rarely produces that shape.
+    ops: list[admission_mod.AdmissionOp] = []
+    while len(ops) < 48:
+        for period_s, payload_bits in zip(case.periods_s, case.payloads_bits):
+            roll = rng.random()
+            if roll < 0.25:
+                period_s, payload_bits = probe_period, rng.choice(probe_payloads)
+            if rng.random() < 0.5:
+                ops.append(
+                    admission_mod.AdmissionOp.admit(period_s, payload_bits)
+                )
+            else:
+                ops.append(
+                    admission_mod.AdmissionOp.check(period_s, payload_bits)
+                )
+            if rng.random() < 0.3:
+                # Ids scale with the op history so later admits are
+                # eligible too (plus unknown/stale ids, as in the batch
+                # property).
+                ops.append(
+                    admission_mod.AdmissionOp.release(
+                        rng.randrange(1, len(ops) + 3),
+                        idempotent=rng.random() < 0.5,
+                    )
+                )
+    for position, op in enumerate(ops):
+        got = issue(engine, op)
+        want = issue(oracle, op)
+        if got != want:
+            return Violation(
+                "admission_incremental_equiv",
+                case,
+                f"op {position} ({op.kind}) diverged: incremental={got!r}, "
+                f"oracle={want!r}",
+            )
+    return None
+
+
 CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_vs_sim": check_pdp_vs_sim,
     "ttp_vs_sim": check_ttp_vs_sim,
@@ -548,6 +721,7 @@ CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_fastpath_equiv": check_pdp_fastpath_equiv,
     "ttp_fastpath_equiv": check_ttp_fastpath_equiv,
     "service_batch_equiv": check_service_batch_equiv,
+    "admission_incremental_equiv": check_admission_incremental_equiv,
 }
 
 

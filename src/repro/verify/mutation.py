@@ -26,7 +26,10 @@ The mutants, and the property expected to catch each:
     The local scheme allocates ``h_i = C_i/q_i + F_ovhd`` instead of
     ``C_i/(q_i - 1)`` — the classic misreading of equation (7) → the
     certified allocation is too small and the TTP simulator misses
-    (``ttp_vs_sim``).
+    (``ttp_vs_sim``); the incremental admission engine, which computes
+    its ``h`` terms inline, also diverges from the mutated oracle
+    (``admission_incremental_equiv``), and whichever case comes first
+    in the stream reports the detection.
 ``split_counts_overshoot``
     The vectorized frame split computes ``K_i = floor(ratio) + 1``
     unconditionally, overcounting frames at exact info-field multiples →
@@ -38,6 +41,15 @@ The mutants, and the property expected to catch each:
     every sub-frame tail in the high-bandwidth regime where wire time
     beats the ring latency → caught bit-for-bit by
     ``pdp_fastpath_equiv`` against the scalar oracle.
+``incremental_stale_level``
+    The incremental admission engine treats the candidate's *own*
+    priority level as reusable base state (``position + 1`` instead of
+    ``position`` snapshot levels) — the classic fencepost on "levels
+    above mine are unaffected".  A light probe's own-level pass is
+    snapshotted under the base's key, and a later heavier probe at the
+    same level reuses the stale verdict instead of re-testing → caught
+    by ``admission_incremental_equiv``'s boundary-crossing probe
+    ladders against the scalar oracle.
 """
 
 from __future__ import annotations
@@ -146,6 +158,10 @@ def _buggy_short_frame_occupancy(chunk_bits, overhead_bits, bandwidth_bps, theta
     return (chunk_bits + overhead_bits) / bandwidth_bps  # BUG: drops the Θ floor
 
 
+def _buggy_snapshot_reusable_levels(position):
+    return position + 1  # BUG: counts the candidate's own level as reusable
+
+
 def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
     """(owner, attribute, replacement) triples for one mutant.
 
@@ -184,6 +200,16 @@ def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
         return [
             (fastpath_mod, "_short_frame_occupancy", _buggy_short_frame_occupancy)
         ]
+    if mutant == "incremental_stale_level":
+        from repro import admission_incremental as admission_incremental_mod
+
+        return [
+            (
+                admission_incremental_mod,
+                "_snapshot_reusable_levels",
+                _buggy_snapshot_reusable_levels,
+            )
+        ]
     raise KeyError(mutant)
 
 
@@ -193,6 +219,7 @@ MUTANTS: tuple[str, ...] = (
     "ttp_budget_off_by_one",
     "split_counts_overshoot",
     "pdp_fastpath_short_frame",
+    "incremental_stale_level",
 )
 
 

@@ -1,0 +1,237 @@
+"""Incremental admission engine: snapshots, release paths, engine switch.
+
+The bit-identity of incremental decisions against the batch oracle lives
+in the fuzz harness (``admission_incremental_equiv`` over randomized
+admit/release/check interleavings); these tests pin the parts fuzzing
+reaches only by accident — the release-path regressions from the issue
+(double release, never-admitted release, admit-after-release staleness),
+engine resolution precedence, and the canonical-signature key contract.
+"""
+
+import os
+
+import pytest
+
+from repro.admission import AdmissionController, AdmissionPolicy
+from repro.admission_incremental import (
+    AdmissionEngine,
+    IncrementalAdmissionController,
+    build_admission_controller,
+    resolve_engine,
+    set_default_engine,
+)
+from repro.analysis.pdp import PDPAnalysis, PDPVariant
+from repro.analysis.ttp import TTPAnalysis
+from repro.cache.keys import chained_prefix_keys, set_signature
+from repro.errors import AdmissionError, ConfigurationError
+from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.units import mbps, milliseconds
+
+FRAME = paper_frame_format()
+
+
+def pdp_pair(n=8, bandwidth=16.0, policy=AdmissionPolicy.EXACT):
+    """(incremental, scalar-oracle) controllers over identical analyses."""
+
+    def analysis():
+        return PDPAnalysis(
+            ieee_802_5_ring(mbps(bandwidth), n_stations=n),
+            FRAME,
+            PDPVariant.MODIFIED,
+        )
+
+    return (
+        IncrementalAdmissionController(analysis(), policy),
+        AdmissionController(analysis(), policy),
+    )
+
+
+def ttp_incremental(n=8, bandwidth=100.0, policy=AdmissionPolicy.EXACT):
+    analysis = TTPAnalysis(fddi_ring(mbps(bandwidth), n_stations=n), FRAME)
+    return IncrementalAdmissionController(analysis, policy)
+
+
+class TestReleasePaths:
+    """The regressions named in the issue, on the incremental engine."""
+
+    def test_double_release_raises_then_idempotent_noop(self):
+        ctrl, _ = pdp_pair()
+        decision = ctrl.request(milliseconds(50), 8000)
+        assert decision.admitted
+        assert ctrl.release(decision.stream_id).released
+        with pytest.raises(AdmissionError):
+            ctrl.release(decision.stream_id)
+        again = ctrl.release(decision.stream_id, idempotent=True)
+        assert not again.released  # recorded no-op, state untouched
+        assert ctrl.admitted_count == 0
+
+    def test_release_never_admitted_stream(self):
+        ctrl, _ = pdp_pair()
+        with pytest.raises(AdmissionError):
+            ctrl.release(777)
+        assert ctrl.release(777, idempotent=True).released is False
+
+    def test_failed_release_does_not_invalidate_snapshot(self):
+        ctrl, _ = pdp_pair()
+        assert ctrl.request(milliseconds(50), 8000).admitted
+        version = ctrl._base_version
+        with pytest.raises(AdmissionError):
+            ctrl.release(999)
+        ctrl.release(999, idempotent=True)
+        assert ctrl._base_version == version
+
+    def test_admit_after_release_sees_fresh_snapshot(self):
+        """A release must not leave the next admit reading stale levels."""
+        ctrl, oracle = pdp_pair(n=4, bandwidth=1.0)
+        streams = [(milliseconds(30), 8000.0), (milliseconds(40), 6000.0)]
+        ids = []
+        for period, bits in streams:
+            d, o = ctrl.request(period, bits), oracle.request(period, bits)
+            assert d.admitted == o.admitted
+            ids.append(d.stream_id)
+        # Warm the snapshot, drop a stream, then re-check: the verdict
+        # must match a fresh oracle over the reduced population, not the
+        # pre-release snapshot.
+        probe = (milliseconds(10), 500_000.0)
+        assert ctrl.check(*probe).admitted == oracle.check(*probe).admitted
+        ctrl.release(ids[0])
+        oracle.release(ids[0])
+        d, o = ctrl.check(*probe), oracle.check(*probe)
+        assert d.admitted == o.admitted
+        assert ctrl.request(*probe).admitted == oracle.request(*probe).admitted
+
+    def test_churn_interleaving_matches_oracle(self):
+        ctrl, oracle = pdp_pair(n=6, bandwidth=4.0)
+        catalogue = [
+            (milliseconds(8), 1024.0),
+            (milliseconds(16), 4096.0),
+            (milliseconds(32), 16384.0),
+            (milliseconds(64), 65536.0),
+        ]
+        live = []
+        for step, (period, bits) in enumerate(catalogue * 3):
+            d, o = ctrl.request(period, bits), oracle.request(period, bits)
+            assert (d.admitted, d.reason) == (o.admitted, o.reason)
+            if d.admitted:
+                live.append(d.stream_id)
+            if step % 2 and live:
+                sid = live.pop(0)
+                assert ctrl.release(sid).released
+                assert oracle.release(sid).released
+
+    def test_ttp_release_then_admit(self):
+        ctrl = ttp_incremental(n=4)
+        first = ctrl.request(milliseconds(50), 8000)
+        assert first.admitted
+        second = ctrl.request(milliseconds(100), 4000)
+        assert second.admitted
+        ctrl.release(first.stream_id)
+        with pytest.raises(AdmissionError):
+            ctrl.release(first.stream_id)
+        assert ctrl.request(milliseconds(50), 8000).admitted
+
+
+class TestEngineResolution:
+    """Explicit arg > process default > environment > auto."""
+
+    def setup_method(self):
+        set_default_engine(None)
+
+    def teardown_method(self):
+        set_default_engine(None)
+        os.environ.pop("REPRO_ADMISSION_ENGINE", None)
+
+    def test_default_is_auto(self):
+        assert resolve_engine() is AdmissionEngine.AUTO
+
+    def test_explicit_beats_default_and_env(self):
+        set_default_engine("incremental")
+        os.environ["REPRO_ADMISSION_ENGINE"] = "incremental"
+        assert resolve_engine("scalar") is AdmissionEngine.SCALAR
+
+    def test_process_default_beats_env(self):
+        os.environ["REPRO_ADMISSION_ENGINE"] = "incremental"
+        set_default_engine("scalar")
+        assert resolve_engine() is AdmissionEngine.SCALAR
+
+    def test_env_beats_auto(self):
+        os.environ["REPRO_ADMISSION_ENGINE"] = "scalar"
+        assert resolve_engine() is AdmissionEngine.SCALAR
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("vectorized")
+        with pytest.raises(ConfigurationError):
+            set_default_engine("nope")
+
+    def test_build_controller_classes(self):
+        analysis = PDPAnalysis(
+            ieee_802_5_ring(mbps(16.0), n_stations=4), FRAME, PDPVariant.MODIFIED
+        )
+        scalar = build_admission_controller(analysis, engine="scalar")
+        assert type(scalar) is AdmissionController
+        assert scalar.engine_name == "scalar"
+        for engine in ("incremental", "auto", None):
+            built = build_admission_controller(analysis, engine=engine)
+            assert isinstance(built, IncrementalAdmissionController)
+            assert built.engine_name == "incremental"
+
+
+class TestCanonicalSignatures:
+    def test_set_signature_is_permutation_invariant(self):
+        pairs = [(0.032, 512.0), (0.008, 1024.0), (0.032, 64.0)]
+        assert set_signature(pairs) == set_signature(reversed(list(pairs)))
+        assert set_signature(pairs) == [
+            [0.008, 1024.0],
+            [0.032, 64.0],
+            [0.032, 512.0],
+        ]
+
+    def test_set_signature_keeps_multiplicity(self):
+        once = set_signature([(0.008, 64.0)])
+        twice = set_signature([(0.008, 64.0), (0.008, 64.0)])
+        assert len(twice) == 2 and twice != once
+
+    def test_chained_prefix_keys_match_prefix_sets(self):
+        """Key ``i`` of a chain equals the chain built from the prefix
+        alone — a population reached by any history shares its keys."""
+        seed = {"admission_level": 1, "signature": "sig"}
+        pairs = set_signature([(0.064, 256.0), (0.008, 512.0), (0.016, 64.0)])
+        whole = chained_prefix_keys(seed, pairs)
+        for i in range(1, len(pairs) + 1):
+            assert chained_prefix_keys(seed, pairs[:i]) == whole[:i]
+
+    def test_chained_prefix_keys_separate_seeds_and_pairs(self):
+        pairs = set_signature([(0.064, 256.0)])
+        a = chained_prefix_keys({"signature": "a"}, pairs)
+        b = chained_prefix_keys({"signature": "b"}, pairs)
+        assert a != b
+        # Field vs record boundaries must not alias: (1.0, 21.0) is not
+        # (12.0, 1.0) even though the digit streams could be confused.
+        x = chained_prefix_keys({"signature": "a"}, [[1.0, 21.0]])
+        y = chained_prefix_keys({"signature": "a"}, [[12.0, 1.0]])
+        assert x != y
+
+
+class TestSnapshotMechanics:
+    def test_decision_cache_is_bypassed(self):
+        ctrl, _ = pdp_pair()
+        assert ctrl._cache_key(object(), object()) is None
+
+    def test_promotion_skips_rebuild_on_admit(self):
+        ctrl, _ = pdp_pair()
+        assert ctrl.request(milliseconds(50), 8000).admitted
+        # The committed candidate's verdicts became the new snapshot:
+        # versions agree, so the next decision rebuilds nothing.
+        assert ctrl._snap_version == ctrl._base_version
+        assert ctrl._pdp_level_ok  # carried over, not cleared
+
+    def test_release_invalidates_lazily(self):
+        ctrl, _ = pdp_pair()
+        d = ctrl.request(milliseconds(50), 8000)
+        ctrl.release(d.stream_id)
+        # Bumped but not rebuilt yet …
+        assert ctrl._snap_version != ctrl._base_version
+        # … and the next decision rebuilds before answering.
+        assert ctrl.check(milliseconds(50), 8000).admitted
+        assert ctrl._snap_version == ctrl._base_version

@@ -124,9 +124,19 @@ class TestMutationSmoke:
             "boundary_absolute_epsilon"
         ]
         assert "pdp_vs_sim" in report.fired_checks["pdp_short_frame_dropped"]
-        assert "ttp_vs_sim" in report.fired_checks["ttp_budget_off_by_one"]
+        # The campaign stops at the first violation; a too-small TTP
+        # budget diverges the incremental admission engine from the
+        # oracle a few cases before the simulator sees a missed deadline,
+        # so either property is a valid first responder.
+        assert set(report.fired_checks["ttp_budget_off_by_one"]) & {
+            "ttp_vs_sim",
+            "admission_incremental_equiv",
+        }
         assert "scalar_vector_split" in report.fired_checks[
             "split_counts_overshoot"
+        ]
+        assert "admission_incremental_equiv" in report.fired_checks[
+            "incremental_stale_level"
         ]
 
     def test_inject_mutant_restores_originals(self):

@@ -26,8 +26,15 @@ cannot catch known bugs would be handing out vacuous green lights.
 Next the admission-service canary spawns the asyncio server in-process
 (``runner loadgen --spawn``) and drives two seconds of *paced* load:
 at nominal rate the service must shed nothing, see zero transport
-errors, and keep p99 latency under 250 ms — the operational floor of
-USAGE.md §14.
+errors, keep p99 latency under 250 ms — the operational floor of
+USAGE.md §14 — and its admission result cache must come out
+hit-dominated (the catalogue repeats; misses winning means the
+canonical set signatures broke).
+
+The admission-engine guard then reruns the ``bench-admission`` canary
+in-process: every warm cell must be cache-hit-dominated, and per-cell
+means must stay within 2x of the committed ``BENCH_admission.json``
+baseline (same same-hardware rule as the figure guard).
 
 Finally the perf-regression guard re-runs the ``bench-quick`` canary
 benchmarks and compares their means against the committed
@@ -352,9 +359,101 @@ def run_service_canary() -> None:
                 f"service served only {report['requests']} requests; "
                 f"expected at least {floor:.0f} at the paced rate"
             )
+        # Hit-ratio guard: the catalogue repeats, so a warm serving mix
+        # must be hit-dominated.  Miss-dominated decisions mean the
+        # canonical set signatures stopped matching (the regression this
+        # guard exists for — the pre-incremental keys were
+        # order-sensitive and the canary ran 3:1 miss:hit).
+        cache = document["benchmarks"][0]["extra_info"]["admission_cache"]
+        if cache["hits"] <= cache["misses"]:
+            raise AssertionError(
+                "admission cache is miss-dominated at a warm serving mix: "
+                f"hits={cache['hits']:.0f} misses={cache['misses']:.0f} — "
+                "set signatures are not matching across decisions"
+            )
     print(
         "verify_smoke: ok (service canary, "
-        f"{report['requests']} requests, p99 {p99 * 1e3:.1f} ms, 0 shed)"
+        f"{report['requests']} requests, p99 {p99 * 1e3:.1f} ms, 0 shed, "
+        f"cache hit ratio {cache['hit_ratio']:.2f})"
+    )
+
+
+#: Admission-engine guard thresholds (the cells are ~30-900 us/op, so
+#: the absolute floor is far below the service-bench floor — 1 ms of
+#: drift on a 30 us op is a real regression, not scheduler jitter).
+_ADMISSION_RATIO = 2.0
+_ADMISSION_FLOOR_S = 0.001
+
+
+def run_admission_guard() -> None:
+    """Fresh ``bench-admission`` run: warm mixes must hit, means must hold.
+
+    * every **warm** cell must be cache-hit-dominated (the op sequence
+      repeats verbatim against retained content-addressed entries — a
+      miss-dominated warm pass means the canonical signatures broke);
+    * per-cell means are compared against the committed
+      ``BENCH_admission.json`` baseline with the same >2x-and-floor rule
+      as the figure canary (skipped off-baseline-hardware).
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.experiments.admission_bench import run_admission_bench
+    from repro.experiments.config import PaperParameters
+
+    fresh = run_admission_bench(PaperParameters().seed)
+    for bench in fresh["benchmarks"]:
+        if bench["params"]["phase"] != "warm":
+            continue
+        ratio = bench["extra_info"]["cache_hit_ratio"]
+        if ratio is None or ratio <= 0.5:
+            raise AssertionError(
+                f"warm admission mix {bench['name']} is miss-dominated "
+                f"(hit ratio {ratio!r}) — canonical set signatures are "
+                "not matching across identical decision sequences"
+            )
+
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_admission.json")
+    if not os.path.exists(baseline_path):
+        print(
+            "verify_smoke: ok (admission guard, warm mixes hit-dominated; "
+            "no committed baseline to compare against)"
+        )
+        return
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if fresh.get("machine") != baseline.get("machine"):
+        print(
+            "verify_smoke: ok (admission guard, warm mixes hit-dominated; "
+            "baseline recorded on different hardware, means not compared)"
+        )
+        return
+    fresh_means = {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in fresh["benchmarks"]
+    }
+    regressions = []
+    for bench in baseline.get("benchmarks", []):
+        name = bench["fullname"]
+        base_mean = bench["stats"]["mean"]
+        now = fresh_means.get(name)
+        if now is None or base_mean is None:
+            continue
+        if (
+            now > _ADMISSION_RATIO * base_mean
+            and now - base_mean > _ADMISSION_FLOOR_S
+        ):
+            regressions.append(
+                f"  {name}: {base_mean * 1e6:.1f} us -> {now * 1e6:.1f} us "
+                f"({now / base_mean:.1f}x)"
+            )
+    if regressions:
+        raise AssertionError(
+            "admission engine regressed more than "
+            f"{_ADMISSION_RATIO}x vs BENCH_admission.json:\n"
+            + "\n".join(regressions)
+        )
+    print(
+        "verify_smoke: ok (admission guard, warm mixes hit-dominated, "
+        f"{len(fresh_means)} cells within {_ADMISSION_RATIO}x of baseline)"
     )
 
 
@@ -362,4 +461,5 @@ if __name__ == "__main__":
     run_smoke()
     run_mutation_smoke_check()
     run_service_canary()
+    run_admission_guard()
     run_bench_guard()
