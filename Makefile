@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service bench-admission serve examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service bench-admission bench-trend top serve examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
@@ -30,6 +30,11 @@ help:
 	@echo "                   cold vs warm cache, check- vs churn-heavy mixes"
 	@echo "                   -> BENCH_admission.json (the verify guard"
 	@echo "                   checks warm hit ratios against it)"
+	@echo "  bench-trend      append the current BENCH_*.json summaries to"
+	@echo "                   BENCH_history.jsonl (the verify trend guard"
+	@echo "                   compares future runs against this history)"
+	@echo "  top              live terminal dashboard over a spawned server"
+	@echo "                   (req/s, p50/p99, cache hit ratio, batch sizes)"
 	@echo "  serve            run the admission service on localhost:8787"
 	@echo "  examples         run every example script"
 	@echo "  figure1          full Figure 1 run, CSV output"
@@ -80,6 +85,13 @@ bench-admission:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner \
 		bench-admission --no-manifest --log-level warning \
 		--bench-admission-json BENCH_admission.json
+
+bench-trend:
+	$(PYTHON) tools/bench_trend.py append
+
+top:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner top \
+		--spawn --no-manifest --log-level error
 
 serve:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner serve \

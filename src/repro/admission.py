@@ -62,6 +62,7 @@ from repro.analysis.ttp import TTPAnalysis
 from repro.errors import AdmissionError, ConfigurationError, ReproError
 from repro.messages.message_set import MessageSet
 from repro.messages.stream import SynchronousStream
+from repro.obs import tracing
 
 __all__ = [
     "AdmissionPolicy",
@@ -301,45 +302,56 @@ class AdmissionController:
         n = len(candidates)
         out: list[tuple[bool, str] | ReproError | None] = [None] * n
         cache = result_cache() if self._cache_namespace is not None else None
-        if cache is not None:
-            for i, key in enumerate(keys):
-                if key is None:
-                    continue
-                hit = cache.get(key, namespace=self._cache_namespace)
-                if hit is not None:
-                    out[i] = (bool(hit[0]), str(hit[1]))
-        misses = [i for i in range(n) if out[i] is None]
+        with tracing.child_span(
+            "engine", engine=self.engine_name, candidates=n
+        ):
+            with tracing.child_span(
+                "cache", namespace=self._cache_namespace or "off"
+            ):
+                if cache is not None:
+                    for i, key in enumerate(keys):
+                        if key is None:
+                            continue
+                        hit = cache.get(key, namespace=self._cache_namespace)
+                        if hit is not None:
+                            out[i] = (bool(hit[0]), str(hit[1]))
+            misses = [i for i in range(n) if out[i] is None]
 
-        computed: dict[int, tuple[bool, str]] = {}
-        if self._policy is not AdmissionPolicy.EXACT:
-            for i in misses:
-                if self._sufficient_test(candidates[i]):
-                    computed[i] = (True, "sufficient")
-                elif self._policy is AdmissionPolicy.SUFFICIENT:
-                    computed[i] = (False, "sufficient")
-            misses = [i for i in misses if i not in computed]
-        if misses:
-            try:
-                verdicts = self._exact_verdicts([candidates[i] for i in misses])
-                for i, ok in zip(misses, verdicts):
-                    computed[i] = (bool(ok), "exact")
-            except ReproError:
-                # A degenerate candidate (e.g. TTP q_i < 2) aborts the
-                # batched call without naming the culprit; re-evaluate
-                # one by one so only the faulting candidates carry the
-                # error, exactly as sequential calls would.
-                for i in misses:
+            computed: dict[int, tuple[bool, str]] = {}
+            if self._policy is not AdmissionPolicy.EXACT:
+                with tracing.child_span("sufficient", candidates=len(misses)):
+                    for i in misses:
+                        if self._sufficient_test(candidates[i]):
+                            computed[i] = (True, "sufficient")
+                        elif self._policy is AdmissionPolicy.SUFFICIENT:
+                            computed[i] = (False, "sufficient")
+                misses = [i for i in misses if i not in computed]
+            if misses:
+                with tracing.child_span("exact", candidates=len(misses)):
                     try:
-                        ok = self._exact_verdicts([candidates[i]])[0]
-                        computed[i] = (bool(ok), "exact")
-                    except ReproError as exc:
-                        out[i] = exc
-        for i, value in computed.items():
-            out[i] = value
-            if cache is not None and keys[i] is not None:
-                cache.put(
-                    keys[i], list(value), namespace=self._cache_namespace
-                )
+                        verdicts = self._exact_verdicts(
+                            [candidates[i] for i in misses]
+                        )
+                        for i, ok in zip(misses, verdicts):
+                            computed[i] = (bool(ok), "exact")
+                    except ReproError:
+                        # A degenerate candidate (e.g. TTP q_i < 2) aborts
+                        # the batched call without naming the culprit;
+                        # re-evaluate one by one so only the faulting
+                        # candidates carry the error, exactly as
+                        # sequential calls would.
+                        for i in misses:
+                            try:
+                                ok = self._exact_verdicts([candidates[i]])[0]
+                                computed[i] = (bool(ok), "exact")
+                            except ReproError as exc:
+                                out[i] = exc
+            for i, value in computed.items():
+                out[i] = value
+                if cache is not None and keys[i] is not None:
+                    cache.put(
+                        keys[i], list(value), namespace=self._cache_namespace
+                    )
         return out
 
     def _decide_many(

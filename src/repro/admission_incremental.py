@@ -61,6 +61,7 @@ from repro.cache.store import result_cache
 from repro.errors import ConfigurationError
 from repro.messages.message_set import MessageSet
 from repro.obs import metrics as _metrics
+from repro.obs import tracing
 
 __all__ = [
     "AdmissionEngine",
@@ -362,13 +363,16 @@ class IncrementalAdmissionController(AdmissionController):
             lo = hi
         if reused:
             _M_LEVELS_REUSED.inc(reused)
+            tracing.add(levels_reused=reused)
         if computed:
             _M_LEVELS_COMPUTED.inc(computed)
+            tracing.add(levels_computed=computed)
         if not all(snap[j] for j in range(reusable)):
             return False
 
         fresh = _level_verdicts(test, costs, blocking, reusable, n_levels)
         _M_LEVELS_COMPUTED.inc(n_levels - reusable)
+        tracing.add(levels_computed=n_levels - reusable)
         if bool(fresh.all()):
             self._promotable[(candidate.period_s, candidate.payload_bits)] = (
                 "pdp",
@@ -389,6 +393,7 @@ class IncrementalAdmissionController(AdmissionController):
             # The allocator rejects non-positive TTRTs with a typed
             # error; route through the oracle so the exception matches.
             _M_FALLBACKS.inc()
+            tracing.add(fallbacks=1)
             return bool(analysis.is_schedulable_many([ms])[0])
         _M_EVALUATIONS.inc()
 
@@ -413,8 +418,10 @@ class IncrementalAdmissionController(AdmissionController):
             entry = (partial, allocatable)
             self._ttp_partials[ttrt] = entry
             _M_LEVELS_COMPUTED.inc(len(base))
+            tracing.add(levels_computed=len(base))
         else:
             _M_LEVELS_REUSED.inc(len(base))
+            tracing.add(levels_reused=len(base))
         partial, allocatable = entry
         if not allocatable:
             return False

@@ -28,6 +28,7 @@ from collections import OrderedDict
 
 from repro.obs import logging as obslog
 from repro.obs import metrics as _metrics
+from repro.obs import tracing
 
 __all__ = ["ResultCache", "clear", "configure", "result_cache"]
 
@@ -125,14 +126,17 @@ class ResultCache:
         if mkey in self._memory:
             self._memory.move_to_end(mkey)
             self._count(namespace, "hits")
+            tracing.add(cache_hits=1)
             return self._memory[mkey]
         if self.directory is not None:
             payload = self._read_disk(key, namespace)
             if payload is not None:
                 self._remember(mkey, payload)
                 self._count(namespace, "hits")
+                tracing.add(cache_hits=1)
                 return payload
         self._count(namespace, "misses")
+        tracing.add(cache_misses=1)
         return None
 
     def put(self, key: str, payload: object, namespace: str = "sim") -> None:
@@ -141,6 +145,7 @@ class ResultCache:
         if self.directory is not None:
             self._write_disk(key, payload, namespace)
         self._count(namespace, "writes")
+        tracing.add(cache_writes=1)
 
     def clear(self) -> None:
         """Drop every in-memory entry (disk entries are left alone)."""

@@ -14,14 +14,17 @@ Usage::
     python -m repro.experiments.runner fuzz --fuzz-cases 60 --mutation-smoke
     python -m repro.experiments.runner serve --port 8711 --policy exact
     python -m repro.experiments.runner loadgen --spawn --duration 5 [--churn]
+    python -m repro.experiments.runner top --port 8711 --interval 2
     python -m repro.experiments.runner bench-admission
 
 ``serve`` runs the admission-control service of :mod:`repro.service`
 (USAGE.md §14) until SIGTERM/ctrl-c, then drains gracefully; ``loadgen``
 drives a running server (or spawns one in-process on an ephemeral port
 with ``--spawn``) and writes the latency/throughput canary
-``BENCH_service.json``.  Both record a session summary in the run
-manifest.  An interrupted run — any experiment — still writes its
+``BENCH_service.json`` (plus, with ``--latency-csv``, every measured
+latency with its server-side trace id).  ``top`` is the live telemetry
+dashboard over ``/metrics`` (USAGE.md §16).  All record a session
+summary in the run manifest.  An interrupted run — any experiment — still writes its
 manifest, flagged ``extra.interrupted``, and exits 130.
 
 The ``fuzz`` experiment runs the differential verification harness
@@ -161,6 +164,10 @@ def _service_config(args: argparse.Namespace, *, port: int | None = None):
         batch_max=args.batch_max,
         queue_limit=args.queue_limit,
         rate_limit_rps=args.rate_limit,
+        trace_sample_rate=args.trace_sample,
+        trace_buffer=args.trace_buffer,
+        trace_jsonl=args.trace_jsonl,
+        slow_trace_s=args.slow_trace,
     )
 
 
@@ -230,7 +237,7 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
             "latency ms: "
             + "  ".join(
                 f"{key}={report.latency_s[key] * 1e3:.3f}"
-                for key in ("mean", "p50", "p90", "p99", "max")
+                for key in ("mean", "p50", "p90", "p99", "p999", "max")
             )
         )
     for kind, latency in report.op_latency_s.items():
@@ -238,9 +245,14 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
             f"  {kind}: "
             + "  ".join(
                 f"{key}={latency[key] * 1e3:.3f}"
-                for key in ("mean", "p50", "p90", "p99", "max")
+                for key in ("mean", "p50", "p90", "p99", "p999", "max")
             )
         )
+    if args.latency_csv:
+        from repro.service.loadgen import write_latency_csv
+
+        rows = write_latency_csv(report, args.latency_csv)
+        console(f"wrote {args.latency_csv} ({rows} samples)")
     console(
         f"ops={report.ops}  admitted={report.admitted} "
         f"rejected={report.rejected}  shed={report.shed} "
@@ -261,7 +273,31 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
         handle.write("\n")
     console(f"wrote {args.bench_json}")
     manifest_extra["loadgen"] = report.to_dict()
-    return [args.bench_json]
+    artifacts = [args.bench_json]
+    if args.latency_csv:
+        artifacts.append(args.latency_csv)
+    return artifacts
+
+
+def _run_top(args: argparse.Namespace, manifest_extra: dict) -> int:
+    from repro.experiments.top import run_top
+
+    spawn_config = _service_config(args, port=0) if args.spawn else None
+    code = run_top(
+        args.host,
+        args.port,
+        interval_s=args.interval,
+        iterations=args.iterations,
+        once=args.once,
+        spawn_config=spawn_config,
+        emit=console,
+    )
+    manifest_extra["top"] = {
+        "interval_s": args.interval,
+        "once": args.once,
+        "spawned": args.spawn,
+    }
+    return code
 
 
 def _run_admission_bench(
@@ -303,6 +339,8 @@ def _dispatch(
         artifacts.extend(_run_serve(args, manifest_extra))
     if args.experiment == "loadgen":
         artifacts.extend(_run_loadgen(args, params.seed, manifest_extra))
+    if args.experiment == "top":
+        exit_code = _run_top(args, manifest_extra)
     if args.experiment == "bench-admission":
         artifacts.extend(_run_admission_bench(args, params.seed, manifest_extra))
     if args.experiment == "fuzz":
@@ -381,7 +419,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "figure1", "ttrt", "frames", "periods", "sba", "ringsize",
             "throughput", "crossover", "sharpness", "report", "fuzz",
-            "serve", "loadgen", "bench-admission", "all",
+            "serve", "loadgen", "top", "bench-admission", "all",
         ],
     )
     service = parser.add_argument_group(
@@ -447,6 +485,41 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument(
         "--bench-json", type=str, default="BENCH_service.json",
         metavar="PATH", help="loadgen: canary output path",
+    )
+    service.add_argument(
+        "--latency-csv", type=str, default=None, metavar="PATH",
+        help="loadgen: also write every measured latency (with its "
+        "server-side trace id) as CSV",
+    )
+    service.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="serve/loadgen --spawn/top --spawn: fraction of requests "
+        "traced (deterministic systematic sampling; 0 disables)",
+    )
+    service.add_argument(
+        "--trace-buffer", type=int, default=256,
+        help="serve: finished traces retained for /v1/traces",
+    )
+    service.add_argument(
+        "--trace-jsonl", type=str, default=None, metavar="PATH",
+        help="serve: append every finished trace to PATH as JSONL",
+    )
+    service.add_argument(
+        "--slow-trace", type=float, default=0.0, metavar="SECONDS",
+        help="serve: log the full span tree of requests slower than "
+        "this (0 disables the slow-request log)",
+    )
+    service.add_argument(
+        "--interval", type=float, default=2.0,
+        help="top: seconds between dashboard frames",
+    )
+    service.add_argument(
+        "--iterations", type=int, default=None,
+        help="top: stop after N frames (default: run until ctrl-c)",
+    )
+    service.add_argument(
+        "--once", action="store_true",
+        help="top: print a single frame (no ANSI redraw) and exit",
     )
     service.add_argument(
         "--bench-admission-json", type=str, default="BENCH_admission.json",

@@ -19,6 +19,13 @@ changes results*:
   to every experiment artifact.
 * :mod:`repro.obs.benchjson` — the versioned summarizer behind the
   ``make bench-quick`` perf canary.
+* :mod:`repro.obs.tracing` — per-request trace/span trees propagated
+  across the serving path (server → batcher → engine → cache), with a
+  ring buffer behind ``/v1/traces``, a JSONL sink, and a slow-request
+  log.
+* :mod:`repro.obs.prometheus` — Prometheus text exposition of metric
+  snapshots (bucketed histograms with trace-id exemplars) behind
+  ``/metrics?format=prometheus``.
 
 Everything defaults to *on* because the cost is negligible by design
 (updates are O(1) and happen per batch / per run, never per inner-loop
@@ -28,17 +35,21 @@ into strict no-ops for paranoid benchmarking.
 
 from __future__ import annotations
 
-from repro.obs import logging, manifest, metrics, timing
+from repro.obs import logging, manifest, metrics, prometheus, timing, tracing
 from repro.obs.logging import console, get_logger, setup_logging
 from repro.obs.manifest import build_manifest, write_manifest
 from repro.obs.metrics import MetricsRegistry, counter, gauge, histogram
 from repro.obs.timing import SpanRecorder, span, timed
+from repro.obs.tracing import Tracer
 
 __all__ = [
     "logging",
     "manifest",
     "metrics",
+    "prometheus",
     "timing",
+    "tracing",
+    "Tracer",
     "console",
     "get_logger",
     "setup_logging",

@@ -22,6 +22,20 @@ production code:
   parent process: counters and histogram mass add, gauges keep their
   maximum.
 
+Histograms optionally carry **fixed buckets** (upper bounds, ``le``
+semantics, plus an implicit overflow bucket): :func:`histogram` with
+``buckets=...`` gives a streaming distribution that merges exactly
+across worker processes and renders as a native Prometheus histogram
+(:mod:`repro.obs.prometheus`).  ``observe(value, exemplar=...)``
+attaches a trace id to the bucket the observation landed in, so the
+exposition can point from a slow bucket straight at a concrete trace.
+
+Every mutation and every snapshot/merge/reset takes the registry's
+re-entrant lock, so a snapshot is **atomic**: a reader never sees a
+counter/histogram pair mid-update (the server's ``/metrics`` handler
+relies on this, and writers group related updates under
+:meth:`MetricsRegistry.hold`).
+
 Metric objects are singletons per name within a registry:
 :func:`counter`, :func:`gauge`, and :func:`histogram` return the same
 object for the same name, so modules can bind them at import time and
@@ -31,6 +45,8 @@ invalidating those references.
 
 from __future__ import annotations
 
+import threading
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -40,6 +56,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "bucket_quantile",
     "registry",
     "counter",
     "gauge",
@@ -50,6 +68,14 @@ __all__ = [
     "merge",
     "reset",
 ]
+
+#: Default bounds for request-latency histograms (seconds, ``le``).
+#: Spanning 0.5 ms to 2.5 s covers a cached check (~1 ms) through a
+#: saturated drain; the overflow bucket catches pathology.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
 
 
 @dataclass
@@ -68,8 +94,12 @@ class Counter:
             raise ConfigurationError(
                 f"counter increments must be non-negative, got {amount!r}"
             )
-        if self._registry is None or self._registry.enabled:
+        registry = self._registry
+        if registry is None:
             self.value += amount
+        elif registry.enabled:
+            with registry._lock:
+                self.value += amount
 
     def to_dict(self) -> dict:
         """Snapshot form: ``{"type": "counter", "value": ...}``."""
@@ -88,8 +118,12 @@ class Gauge:
 
     def set(self, value: float) -> None:
         """Record the current level."""
-        if self._registry is None or self._registry.enabled:
+        registry = self._registry
+        if registry is None:
             self.value = float(value)
+        elif registry.enabled:
+            with registry._lock:
+                self.value = float(value)
 
     def to_dict(self) -> dict:
         """Snapshot form: ``{"type": "gauge", "value": ...}``."""
@@ -102,7 +136,11 @@ class Histogram:
 
     Keeps count / sum / sum-of-squares / min / max — enough for the mean
     and variance and for exact merging across worker processes, without
-    storing samples.
+    storing samples.  With ``bucket_bounds`` set (see
+    :meth:`MetricsRegistry.histogram`) it additionally keeps
+    non-cumulative per-bucket counts (``le`` upper bounds plus one
+    overflow bucket) and, per bucket, the last exemplar — a
+    ``(trace_id, value)`` pair naming one concrete observation.
     """
 
     name: str
@@ -111,29 +149,51 @@ class Histogram:
     sum_squares: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    bucket_bounds: tuple = ()
+    bucket_counts: list = field(default_factory=list)
+    exemplars: dict = field(default_factory=dict)
     _registry: "MetricsRegistry | None" = field(
         default=None, repr=False, compare=False
     )
 
-    def observe(self, value: float) -> None:
-        """Account one observation."""
-        if self._registry is not None and not self._registry.enabled:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Account one observation (optionally tagged with a trace id)."""
+        registry = self._registry
+        if registry is not None and not registry.enabled:
             return
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.sum_squares += value * value
-        self.minimum = min(self.minimum, value)
-        self.maximum = max(self.maximum, value)
+        lock = registry._lock if registry is not None else None
+        if lock is not None:
+            lock.acquire()
+        try:
+            self.count += 1
+            self.total += value
+            self.sum_squares += value * value
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+            if self.bucket_bounds:
+                index = bisect_left(self.bucket_bounds, value)
+                self.bucket_counts[index] += 1
+                if exemplar is not None:
+                    self.exemplars[index] = (str(exemplar), value)
+        finally:
+            if lock is not None:
+                lock.release()
 
     @property
     def mean(self) -> float:
         """Mean of the observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile (None when empty or unbucketed)."""
+        if not self.bucket_bounds:
+            return None
+        return bucket_quantile(self.bucket_bounds, self.bucket_counts, q)
+
     def to_dict(self) -> dict:
-        """Snapshot form with count/total/min/max/mean."""
-        return {
+        """Snapshot form with count/total/min/max/mean (+ buckets)."""
+        out = {
             "type": "histogram",
             "count": self.count,
             "total": self.total,
@@ -142,6 +202,56 @@ class Histogram:
             "max": self.maximum if self.count else None,
             "mean": self.mean,
         }
+        if self.bucket_bounds:
+            out["buckets"] = {
+                "bounds": list(self.bucket_bounds),
+                "counts": list(self.bucket_counts),
+                "exemplars": {
+                    str(index): [trace_id, value]
+                    for index, (trace_id, value) in sorted(
+                        self.exemplars.items()
+                    )
+                },
+            }
+        return out
+
+
+def _normalize_bounds(buckets) -> tuple:
+    bounds = tuple(float(b) for b in buckets)
+    if not bounds:
+        raise ConfigurationError("bucket bounds must be non-empty")
+    if any(b >= c for b, c in zip(bounds, bounds[1:])):
+        raise ConfigurationError(
+            f"bucket bounds must be strictly increasing, got {bounds!r}"
+        )
+    return bounds
+
+
+def bucket_quantile(bounds, counts, q: float) -> float | None:
+    """Estimate the ``q``-quantile from non-cumulative bucket counts.
+
+    Linear interpolation within the containing bucket (the first bucket
+    interpolates from 0, the overflow bucket reports its lower bound —
+    the histogram cannot know how far past the last bound mass sits).
+    Returns ``None`` on an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be within [0, 1], got {q!r}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank and count:
+            if index >= len(bounds):
+                return float(bounds[-1])
+            low = bounds[index - 1] if index else 0.0
+            high = bounds[index]
+            inside = rank - (cumulative - count)
+            return float(low + (high - low) * (inside / count))
+    return float(bounds[-1])
 
 
 class MetricsRegistry:
@@ -154,20 +264,37 @@ class MetricsRegistry:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        # Re-entrant: a writer holding the lock via hold() still updates
+        # individual metrics (which lock per-update) without deadlock.
+        self._lock = threading.RLock()
 
-    def _get_or_create(self, name: str, cls):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ConfigurationError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}, not {cls.__name__}"
-                )
-            return existing
-        metric = cls(name=name)
-        metric._registry = self
-        self._metrics[name] = metric
-        return metric
+    def hold(self):
+        """The registry lock, for grouping related updates atomically.
+
+        A reader snapshotting concurrently sees either none or all of a
+        group — the server's batch counter and batch-size histogram can
+        never be observed torn::
+
+            with registry.hold():
+                batches.inc()
+                batch_size.observe(n)
+        """
+        return self._lock
+
+    def _get_or_create(self, name: str, cls, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}"
+                    )
+                return existing
+            metric = cls(name=name, **kwargs)
+            metric._registry = self
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str) -> Counter:
         """The counter named ``name`` (created on first use)."""
@@ -177,9 +304,34 @@ class MetricsRegistry:
         """The gauge named ``name`` (created on first use)."""
         return self._get_or_create(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram named ``name`` (created on first use)."""
-        return self._get_or_create(name, Histogram)
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        """The histogram named ``name`` (created on first use).
+
+        ``buckets`` (strictly increasing upper bounds) turns on bucket
+        accounting.  Bounds may be attached to an existing empty
+        histogram, but never changed once set or once observations
+        exist — merged snapshots must always agree on the layout.
+        """
+        hist = self._get_or_create(name, Histogram)
+        if buckets is not None:
+            bounds = _normalize_bounds(buckets)
+            with self._lock:
+                if hist.bucket_bounds:
+                    if hist.bucket_bounds != bounds:
+                        raise ConfigurationError(
+                            f"histogram {name!r} already has bounds "
+                            f"{hist.bucket_bounds!r}; cannot change to "
+                            f"{bounds!r}"
+                        )
+                elif hist.count:
+                    raise ConfigurationError(
+                        f"histogram {name!r} already holds {hist.count} "
+                        "unbucketed observations; cannot attach bounds"
+                    )
+                else:
+                    hist.bucket_bounds = bounds
+                    hist.bucket_counts = [0] * (len(bounds) + 1)
+        return hist
 
     def snapshot(self, prefix: str | tuple[str, ...] | None = None) -> dict:
         """All metrics as a plain picklable ``{name: dict}`` mapping.
@@ -189,59 +341,84 @@ class MetricsRegistry:
         the snapshot to names starting with the given prefix (or any of a
         tuple of prefixes) — the admission service's ``/metrics``
         endpoint uses this to report its own ``service.*`` family without
-        shipping the whole registry.
+        shipping the whole registry.  The registry lock is held for the
+        whole pass: the result is a consistent point-in-time cut.
         """
         out: dict[str, dict] = {}
-        for name, metric in sorted(self._metrics.items()):
-            if prefix is not None and not name.startswith(prefix):
-                continue
-            if isinstance(metric, (Counter, Gauge)) and metric.value == 0.0:
-                continue
-            if isinstance(metric, Histogram) and metric.count == 0:
-                continue
-            out[name] = metric.to_dict()
+        with self._lock:
+            for name, metric in sorted(self._metrics.items()):
+                if prefix is not None and not name.startswith(prefix):
+                    continue
+                if isinstance(metric, (Counter, Gauge)) and metric.value == 0.0:
+                    continue
+                if isinstance(metric, Histogram) and metric.count == 0:
+                    continue
+                out[name] = metric.to_dict()
         return out
 
     def merge(self, snap: dict) -> None:
         """Fold a :meth:`snapshot` into this registry.
 
-        Counters and histogram mass add; gauges keep the maximum of the
-        two levels (the only order-independent combination for levels
-        observed in different processes).
+        Counters and histogram mass (including bucket counts) add;
+        gauges keep the maximum of the two levels (the only
+        order-independent combination for levels observed in different
+        processes); exemplars keep the incoming snapshot's (last writer
+        wins — any concrete trace id is as good as another).
         """
-        for name, data in snap.items():
-            kind = data.get("type")
-            if kind == "counter":
-                self.counter(name).value += data["value"]
-            elif kind == "gauge":
-                gauge = self.gauge(name)
-                gauge.value = max(gauge.value, data["value"])
-            elif kind == "histogram":
-                hist = self.histogram(name)
-                if data["count"]:
+        with self._lock:
+            for name, data in snap.items():
+                kind = data.get("type")
+                if kind == "counter":
+                    self.counter(name).value += data["value"]
+                elif kind == "gauge":
+                    gauge = self.gauge(name)
+                    gauge.value = max(gauge.value, data["value"])
+                elif kind == "histogram":
+                    buckets = data.get("buckets")
+                    hist = self.histogram(
+                        name,
+                        buckets=buckets["bounds"] if buckets else None,
+                    )
+                    if not data["count"]:
+                        continue
                     hist.count += data["count"]
                     hist.total += data["total"]
                     hist.sum_squares += data["sum_squares"]
                     hist.minimum = min(hist.minimum, data["min"])
                     hist.maximum = max(hist.maximum, data["max"])
-            else:
-                raise ConfigurationError(
-                    f"cannot merge metric {name!r} of unknown type {kind!r}"
-                )
+                    if buckets:
+                        if tuple(buckets["bounds"]) != hist.bucket_bounds:
+                            raise ConfigurationError(
+                                f"histogram {name!r} bucket bounds differ "
+                                "between snapshot and registry; cannot merge"
+                            )
+                        for index, count in enumerate(buckets["counts"]):
+                            hist.bucket_counts[index] += count
+                        for index, exemplar in buckets.get(
+                            "exemplars", {}
+                        ).items():
+                            hist.exemplars[int(index)] = tuple(exemplar)
+                else:
+                    raise ConfigurationError(
+                        f"cannot merge metric {name!r} of unknown type {kind!r}"
+                    )
 
     def reset(self) -> None:
         """Zero every metric **in place** (references stay valid)."""
-        for metric in self._metrics.values():
-            if isinstance(metric, Counter):
-                metric.value = 0.0
-            elif isinstance(metric, Gauge):
-                metric.value = 0.0
-            else:
-                metric.count = 0
-                metric.total = 0.0
-                metric.sum_squares = 0.0
-                metric.minimum = float("inf")
-                metric.maximum = float("-inf")
+        with self._lock:
+            for metric in self._metrics.values():
+                if isinstance(metric, Counter):
+                    metric.value = 0.0
+                elif isinstance(metric, Gauge):
+                    metric.value = 0.0
+                else:
+                    metric.count = 0
+                    metric.total = 0.0
+                    metric.sum_squares = 0.0
+                    metric.minimum = float("inf")
+                    metric.maximum = float("-inf")
+                    metric.bucket_counts = [0] * len(metric.bucket_counts)
+                    metric.exemplars.clear()
 
 
 #: The process-global registry used by all library instrumentation.
@@ -263,9 +440,9 @@ def gauge(name: str) -> Gauge:
     return _GLOBAL.gauge(name)
 
 
-def histogram(name: str) -> Histogram:
+def histogram(name: str, buckets=None) -> Histogram:
     """The global histogram named ``name``."""
-    return _GLOBAL.histogram(name)
+    return _GLOBAL.histogram(name, buckets=buckets)
 
 
 def enable() -> None:

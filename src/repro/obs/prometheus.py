@@ -1,0 +1,231 @@
+"""Prometheus text-format exposition of metric snapshots.
+
+:func:`render` turns a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+into the Prometheus text format (``text/plain; version=0.0.4``), which is
+what the admission server's ``/metrics?format=prometheus`` serves:
+
+* counters become ``<name>_total`` with ``# TYPE ... counter``;
+* gauges map one to one;
+* bucketed histograms become native Prometheus histograms —
+  cumulative ``_bucket{le="..."}`` series (including ``+Inf``), ``_sum``
+  and ``_count`` — with OpenMetrics-style **exemplars** appended to the
+  bucket a slow observation landed in
+  (``... # {trace_id="..."} <value>``), pointing straight at a concrete
+  trace in ``/v1/traces``;
+* unbucketed histograms (no quantile structure to expose) become
+  ``summary`` ``_sum``/``_count`` pairs.
+
+Metric names are sanitized (dots and dashes to underscores) and
+namespaced (``repro_`` by default).  :func:`parse` is the matching
+reader — enough of the text format to round-trip everything
+:func:`render` emits, which is how the exposition is tested and how
+``runner top`` could consume a foreign endpoint.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CONTENT_TYPE", "render", "parse", "sanitize_name"]
+
+#: The Content-Type the Prometheus text format is served under.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+#\s+\{(?P<exemplar_labels>[^}]*)\}\s+(?P<exemplar_value>\S+))?"
+    r"\s*$"
+)
+
+
+def sanitize_name(name: str) -> str:
+    """A metric name acceptable to Prometheus (``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _help_line(name: str, source: str) -> str:
+    return f"# HELP {name} repro metric {source}"
+
+
+def render(
+    snapshot: dict, *, namespace: str = "repro", exemplars: bool = True
+) -> str:
+    """One snapshot as Prometheus exposition text.
+
+    ``snapshot`` is the plain-dict form produced by
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; unknown metric
+    types are a :class:`~repro.errors.ConfigurationError` (never skipped
+    silently — a scraper that silently loses a family is a debugging
+    trap).  ``exemplars=False`` renders strict Prometheus 0.0.4 text for
+    consumers that reject the OpenMetrics exemplar suffix.
+    """
+    lines: list[str] = []
+    prefix = f"{namespace}_" if namespace else ""
+    for source_name in sorted(snapshot):
+        data = snapshot[source_name]
+        kind = data.get("type")
+        base = sanitize_name(f"{prefix}{source_name}")
+        if kind == "counter":
+            name = f"{base}_total"
+            lines.append(_help_line(name, source_name))
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_format_value(data['value'])}")
+        elif kind == "gauge":
+            lines.append(_help_line(base, source_name))
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(data['value'])}")
+        elif kind == "histogram":
+            buckets = data.get("buckets")
+            if buckets:
+                lines.extend(
+                    _render_histogram(
+                        base, source_name, data, buckets, exemplars
+                    )
+                )
+            else:
+                lines.append(_help_line(base, source_name))
+                lines.append(f"# TYPE {base} summary")
+                lines.append(f"{base}_sum {_format_value(data['total'])}")
+                lines.append(f"{base}_count {_format_value(data['count'])}")
+        else:
+            raise ConfigurationError(
+                f"cannot render metric {source_name!r} of unknown type "
+                f"{kind!r}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_histogram(
+    base: str, source_name: str, data: dict, buckets: dict, exemplars: bool
+) -> list[str]:
+    lines = [_help_line(base, source_name), f"# TYPE {base} histogram"]
+    bounds = buckets["bounds"]
+    counts = buckets["counts"]
+    stored_exemplars = buckets.get("exemplars", {}) if exemplars else {}
+    cumulative = 0
+    for index, bound in enumerate(bounds):
+        cumulative += counts[index]
+        line = (
+            f'{base}_bucket{{le="{_format_value(bound)}"}} '
+            f"{_format_value(cumulative)}"
+        )
+        exemplar = stored_exemplars.get(str(index))
+        if exemplar is not None:
+            trace_id, value = exemplar
+            line += (
+                f' # {{trace_id="{trace_id}"}} {_format_value(value)}'
+            )
+        lines.append(line)
+    cumulative += counts[len(bounds)]
+    line = f'{base}_bucket{{le="+Inf"}} {_format_value(cumulative)}'
+    exemplar = stored_exemplars.get(str(len(bounds)))
+    if exemplar is not None:
+        trace_id, value = exemplar
+        line += f' # {{trace_id="{trace_id}"}} {_format_value(value)}'
+    lines.append(line)
+    lines.append(f"{base}_sum {_format_value(data['total'])}")
+    lines.append(f"{base}_count {_format_value(data['count'])}")
+    return lines
+
+
+def _parse_labels(raw: str | None) -> dict:
+    labels: dict[str, str] = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        labels[key.strip()] = value.strip().strip('"')
+    return labels
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse(text: str) -> dict:
+    """Read exposition text back into structured samples.
+
+    Returns ``{family_name: {"type": str | None, "samples": [...]}}``
+    where each sample is ``{"name", "labels", "value", "exemplar"}``
+    (``exemplar`` is ``None`` or ``{"labels", "value"}``).  Families are
+    keyed by the ``# TYPE`` name when present, else by the sample name —
+    exactly enough structure to verify everything :func:`render` emits.
+    """
+    families: dict[str, dict] = {}
+    typed: list[tuple[str, str]] = []
+
+    def family_for(sample_name: str) -> dict:
+        for type_name, _ in reversed(typed):
+            if sample_name == type_name or sample_name.startswith(
+                type_name + "_"
+            ):
+                return families[type_name]
+        return families.setdefault(
+            sample_name, {"type": None, "samples": []}
+        )
+
+    for line_number, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("# TYPE "):
+            parts = stripped.split()
+            if len(parts) != 4:
+                raise ConfigurationError(
+                    f"malformed TYPE line {line_number}: {line!r}"
+                )
+            _, _, name, metric_type = parts
+            families.setdefault(name, {"type": None, "samples": []})
+            families[name]["type"] = metric_type
+            typed.append((name, metric_type))
+            continue
+        if stripped.startswith("#"):
+            continue  # HELP and free comments
+        match = _SAMPLE_LINE.match(stripped)
+        if match is None:
+            raise ConfigurationError(
+                f"malformed sample line {line_number}: {line!r}"
+            )
+        exemplar = None
+        if match.group("exemplar_value") is not None:
+            exemplar = {
+                "labels": _parse_labels(match.group("exemplar_labels")),
+                "value": _parse_number(match.group("exemplar_value")),
+            }
+        family_for(match.group("name"))["samples"].append(
+            {
+                "name": match.group("name"),
+                "labels": _parse_labels(match.group("labels")),
+                "value": _parse_number(match.group("value")),
+                "exemplar": exemplar,
+            }
+        )
+    return families

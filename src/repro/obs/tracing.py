@@ -1,0 +1,379 @@
+"""End-to-end request tracing: spans, propagation, sinks (USAGE.md §16).
+
+One served admission request crosses four components — the HTTP server,
+the micro-batcher, the admission engine, and the cache tier — and a p99
+regression is invisible in aggregate counters because each component
+only sees its own slice.  This module gives every sampled request a
+**trace**: a tree of timed spans with a shared ``trace_id``, annotated
+with the facts that matter for triage (batch size, engine, cache
+hits/misses, levels re-tested), collected in a ring buffer served at
+``/v1/traces`` and optionally appended to a JSONL sink.
+
+Design contract (same as :mod:`repro.obs.metrics`): **tracing never
+changes results**.  Spans observe; they carry no state any decision
+reads.  The ``admission_tracing_equiv`` fuzz property pins decisions
+bit-identical with tracing off, sampled, or fully on.
+
+Propagation has two legs:
+
+* On one thread, the *current span* lives in a
+  :class:`contextvars.ContextVar`; :func:`child_span` nests under it and
+  is a near-free no-op when nothing is being traced (one context-var
+  read, no object allocation).
+* Across the batcher's thread hop, context vars do not follow
+  ``run_in_executor``, so the server hands its request span to
+  :meth:`~repro.service.batcher.MicroBatcher.submit` explicitly and the
+  worker installs a :class:`SpanGroup` — one batch may serve many
+  traces, and the engine/cache spans it produces are *shared nodes*
+  attached to every sampled member (same ``span_id`` in each tree, so a
+  reader can tell amortized work from per-request work).
+
+Sampling is deterministic systematic sampling (an accumulator, not a
+RNG): rate 0.5 traces every second request, 1.0 every request, 0.0 none.
+Root spans whose duration exceeds ``slow_threshold_s`` are additionally
+logged with their full span tree — the slow-request log.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.obs import logging as obslog
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "SpanGroup",
+    "Tracer",
+    "child_span",
+    "current",
+    "use",
+    "release",
+    "annotate",
+    "add",
+]
+
+_LOG = obslog.get_logger("repro.obs.tracing")
+
+#: Version tag on every serialized trace; bump on structural changes.
+TRACE_SCHEMA_VERSION = 1
+
+#: The active span (or :class:`SpanGroup`) on this thread/task.
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_trace_span", default=None
+)
+
+#: Process-wide span-id allocator (unique per process; a shared fan-out
+#: span keeps one id across every trace it appears in — that identity is
+#: how a reader recognizes amortized batch work).
+_SPAN_IDS = itertools.count(1)
+
+_M_SAMPLED = _metrics.counter("trace.sampled")
+_M_FINISHED = _metrics.counter("trace.finished")
+_M_SLOW = _metrics.counter("trace.slow")
+
+
+class Span:
+    """One timed, attributed node of a trace tree.
+
+    ``trace_id`` is set on root spans only; children identify through
+    their tree position.  ``duration_s`` is filled by whoever owns the
+    span's lifetime (:func:`child_span`, :meth:`Tracer.finish`, or the
+    batcher for fan-out spans).
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "trace_id",
+        "start_ts",
+        "duration_s",
+        "attrs",
+        "children",
+        "_t0",
+    )
+
+    def __init__(self, name: str, attrs: dict | None = None, trace_id=None):
+        self.name = name
+        self.span_id = next(_SPAN_IDS)
+        self.trace_id = trace_id
+        self.start_ts = time.time()
+        self._t0 = time.perf_counter()
+        self.duration_s = 0.0
+        self.attrs = dict(attrs) if attrs else {}
+        self.children: list[Span] = []
+
+    def child(self, name: str, **attrs) -> "Span":
+        """Create and attach a child span (duration set by the caller)."""
+        span = Span(name, attrs)
+        self.children.append(span)
+        return span
+
+    def add(self, counts: dict) -> None:
+        """Accumulate numeric attributes (cache hit tallies and the like)."""
+        attrs = self.attrs
+        for key, value in counts.items():
+            attrs[key] = attrs.get(key, 0) + value
+
+    def to_dict(self) -> dict:
+        """The span subtree as plain JSON-serializable data."""
+        out = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "start_ts": self.start_ts,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+        if self.children:
+            out["spans"] = [child.to_dict() for child in self.children]
+        return out
+
+    def trace_dict(self) -> dict:
+        """Root-span form: the whole trace with its envelope."""
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "trace_id": self.trace_id,
+            **self.to_dict(),
+        }
+
+
+class SpanGroup:
+    """Fan-out target: one batch execution serving many traces.
+
+    A child created on the group is a **single shared span** appended to
+    every member's children — honest about amortization (each trace sees
+    the same node with the same timing) without per-member duplication
+    of the engine/cache work records.
+    """
+
+    __slots__ = ("members",)
+
+    def __init__(self, members: list[Span]):
+        self.members = members
+
+    def child(self, name: str, **attrs) -> Span:
+        """One shared child span attached to every member."""
+        span = Span(name, attrs)
+        for member in self.members:
+            member.children.append(span)
+        return span
+
+    def add(self, counts: dict) -> None:
+        """Accumulate numeric attributes on every member."""
+        for member in self.members:
+            member.add(counts)
+
+
+class Tracer:
+    """Sampling, the trace ring buffer, and the sinks.
+
+    Args:
+        sample_rate: fraction of requests traced, in ``[0, 1]``;
+            systematic (deterministic), not random.
+        buffer_size: how many finished traces ``/v1/traces`` retains.
+        jsonl_path: when set, every finished trace is appended to this
+            file as one JSON line.
+        slow_threshold_s: root spans slower than this are logged with
+            their full span tree; ``0`` disables the slow-request log.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        *,
+        buffer_size: int = 256,
+        jsonl_path: str | None = None,
+        slow_threshold_s: float = 0.0,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"sample_rate must be within [0, 1], got {sample_rate!r}"
+            )
+        if buffer_size < 1:
+            raise ConfigurationError(
+                f"buffer_size must be at least 1, got {buffer_size!r}"
+            )
+        if slow_threshold_s < 0:
+            raise ConfigurationError(
+                f"slow_threshold_s must be non-negative, got "
+                f"{slow_threshold_s!r}"
+            )
+        self.sample_rate = float(sample_rate)
+        self.slow_threshold_s = float(slow_threshold_s)
+        self.jsonl_path = jsonl_path
+        self._jsonl_handle = None
+        self._buffer: deque = deque(maxlen=int(buffer_size))
+        self._lock = threading.Lock()
+        self._acc = 0.0
+        self._ids = itertools.count(1)
+        # Random prefix so trace ids from different processes (or two
+        # servers in one process) cannot collide in a shared log.
+        self._prefix = os.urandom(4).hex()
+
+    def begin(self, name: str, **attrs) -> Span | None:
+        """Start a root span, or ``None`` when this request is unsampled."""
+        rate = self.sample_rate
+        if rate <= 0.0:
+            return None
+        with self._lock:
+            self._acc += rate
+            if self._acc < 1.0:
+                return None
+            self._acc -= 1.0
+            trace_id = f"{self._prefix}{next(self._ids):010x}"
+        _M_SAMPLED.inc()
+        return Span(name, attrs, trace_id=trace_id)
+
+    def finish(self, span: Span | None, duration_s: float | None = None) -> None:
+        """Complete a root span: time it, buffer it, feed the sinks."""
+        if span is None:
+            return
+        span.duration_s = (
+            duration_s
+            if duration_s is not None
+            else time.perf_counter() - span._t0
+        )
+        _M_FINISHED.inc()
+        document = None
+        if self.jsonl_path is not None:
+            document = span.trace_dict()
+        with self._lock:
+            self._buffer.append(span)
+            if document is not None:
+                if self._jsonl_handle is None:
+                    self._jsonl_handle = open(
+                        self.jsonl_path, "a", encoding="utf-8"
+                    )
+                json.dump(document, self._jsonl_handle, separators=(",", ":"))
+                self._jsonl_handle.write("\n")
+                self._jsonl_handle.flush()
+        if self.slow_threshold_s and span.duration_s > self.slow_threshold_s:
+            _M_SLOW.inc()
+            _LOG.warning(
+                "slow request %s: %.1f ms > %.1f ms threshold (%s)",
+                span.trace_id,
+                span.duration_s * 1e3,
+                self.slow_threshold_s * 1e3,
+                span.name,
+                extra={
+                    "trace_id": span.trace_id,
+                    "trace": span.trace_dict(),
+                },
+            )
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """The newest finished traces, oldest first, as plain dicts."""
+        with self._lock:
+            spans = list(self._buffer)
+        if limit is not None and limit > 0:
+            spans = spans[-limit:]
+        return [span.trace_dict() for span in spans]
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink (idempotent)."""
+        with self._lock:
+            if self._jsonl_handle is not None:
+                self._jsonl_handle.close()
+                self._jsonl_handle = None
+
+
+# -- context propagation --------------------------------------------------------
+
+
+def current() -> Span | SpanGroup | None:
+    """The span (or fan-out group) active on this thread/task."""
+    return _CURRENT.get()
+
+
+def use(span: Span | SpanGroup | None):
+    """Install ``span`` as the current one; returns the reset token."""
+    return _CURRENT.set(span)
+
+
+def release(token) -> None:
+    """Undo a :func:`use`."""
+    _CURRENT.reset(token)
+
+
+class _NullSpanContext:
+    """The no-trace fast path: nothing is allocated, nothing is timed."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager around one live child span."""
+
+    __slots__ = ("_span", "_token")
+
+    def __init__(self, parent, name: str, attrs: dict):
+        self._span = parent.child(name, **attrs)
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info):
+        span = self._span
+        span.duration_s = time.perf_counter() - span._t0
+        _CURRENT.reset(self._token)
+        return False
+
+
+def child_span(name: str, **attrs):
+    """A timed child of the current span; a free no-op when untraced.
+
+    Usable around any unit of work::
+
+        with tracing.child_span("exact", candidates=4):
+            ...
+
+    Under a :class:`SpanGroup` (the batch worker) the child is a shared
+    node attached to every member trace.
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        return _NULL_CONTEXT
+    return _SpanContext(parent, name, attrs)
+
+
+def annotate(**attrs) -> None:
+    """Set attributes on the current span (no-op when untraced)."""
+    target = _CURRENT.get()
+    if target is None:
+        return
+    if isinstance(target, SpanGroup):
+        for member in target.members:
+            member.attrs.update(attrs)
+    else:
+        target.attrs.update(attrs)
+
+
+def add(**counts) -> None:
+    """Accumulate numeric attributes on the current span.
+
+    The cache tier calls this once per lookup — ``add(cache_hits=1)`` —
+    so a span wrapping many lookups ends up with honest totals without
+    one span per lookup.
+    """
+    target = _CURRENT.get()
+    if target is None:
+        return
+    target.add(counts)

@@ -24,11 +24,19 @@ The batch itself runs on a dedicated single-thread executor: admission
 decisions are CPU-bound numpy work that must not stall the event loop,
 and keeping *one* worker thread preserves batch ordering and keeps the
 ``service/batch`` timing spans on a single coherent span stack.
+
+Tracing crosses the thread hop explicitly: context vars do not follow
+``run_in_executor``, so each queued operation carries its request span
+(``None`` when unsampled) and the worker installs a
+:class:`~repro.obs.tracing.SpanGroup` over the sampled members — the
+engine/cache spans the controller produces underneath are shared nodes
+attached to every traced request the batch served.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.admission import (
@@ -39,7 +47,11 @@ from repro.admission import (
     ReleaseOutcome,
 )
 from repro.errors import ServiceError
-from repro.obs import metrics, timing
+from repro.obs import metrics, timing, tracing
+
+#: Batch sizes are powers-of-two-ish small integers bounded by
+#: ``batch_max``; these buckets cover the default 64 with headroom.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 __all__ = ["QueueFullError", "MicroBatcher"]
 
@@ -97,7 +109,9 @@ class MicroBatcher:
         self._m_submitted = metrics.counter("service.requests")
         self._m_shed = metrics.counter("service.shed")
         self._m_batches = metrics.counter("service.batches")
-        self._m_batch_size = metrics.histogram("service.batch_size")
+        self._m_batch_size = metrics.histogram(
+            "service.batch_size", buckets=BATCH_SIZE_BUCKETS
+        )
         self._m_queue_depth = metrics.gauge("service.queue_depth")
 
     @property
@@ -123,9 +137,13 @@ class MicroBatcher:
             )
 
     async def submit(
-        self, op: AdmissionOp
+        self, op: AdmissionOp, span: "tracing.Span | None" = None
     ) -> AdmissionDecision | ReleaseOutcome | OpFault:
         """Queue one operation and wait for its batch to answer it.
+
+        ``span`` is the request's trace span (``None`` when unsampled);
+        it rides the queue so the worker thread can attach the batch
+        subtree to it despite the executor hop.
 
         Raises :class:`QueueFullError` when the queue is at capacity and
         :class:`ServiceError` when the batcher is draining; neither
@@ -137,7 +155,7 @@ class MicroBatcher:
             raise ServiceError("service is draining; not accepting requests")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait((op, future))
+            self._queue.put_nowait((op, future, span))
         except asyncio.QueueFull:
             self._m_shed.inc()
             # Rough time for the standing backlog to clear: one window
@@ -196,13 +214,14 @@ class MicroBatcher:
             await self._run_batch(loop, batch)
 
     async def _run_batch(self, loop, batch) -> None:
-        ops = [op for op, _ in batch]
+        ops = [op for op, _, _ in batch]
+        spans = [span for _, _, span in batch]
         try:
             results = await loop.run_in_executor(
-                self._executor, self._process, ops
+                self._executor, self._process, ops, spans
             )
         except BaseException as exc:  # defensive: answer rather than hang
-            for _, future in batch:
+            for _, future, _ in batch:
                 if not future.done():
                     future.set_exception(
                         ServiceError(f"batch execution failed: {exc}")
@@ -211,14 +230,32 @@ class MicroBatcher:
             if isinstance(exc, asyncio.CancelledError):
                 raise
             return
-        for (_, future), result in zip(batch, results):
+        for (_, future, _), result in zip(batch, results):
             if not future.done():  # client may have disconnected
                 future.set_result(result)
             self._queue.task_done()
 
-    def _process(self, ops: "list[AdmissionOp]"):
-        with timing.span("service/batch"):
-            results = self._controller.process_batch(ops)
-        self._m_batches.inc()
-        self._m_batch_size.observe(len(ops))
+    def _process(self, ops: "list[AdmissionOp]", spans=()):
+        # One "batch" child per sampled request, grouped so the engine
+        # and cache spans produced inside process_batch land (as shared
+        # nodes) on every traced member.
+        members = [
+            span.child("batch", batch_size=len(ops), engine=self.engine_name)
+            for span in spans
+            if span is not None
+        ]
+        token = tracing.use(tracing.SpanGroup(members)) if members else None
+        t0 = time.perf_counter()
+        try:
+            with timing.span("service/batch"):
+                results = self._controller.process_batch(ops)
+        finally:
+            elapsed = time.perf_counter() - t0
+            for member in members:
+                member.duration_s = elapsed
+            if token is not None:
+                tracing.release(token)
+        with metrics.registry().hold():
+            self._m_batches.inc()
+            self._m_batch_size.observe(len(ops))
         return results

@@ -13,9 +13,15 @@ Both expose the same surface:
   ``tested_by``, ``utilization_after``);
 * ``release(stream_id, idempotent=False)`` — returns the wire release
   outcome;
-* ``breakdown()`` / ``healthz()`` / ``metrics()`` — the GET endpoints;
+* ``breakdown()`` / ``healthz()`` / ``metrics()`` / ``traces()`` — the
+  GET endpoints;
+* ``metrics_text()`` — the Prometheus exposition as raw text;
 * ``request(method, path, body)`` — the raw ``(status, payload)`` escape
   hatch.
+
+After every exchange, ``last_headers`` holds the response headers
+(lower-cased) — the load generator reads ``x-trace-id`` there to pair
+each measured latency with its server-side trace.
 
 Error contract: transport failures and non-2xx responses raise
 :class:`~repro.errors.ServiceError`.  Backpressure (429/503) raises
@@ -111,6 +117,15 @@ class _EndpointMixin:
         """The service's metric snapshot."""
         return self._call("GET", "/metrics", None)
 
+    def traces(self, limit: int | None = None):
+        """Recent request traces from the server's ring buffer."""
+        path = (
+            "/v1/traces"
+            if limit is None
+            else f"/v1/traces?limit={int(limit)}"
+        )
+        return self._call("GET", path, None)
+
 
 class ServiceClient(_EndpointMixin):
     """Blocking client over one keep-alive :mod:`http.client` connection.
@@ -132,6 +147,7 @@ class ServiceClient(_EndpointMixin):
         self._client_id = client_id
         self._timeout_s = timeout_s
         self._conn: http.client.HTTPConnection | None = None
+        self.last_headers: dict[str, str] = {}
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -145,8 +161,19 @@ class ServiceClient(_EndpointMixin):
             self._conn.close()
             self._conn = None
 
-    def request(self, method: str, path: str, body: dict | None = None):
-        """Raw ``(status, payload)`` without status-based raising."""
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        decode: bool = True,
+    ):
+        """Raw ``(status, payload)`` without status-based raising.
+
+        ``decode=False`` skips the JSON decode and returns the body as
+        bytes (the Prometheus exposition path).
+        """
         data = (
             json.dumps(body, separators=(",", ":")).encode("utf-8")
             if body is not None
@@ -172,8 +199,23 @@ class ServiceClient(_EndpointMixin):
                         f"{self._host}:{self._port} unreachable: {exc}"
                     ) from exc
                 continue
-            return response.status, _decode(raw), dict(response.getheaders())
+            self.last_headers = {
+                k.lower(): v for k, v in response.getheaders()
+            }
+            payload = _decode(raw) if decode else raw
+            return response.status, payload, dict(response.getheaders())
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``/metrics?format=prometheus``)."""
+        status, raw, _ = self.request(
+            "GET", "/metrics?format=prometheus", decode=False
+        )
+        if status != 200:
+            raise ServiceError(
+                f"HTTP {status} fetching prometheus metrics"
+            )
+        return raw.decode("utf-8")
 
     def _call(self, method: str, path: str, body: dict | None):
         status, payload, headers = self.request(method, path, body)
@@ -203,6 +245,7 @@ class AsyncServiceClient(_EndpointMixin):
         self._client_id = client_id
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
+        self.last_headers: dict[str, str] = {}
 
     async def __aenter__(self) -> "AsyncServiceClient":
         await self._connect()
@@ -226,7 +269,14 @@ class AsyncServiceClient(_EndpointMixin):
                 pass
             self._reader = self._writer = None
 
-    async def request(self, method: str, path: str, body: dict | None = None):
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        decode: bool = True,
+    ):
         """Raw ``(status, payload, headers)`` without status-based raising."""
         if self._writer is None:
             await self._connect()
@@ -249,7 +299,7 @@ class AsyncServiceClient(_EndpointMixin):
                 ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + data
             )
             await self._writer.drain()
-            return await self._read_response()
+            return await self._read_response(decode=decode)
         except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
             await self.close()
             raise ServiceError(
@@ -257,7 +307,7 @@ class AsyncServiceClient(_EndpointMixin):
                 f"dropped the connection: {exc}"
             ) from exc
 
-    async def _read_response(self):
+    async def _read_response(self, decode: bool = True):
         # One readuntil for the whole header block (the server always
         # terminates headers with CRLF CRLF) — the per-line loop was a
         # measurable slice of load-generator CPU at serving rates.
@@ -276,9 +326,21 @@ class AsyncServiceClient(_EndpointMixin):
         raw = await self._reader.readexactly(length) if length else b""
         if headers.get("connection", "").lower() == "close":
             await self.close()
-        return status, _decode(raw), headers
+        self.last_headers = headers
+        return status, _decode(raw) if decode else raw, headers
 
     async def _call(self, method: str, path: str, body: dict | None):
         status, payload, headers = await self.request(method, path, body)
         _raise_for_status(status, payload, headers)
         return payload
+
+    async def metrics_text(self) -> str:
+        """The Prometheus text exposition (``/metrics?format=prometheus``)."""
+        status, raw, _ = await self.request(
+            "GET", "/metrics?format=prometheus", decode=False
+        )
+        if status != 200:
+            raise ServiceError(
+                f"HTTP {status} fetching prometheus metrics"
+            )
+        return raw.decode("utf-8")

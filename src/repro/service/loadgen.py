@@ -46,6 +46,7 @@ __all__ = [
     "run_against_spawned_server",
     "admission_cache_summary",
     "bench_document",
+    "write_latency_csv",
 ]
 
 
@@ -87,6 +88,10 @@ class LoadReport:
     errors: int = 0
     latencies: list = field(default_factory=list)
     latencies_by_op: dict = field(default_factory=dict)
+    #: Per-request ``(kind, latency_s, trace_id)`` rows, in completion
+    #: order — the ``--latency-csv`` export, with the server-side trace
+    #: id (``X-Trace-Id``; empty when the request was unsampled).
+    samples: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """Plain-dict form (without the raw latency samples)."""
@@ -177,18 +182,36 @@ async def _worker(
             elapsed = loop.time() - started
             report.latencies.append(elapsed)
             report.latencies_by_op.setdefault(kind, []).append(elapsed)
+            report.samples.append(
+                (kind, elapsed, client.last_headers.get("x-trace-id", ""))
+            )
 
 
 def _percentile_summary(latencies: list) -> dict:
     samples = np.asarray(latencies, dtype=float)
-    q = np.percentile(samples, [50.0, 90.0, 99.0])
+    q = np.percentile(samples, [50.0, 90.0, 99.0, 99.9])
     return {
         "mean": float(samples.mean()),
         "p50": float(q[0]),
         "p90": float(q[1]),
         "p99": float(q[2]),
+        "p999": float(q[3]),
         "max": float(samples.max()),
     }
+
+
+def write_latency_csv(report: LoadReport, path: str) -> int:
+    """Write the per-request samples as CSV; returns the row count.
+
+    Columns: ``index,kind,latency_s,trace_id`` — ``trace_id`` links a
+    measured latency back to its server-side span tree in ``/v1/traces``
+    (empty when the request was unsampled).
+    """
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write("index,kind,latency_s,trace_id\n")
+        for index, (kind, latency_s, trace_id) in enumerate(report.samples):
+            handle.write(f"{index},{kind},{latency_s:.9f},{trace_id}\n")
+    return len(report.samples)
 
 
 def _summarize_latencies(report: LoadReport) -> None:

@@ -8,7 +8,9 @@ The service speaks JSON over HTTP/1.1.  Endpoints:
 ``/v1/release``    POST    release a previously admitted stream
 ``/v1/breakdown``  GET     headroom report for the admitted population
 ``/healthz``       GET     liveness/drain status plus queue depth
-``/metrics``       GET     ``service.*`` / ``cache.admission.*`` metric snapshot
+``/metrics``       GET     metric snapshot; ``?format=prometheus`` for
+                           text exposition, ``?format=json`` (default)
+``/v1/traces``     GET     recent request traces (``?limit=N``), newest last
 =================  ======  =====================================================
 
 Request bodies: ``{"period_s": float, "payload_bits": float}`` for
@@ -91,6 +93,10 @@ class ServiceConfig:
     rate_limit_burst: float = 50.0
     cache_namespace: str | None = "admission"
     drain_grace_s: float = 5.0
+    trace_sample_rate: float = 1.0  # fraction of requests traced
+    trace_buffer: int = 256  # traces retained for /v1/traces
+    trace_jsonl: str | None = None  # append finished traces here
+    slow_trace_s: float = 0.0  # log full span tree above this; 0 off
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -123,6 +129,19 @@ class ServiceConfig:
         if self.batch_window_s < 0:
             raise ConfigurationError(
                 f"batch_window_s must be non-negative, got {self.batch_window_s!r}"
+            )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                f"trace_sample_rate must be within [0, 1], got "
+                f"{self.trace_sample_rate!r}"
+            )
+        if self.trace_buffer < 1:
+            raise ConfigurationError(
+                f"trace_buffer must be at least 1, got {self.trace_buffer!r}"
+            )
+        if self.slow_trace_s < 0:
+            raise ConfigurationError(
+                f"slow_trace_s must be non-negative, got {self.slow_trace_s!r}"
             )
 
 

@@ -16,6 +16,15 @@ so every decision flows through the micro-batcher and is bit-identical
 to a direct controller call (the batcher only changes *when* work runs,
 never its serialization order).
 
+Every request is a candidate for **tracing** (systematic sampling at
+``config.trace_sample_rate``): a sampled request gets a root span whose
+id is echoed back in an ``X-Trace-Id`` header, whose children cover the
+batch, engine, and cache tiers, and which lands in the ring buffer
+behind ``/v1/traces`` (plus the optional JSONL sink and the
+slow-request log).  ``/metrics`` serves the JSON snapshot by default and
+Prometheus text exposition under ``?format=prometheus`` — with the
+correct ``Content-Type`` for each.
+
 Shutdown is a *drain*: SIGTERM/SIGINT (or :meth:`drain_and_stop`) stops
 accepting connections, answers every queued operation, then exits.  New
 requests during the drain get **503**; nothing already accepted is
@@ -27,12 +36,16 @@ from __future__ import annotations
 import asyncio
 import math
 import signal
+from dataclasses import dataclass
+from urllib.parse import parse_qs
 
 from repro.admission import AdmissionOp, OpFault
 from repro.analysis.breakdown import breakdown_scale
 from repro.errors import ReproError, ServiceError
-from repro.obs import metrics, timing
+from repro.obs import metrics, prometheus, timing, tracing
 from repro.obs.logging import get_logger
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_S
+from repro.obs.tracing import Tracer
 from repro.service.batcher import MicroBatcher, QueueFullError
 from repro.service.protocol import (
     ServiceConfig,
@@ -69,6 +82,27 @@ _STATUS_TEXT = {
 #: more than a few dozen bytes of JSON).
 _MAX_BODY_BYTES = 64 * 1024
 
+#: Metric-name prefixes the service exposes (summary, ``/metrics``).
+_METRIC_PREFIXES = (
+    "service.",
+    "cache.admission.",
+    "admission.incremental.",
+    "trace.",
+)
+
+
+@dataclass(frozen=True)
+class _RawBody:
+    """A pre-encoded response body with its own Content-Type.
+
+    The JSON path stays the default; the Prometheus exposition returns
+    one of these so ``_write_response`` serves ``text/plain`` instead of
+    mislabelling text as ``application/json``.
+    """
+
+    content_type: str
+    data: bytes
+
 
 class AdmissionServer:
     """One admission service session.
@@ -100,6 +134,12 @@ class AdmissionServer:
         self.limiter = ClientRateLimiter(
             config.rate_limit_rps, config.rate_limit_burst
         )
+        self.tracer = Tracer(
+            config.trace_sample_rate,
+            buffer_size=config.trace_buffer,
+            jsonl_path=config.trace_jsonl,
+            slow_threshold_s=config.slow_trace_s,
+        )
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._draining = False
@@ -107,7 +147,9 @@ class AdmissionServer:
         self._m_http = metrics.counter("service.http_requests")
         self._m_errors = metrics.counter("service.http_errors")
         self._m_limited = metrics.counter("service.rate_limited")
-        self._m_latency = metrics.histogram("service.request_latency_s")
+        self._m_latency = metrics.histogram(
+            "service.request_latency_s", buckets=DEFAULT_LATENCY_BUCKETS_S
+        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -149,6 +191,7 @@ class AdmissionServer:
             )
         if self._server is not None:
             await self._server.wait_closed()
+        self.tracer.close()
         self._drained.set()
         _LOG.info("admission service stopped")
 
@@ -177,13 +220,7 @@ class AdmissionServer:
             "admitted": self.controller.admitted_count,
             "utilization": self.controller.utilization(),
             "admission_engine": self.controller.engine_name,
-            "metrics": metrics.snapshot(
-                prefix=(
-                    "service.",
-                    "cache.admission.",
-                    "admission.incremental.",
-                )
-            ),
+            "metrics": metrics.snapshot(prefix=_METRIC_PREFIXES),
             "spans": {
                 path: stats
                 for path, stats in timing.snapshot().items()
@@ -201,17 +238,35 @@ class AdmissionServer:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                method, path, headers, body = request
+                method, target, headers, body = request
+                path, _, query = target.partition("?")
+                trace = self.tracer.begin("request", method=method, path=path)
+                token = tracing.use(trace) if trace is not None else None
                 started = asyncio.get_running_loop().time()
-                status, payload, extra_headers = await self._route(
-                    method, path, headers, body, peer_host
-                )
-                self._m_http.inc()
-                if status >= 400:
-                    self._m_errors.inc()
-                self._m_latency.observe(
-                    asyncio.get_running_loop().time() - started
-                )
+                try:
+                    status, payload, extra_headers = await self._route(
+                        method, path, query, headers, body, peer_host
+                    )
+                finally:
+                    if token is not None:
+                        tracing.release(token)
+                elapsed = asyncio.get_running_loop().time() - started
+                if trace is not None:
+                    trace.attrs["status"] = status
+                    extra_headers = list(extra_headers) + [
+                        ("X-Trace-Id", trace.trace_id)
+                    ]
+                # Group the per-request updates so a concurrent snapshot
+                # never sees the counter without its latency observation.
+                with metrics.registry().hold():
+                    self._m_http.inc()
+                    if status >= 400:
+                        self._m_errors.inc()
+                    self._m_latency.observe(
+                        elapsed,
+                        exemplar=trace.trace_id if trace is not None else None,
+                    )
+                self.tracer.finish(trace, duration_s=elapsed)
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
@@ -230,7 +285,7 @@ class AdmissionServer:
                 pass
 
     async def _read_request(self, reader):
-        """One HTTP request as ``(method, path, headers, body)``; None at EOF.
+        """One HTTP request as ``(method, target, headers, body)``; None at EOF.
 
         The whole header block is taken in a single ``readuntil`` — one
         stream operation instead of one per header line, which matters on
@@ -256,16 +311,20 @@ class AdmissionServer:
         if length > _MAX_BODY_BYTES:
             raise asyncio.IncompleteReadError(b"", None)
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method, path, headers, body
+        return method, target, headers, body
 
     async def _write_response(
         self, writer, status, payload, extra_headers, keep_alive
     ) -> None:
-        body = dump_body(payload)
+        if isinstance(payload, _RawBody):
+            content_type = payload.content_type
+            body = payload.data
+        else:
+            content_type = "application/json"
+            body = dump_body(payload)
         lines = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -278,7 +337,7 @@ class AdmissionServer:
 
     # -- routing ---------------------------------------------------------------
 
-    async def _route(self, method, path, headers, body, peer_host):
+    async def _route(self, method, path, query, headers, body, peer_host):
         """Dispatch one request; returns (status, payload, extra_headers)."""
         try:
             if path == "/healthz":
@@ -288,20 +347,11 @@ class AdmissionServer:
             if path == "/metrics":
                 if method != "GET":
                     return self._method_not_allowed("GET")
-                return (
-                    200,
-                    {
-                        "schema_version": WIRE_SCHEMA_VERSION,
-                        "metrics": metrics.snapshot(
-                            prefix=(
-                                "service.",
-                                "cache.admission.",
-                                "admission.incremental.",
-                            )
-                        ),
-                    },
-                    [],
-                )
+                return self._metrics_endpoint(query)
+            if path == "/v1/traces":
+                if method != "GET":
+                    return self._method_not_allowed("GET")
+                return self._traces_endpoint(query)
             if path == "/v1/breakdown":
                 if method != "GET":
                     return self._method_not_allowed("GET")
@@ -359,8 +409,10 @@ class AdmissionServer:
                 if path == "/v1/check"
                 else AdmissionOp.admit(period_s, payload_bits)
             )
+        tracing.annotate(op=op.kind)
         try:
-            result = await self.batcher.submit(op)
+            span = tracing.current()
+            result = await self.batcher.submit(op, span=span)
         except QueueFullError as exc:
             return (
                 429,
@@ -378,6 +430,70 @@ class AdmissionServer:
         if op.kind == "release":
             return 200, release_to_wire(result), []
         return 200, decision_to_wire(result), []
+
+    def _metrics_endpoint(self, query: str):
+        """``/metrics``: JSON snapshot, or Prometheus text exposition.
+
+        The snapshot is taken once under the registry lock (atomic cut);
+        the Prometheus path renders that same cut, so the two formats can
+        never disagree about a scrape instant.
+        """
+        params = parse_qs(query)
+        fmt = params.get("format", ["json"])[-1]
+        snap = metrics.snapshot(prefix=_METRIC_PREFIXES)
+        if fmt == "json":
+            return (
+                200,
+                {"schema_version": WIRE_SCHEMA_VERSION, "metrics": snap},
+                [],
+            )
+        if fmt == "prometheus":
+            text = prometheus.render(snap)
+            return (
+                200,
+                _RawBody(prometheus.CONTENT_TYPE, text.encode("utf-8")),
+                [],
+            )
+        return (
+            400,
+            {
+                "error": "BadFormat",
+                "detail": (
+                    f"unknown metrics format {fmt!r}; "
+                    "expected 'json' or 'prometheus'"
+                ),
+            },
+            [],
+        )
+
+    def _traces_endpoint(self, query: str):
+        """``/v1/traces``: the ring buffer of finished traces (oldest first)."""
+        params = parse_qs(query)
+        limit = None
+        raw_limit = params.get("limit", [None])[-1]
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                return (
+                    400,
+                    {
+                        "error": "BadLimit",
+                        "detail": f"limit must be an integer, got {raw_limit!r}",
+                    },
+                    [],
+                )
+        traces = self.tracer.recent(limit)
+        return (
+            200,
+            {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "sample_rate": self.tracer.sample_rate,
+                "count": len(traces),
+                "traces": traces,
+            },
+            [],
+        )
 
     def _healthz(self) -> dict:
         return {

@@ -49,6 +49,12 @@ The properties:
     one priority level — **identically** to the scalar oracle, with the
     level cache enabled on the incremental side only (so stale or
     poisoned snapshot/cache entries cannot hide).
+``admission_tracing_equiv``
+    Tracing is observational only: the same op sequence issued with
+    request spans installed (sample rate 0, 0.5, or 1.0, both engines)
+    must produce decisions **bit-identical** to an untraced twin
+    controller — a span attribute or sampling branch that leaks into an
+    admission verdict is a correctness bug, not an observability bug.
 """
 
 from __future__ import annotations
@@ -69,6 +75,7 @@ from repro.analysis.breakdown import breakdown_scale, breakdown_scales_batch
 from repro.analysis.pdp import PDPAnalysis, PDPVariant
 from repro.analysis.ttp import TTPAnalysis
 from repro.errors import AllocationError, ReproError
+from repro.obs import tracing as tracing_mod
 from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
 from repro.sim import fastpath as fastpath_mod
 from repro.sim import fastpath_ttp as fastpath_ttp_mod
@@ -709,6 +716,94 @@ def check_admission_incremental_equiv(case: FuzzCase) -> Violation | None:
     return None
 
 
+def check_admission_tracing_equiv(case: FuzzCase) -> Violation | None:
+    """Tracing must never move an admission decision.
+
+    A traced controller (request span installed per op, engine/cache
+    spans recorded underneath) and an untraced twin must answer the same
+    op sequence identically at every sample rate — 0.0 (never sampled),
+    0.5 (systematic every-other), and 1.0 (every request).
+    """
+    policy = (
+        admission_mod.AdmissionPolicy.EXACT,
+        admission_mod.AdmissionPolicy.SUFFICIENT,
+        admission_mod.AdmissionPolicy.HYBRID,
+    )[case.index % 3]
+    sample_rate = (0.0, 0.5, 1.0)[case.index % 3]
+    if case.index % 2:
+        analysis_factory = lambda: _ttp_analysis(case)  # noqa: E731
+    else:
+        analysis_factory = lambda: _pdp_analysis(  # noqa: E731
+            case, PDPVariant.MODIFIED
+        )
+
+    def build(with_cache: bool):
+        if case.index % 4 < 2:
+            return admission_mod.AdmissionController(
+                analysis_factory(),
+                policy,
+                cache_namespace="admission" if with_cache else None,
+            )
+        return admission_incremental_mod.IncrementalAdmissionController(
+            analysis_factory(),
+            policy,
+            cache_namespace="admission" if with_cache else None,
+        )
+
+    traced = build(with_cache=True)
+    untraced = build(with_cache=True)
+    tracer = tracing_mod.Tracer(sample_rate, buffer_size=8)
+
+    def issue(controller, op):
+        try:
+            if op.kind == "check":
+                return controller.check(op.period_s, op.payload_bits)
+            if op.kind == "admit":
+                return controller.request(op.period_s, op.payload_bits)
+            return controller.release(op.stream_id, idempotent=op.idempotent)
+        except ReproError as exc:
+            return admission_mod.OpFault(type(exc).__name__, str(exc))
+
+    rng = random.Random(case.seed * 7_000_003 + case.index)
+    ops: list[admission_mod.AdmissionOp] = []
+    while len(ops) < 32:
+        for period_s, payload_bits in zip(case.periods_s, case.payloads_bits):
+            if rng.random() < 0.5:
+                ops.append(
+                    admission_mod.AdmissionOp.admit(period_s, payload_bits)
+                )
+            else:
+                ops.append(
+                    admission_mod.AdmissionOp.check(period_s, payload_bits)
+                )
+            if rng.random() < 0.3:
+                ops.append(
+                    admission_mod.AdmissionOp.release(
+                        rng.randrange(1, len(ops) + 3),
+                        idempotent=rng.random() < 0.5,
+                    )
+                )
+
+    for position, op in enumerate(ops):
+        span = tracer.begin("request", op=op.kind)
+        token = tracing_mod.use(span) if span is not None else None
+        try:
+            got = issue(traced, op)
+        finally:
+            if token is not None:
+                tracing_mod.release(token)
+            tracer.finish(span)
+        want = issue(untraced, op)
+        if got != want:
+            return Violation(
+                "admission_tracing_equiv",
+                case,
+                f"op {position} ({op.kind}, rate={sample_rate}) diverged "
+                f"under tracing: traced={got!r}, untraced={want!r}",
+            )
+    return None
+
+
 CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_vs_sim": check_pdp_vs_sim,
     "ttp_vs_sim": check_ttp_vs_sim,
@@ -722,6 +817,7 @@ CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "ttp_fastpath_equiv": check_ttp_fastpath_equiv,
     "service_batch_equiv": check_service_batch_equiv,
     "admission_incremental_equiv": check_admission_incremental_equiv,
+    "admission_tracing_equiv": check_admission_tracing_equiv,
 }
 
 

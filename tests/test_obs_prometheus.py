@@ -1,0 +1,214 @@
+"""Prometheus exposition and bucketed histograms.
+
+Three properties carry the weight: :func:`repro.obs.prometheus.render`
+round-trips through :func:`repro.obs.prometheus.parse` (the exposition
+is machine-checkable, not eyeballed), bucketed histograms merged across
+worker registries equal single-process totals (the ``parallel.py``
+contract), and snapshots are atomic — a concurrent reader never sees a
+counter/histogram pair torn apart mid-update.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import prometheus
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    bucket_quantile,
+)
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert prometheus.sanitize_name("service.http-errors") == (
+            "service_http_errors"
+        )
+
+    def test_leading_digit_gets_prefixed(self):
+        assert prometheus.sanitize_name("5xx.count") == "_5xx_count"
+
+
+class TestRender:
+    def test_counter_and_gauge_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("service.http_requests").inc(42)
+        reg.gauge("service.queue_depth").set(7)
+        families = prometheus.parse(prometheus.render(reg.snapshot()))
+        requests = families["repro_service_http_requests_total"]
+        assert requests["type"] == "counter"
+        assert requests["samples"][0]["value"] == 42
+        depth = families["repro_service_queue_depth"]
+        assert depth["type"] == "gauge"
+        assert depth["samples"][0]["value"] == 7
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        families = prometheus.parse(prometheus.render(reg.snapshot()))
+        family = families["repro_lat"]
+        assert family["type"] == "histogram"
+        buckets = {
+            s["labels"]["le"]: s["value"]
+            for s in family["samples"]
+            if s["name"] == "repro_lat_bucket"
+        }
+        assert buckets == {"0.01": 1, "0.1": 3, "1": 4, "+Inf": 5}
+        by_name = {s["name"]: s["value"] for s in family["samples"]}
+        assert by_name["repro_lat_count"] == 5
+        assert by_name["repro_lat_sum"] == pytest.approx(5.605)
+
+    def test_exemplars_attach_to_their_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(0.01, 0.1))
+        hist.observe(0.05, exemplar="abc123")
+        text = prometheus.render(reg.snapshot())
+        assert '# {trace_id="abc123"} 0.05' in text
+        family = prometheus.parse(text)["repro_lat"]
+        exemplars = [
+            s["exemplar"]
+            for s in family["samples"]
+            if s["exemplar"] is not None
+        ]
+        assert exemplars == [
+            {"labels": {"trace_id": "abc123"}, "value": 0.05}
+        ]
+        strict = prometheus.render(reg.snapshot(), exemplars=False)
+        assert "trace_id" not in strict
+        prometheus.parse(strict)  # still valid without the suffix
+
+    def test_unbucketed_histogram_renders_as_summary(self):
+        reg = MetricsRegistry()
+        reg.histogram("probe").observe(3.0)
+        family = prometheus.parse(prometheus.render(reg.snapshot()))[
+            "repro_probe"
+        ]
+        assert family["type"] == "summary"
+        values = {s["name"]: s["value"] for s in family["samples"]}
+        assert values == {"repro_probe_sum": 3.0, "repro_probe_count": 1}
+
+    def test_unknown_type_raises_instead_of_skipping(self):
+        with pytest.raises(ConfigurationError):
+            prometheus.render({"weird": {"type": "mystery", "value": 1}})
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ConfigurationError):
+            prometheus.parse("# TYPE broken\n")
+        with pytest.raises(ConfigurationError):
+            prometheus.parse("{oops} 1\n")
+
+    def test_infinite_values_survive_the_round_trip(self):
+        reg = MetricsRegistry()
+        reg.gauge("level").set(math.inf)
+        family = prometheus.parse(prometheus.render(reg.snapshot()))[
+            "repro_level"
+        ]
+        assert family["samples"][0]["value"] == math.inf
+
+
+class TestMerge:
+    def test_worker_merge_equals_single_process_totals(self):
+        """N per-worker registries merged == one registry fed everything."""
+        observations = [i * 0.003 for i in range(60)]
+        workers = [MetricsRegistry() for _ in range(3)]
+        for index, value in enumerate(observations):
+            reg = workers[index % 3]
+            reg.counter("requests").inc()
+            reg.histogram(
+                "lat", buckets=DEFAULT_LATENCY_BUCKETS_S
+            ).observe(value, exemplar=f"t{index}")
+
+        merged = MetricsRegistry()
+        for worker in workers:
+            merged.merge(worker.snapshot())
+
+        single = MetricsRegistry()
+        for index, value in enumerate(observations):
+            single.counter("requests").inc()
+            single.histogram(
+                "lat", buckets=DEFAULT_LATENCY_BUCKETS_S
+            ).observe(value, exemplar=f"t{index}")
+
+        merged_snap = merged.snapshot()
+        single_snap = single.snapshot()
+        assert merged_snap["requests"] == single_snap["requests"]
+        m_lat, s_lat = merged_snap["lat"], single_snap["lat"]
+        for key in ("count", "total", "sum_squares", "min", "max"):
+            assert m_lat[key] == pytest.approx(s_lat[key])
+        assert m_lat["buckets"]["bounds"] == s_lat["buckets"]["bounds"]
+        assert m_lat["buckets"]["counts"] == s_lat["buckets"]["counts"]
+        # exemplars are last-writer-wins, but land in the same buckets
+        assert set(m_lat["buckets"]["exemplars"]) == set(
+            s_lat["buckets"]["exemplars"]
+        )
+
+    def test_merge_rejects_mismatched_bounds(self):
+        left = MetricsRegistry()
+        left.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        right = MetricsRegistry()
+        right.histogram("lat", buckets=(0.2, 2.0)).observe(0.05)
+        with pytest.raises(ConfigurationError):
+            left.merge(right.snapshot())
+
+    def test_bounds_cannot_change_once_attached(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(0.1, 1.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("lat", buckets=(0.2, 2.0))
+
+
+class TestAtomicSnapshot:
+    def test_held_updates_are_never_torn(self):
+        """Counter and histogram updated under hold() always agree."""
+        reg = MetricsRegistry()
+        count = reg.counter("requests")
+        lat = reg.histogram("lat", buckets=(0.1, 1.0))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                with reg.hold():
+                    count.inc()
+                    lat.observe(0.05)
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        try:
+            for _ in range(300):
+                snap = reg.snapshot()
+                if "requests" not in snap:
+                    continue  # nothing written yet
+                assert snap["requests"]["value"] == snap["lat"]["count"]
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+
+
+class TestBucketQuantile:
+    def test_empty_histogram_has_no_quantile(self):
+        assert bucket_quantile((0.1, 1.0), [0, 0, 0], 0.5) is None
+
+    def test_interpolates_within_the_containing_bucket(self):
+        # 10 observations in (0.1, 0.2]: the median sits mid-bucket.
+        assert bucket_quantile((0.1, 0.2), [0, 10, 0], 0.5) == (
+            pytest.approx(0.15)
+        )
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert bucket_quantile((0.1, 0.2), [10, 0, 0], 0.5) == (
+            pytest.approx(0.05)
+        )
+
+    def test_overflow_mass_reports_the_last_bound(self):
+        assert bucket_quantile((0.1, 0.2), [0, 0, 5], 0.99) == 0.2
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ConfigurationError):
+            bucket_quantile((0.1,), [1, 0], 1.5)

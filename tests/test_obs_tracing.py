@@ -1,0 +1,199 @@
+"""Tracing primitives: spans, fan-out groups, sampling, sinks.
+
+The load-bearing properties: sampling is deterministic (systematic, not
+random — the ``admission_tracing_equiv`` fuzz property depends on being
+able to reason about which requests are traced), the no-trace path
+allocates nothing, and a :class:`SpanGroup` child is one *shared* node
+(same ``span_id``) in every member trace — the marker for amortized
+batch work.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import tracing
+from repro.obs.tracing import TRACE_SCHEMA_VERSION, Span, SpanGroup, Tracer
+
+
+class TestSpan:
+    def test_child_nesting_and_serialization(self):
+        root = Span("request", {"method": "POST"}, trace_id="t1")
+        child = root.child("batch", batch_size=3)
+        grand = child.child("engine")
+        grand.duration_s = 0.25
+
+        doc = root.trace_dict()
+        assert doc["schema_version"] == TRACE_SCHEMA_VERSION
+        assert doc["trace_id"] == "t1"
+        assert doc["name"] == "request"
+        assert doc["attrs"] == {"method": "POST"}
+        (batch,) = doc["spans"]
+        assert batch["name"] == "batch"
+        assert batch["attrs"] == {"batch_size": 3}
+        (engine,) = batch["spans"]
+        assert engine["duration_s"] == 0.25
+        assert "spans" not in engine  # leaf spans stay flat
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_span_ids_unique_within_a_trace(self):
+        root = Span("request")
+        ids = {root.span_id}
+        for index in range(5):
+            ids.add(root.child(f"c{index}").span_id)
+        assert len(ids) == 6
+
+    def test_add_accumulates_numeric_attributes(self):
+        span = Span("cache")
+        span.add({"cache_hits": 1})
+        span.add({"cache_hits": 2, "cache_misses": 1})
+        assert span.attrs == {"cache_hits": 3, "cache_misses": 1}
+
+
+class TestSpanGroup:
+    def test_child_is_one_shared_node_across_members(self):
+        roots = [Span("request", trace_id=f"t{i}") for i in range(3)]
+        group = SpanGroup([root.child("batch") for root in roots])
+        engine = group.child("engine", candidates=3)
+        span_ids = {
+            root.children[0].children[0].span_id for root in roots
+        }
+        assert span_ids == {engine.span_id}
+
+    def test_add_reaches_every_member(self):
+        members = [Span("batch"), Span("batch")]
+        SpanGroup(members).add({"levels_reused": 4})
+        assert all(m.attrs == {"levels_reused": 4} for m in members)
+
+
+class TestTracerSampling:
+    def test_rate_zero_never_samples(self):
+        tracer = Tracer(0.0)
+        assert [tracer.begin("request") for _ in range(8)] == [None] * 8
+
+    def test_rate_one_always_samples(self):
+        tracer = Tracer(1.0)
+        spans = [tracer.begin("request") for _ in range(8)]
+        assert all(span is not None for span in spans)
+        assert len({span.trace_id for span in spans}) == 8
+
+    def test_rate_half_is_systematic_every_second_request(self):
+        tracer = Tracer(0.5)
+        pattern = [tracer.begin("request") is not None for _ in range(8)]
+        assert pattern == [False, True] * 4
+
+    def test_fractional_rate_hits_exact_long_run_fraction(self):
+        tracer = Tracer(0.25)
+        sampled = sum(
+            tracer.begin("request") is not None for _ in range(400)
+        )
+        assert sampled == 100
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(1.5)
+        with pytest.raises(ConfigurationError):
+            Tracer(-0.1)
+        with pytest.raises(ConfigurationError):
+            Tracer(1.0, buffer_size=0)
+        with pytest.raises(ConfigurationError):
+            Tracer(1.0, slow_threshold_s=-1.0)
+
+
+class TestTracerSinks:
+    def test_ring_buffer_keeps_newest(self):
+        tracer = Tracer(1.0, buffer_size=3)
+        for index in range(5):
+            span = tracer.begin("request", index=index)
+            tracer.finish(span)
+        recent = tracer.recent()
+        assert [t["attrs"]["index"] for t in recent] == [2, 3, 4]
+        assert [t["attrs"]["index"] for t in tracer.recent(limit=2)] == [3, 4]
+
+    def test_finish_unsampled_is_a_noop(self):
+        tracer = Tracer(0.0)
+        tracer.finish(None)
+        assert tracer.recent() == []
+
+    def test_finish_honors_explicit_duration(self):
+        tracer = Tracer(1.0)
+        span = tracer.begin("request")
+        tracer.finish(span, duration_s=0.125)
+        assert tracer.recent()[-1]["duration_s"] == 0.125
+
+    def test_jsonl_sink_appends_one_line_per_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        tracer = Tracer(1.0, jsonl_path=str(path))
+        for index in range(3):
+            tracer.finish(tracer.begin("request", index=index))
+        tracer.close()
+        tracer.close()  # idempotent
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        documents = [json.loads(line) for line in lines]
+        assert [d["attrs"]["index"] for d in documents] == [0, 1, 2]
+        assert all(
+            d["schema_version"] == TRACE_SCHEMA_VERSION for d in documents
+        )
+
+    def test_slow_requests_log_their_span_tree(self, caplog):
+        tracer = Tracer(1.0, slow_threshold_s=0.001)
+        span = tracer.begin("request")
+        span.child("batch")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.tracing"):
+            tracer.finish(span, duration_s=0.5)
+            tracer.finish(tracer.begin("request"), duration_s=0.0001)
+        slow = [r for r in caplog.records if "slow request" in r.message]
+        assert len(slow) == 1
+        assert slow[0].trace_id == span.trace_id
+        assert slow[0].trace["spans"][0]["name"] == "batch"
+
+
+class TestContextPropagation:
+    def test_child_span_is_noop_when_untraced(self):
+        assert tracing.current() is None
+        with tracing.child_span("engine", candidates=4) as span:
+            assert span is None
+        tracing.annotate(op="check")  # must not raise
+        tracing.add(cache_hits=1)
+
+    def test_child_span_nests_under_installed_root(self):
+        root = Span("request", trace_id="t1")
+        token = tracing.use(root)
+        try:
+            with tracing.child_span("engine", candidates=2) as engine:
+                assert tracing.current() is engine
+                tracing.annotate(policy="exact")
+                tracing.add(cache_hits=1)
+                tracing.add(cache_hits=1)
+                with tracing.child_span("cache"):
+                    pass
+            assert tracing.current() is root
+        finally:
+            tracing.release(token)
+        assert tracing.current() is None
+        assert engine.attrs == {
+            "candidates": 2,
+            "policy": "exact",
+            "cache_hits": 2,
+        }
+        assert engine.duration_s > 0.0
+        assert [c.name for c in root.children] == ["engine"]
+        assert [c.name for c in engine.children] == ["cache"]
+
+    def test_group_child_span_shares_one_node(self):
+        members = [Span("batch"), Span("batch")]
+        token = tracing.use(SpanGroup(members))
+        try:
+            with tracing.child_span("engine") as engine:
+                tracing.add(levels_computed=3)
+        finally:
+            tracing.release(token)
+        assert members[0].children == [engine]
+        assert members[1].children == [engine]
+        # the add() landed on the shared engine span, once, not per member
+        assert engine.attrs == {"levels_computed": 3}

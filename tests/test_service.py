@@ -407,7 +407,14 @@ class TestServer:
                 snap = client.metrics()["metrics"]
                 assert snap["service.requests"]["value"] >= 5
                 assert all(
-                    name.startswith(("service.", "cache.admission."))
+                    name.startswith(
+                        (
+                            "service.",
+                            "cache.admission.",
+                            "admission.incremental.",
+                            "trace.",
+                        )
+                    )
                     for name in snap
                 )
 
@@ -565,8 +572,11 @@ class TestLoadgen:
         assert report.errors == 0
         assert report.shed == 0
         assert report.throughput_rps > 0
-        assert set(report.latency_s) == {"mean", "p50", "p90", "p99", "max"}
+        assert set(report.latency_s) == {
+            "mean", "p50", "p90", "p99", "p999", "max",
+        }
         assert report.latency_s["p50"] <= report.latency_s["p99"]
+        assert report.latency_s["p99"] <= report.latency_s["p999"]
         assert summary["metrics"]["service.batches"]["value"] > 0
 
         document = bench_document(

@@ -457,9 +457,63 @@ def run_admission_guard() -> None:
     )
 
 
+def run_top_smoke() -> None:
+    """One ``runner top --once --spawn`` frame must render live telemetry.
+
+    Spawns the in-process server, drives the seeded burst, and asserts
+    the frame actually shows traffic: the ``req/s`` line, the latency
+    percentiles, and the batch-size section all come from the
+    ``/metrics`` histograms, so an empty or missing section means the
+    bucketed pipeline (or its delta arithmetic) broke.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.experiments.runner", "top",
+            "--spawn", "--once", "--interval", "0.5",
+            "--no-manifest", "--log-level", "error",
+        ],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=600,
+    )
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"runner top --once failed (rc={proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    for needle in ("req/s", "latency", "batches"):
+        if needle not in proc.stdout:
+            raise AssertionError(
+                f"top frame is missing {needle!r}:\n{proc.stdout}"
+            )
+    print("verify_smoke: ok (runner top --once renders live telemetry)")
+
+
+def run_bench_trend_guard() -> None:
+    """The bench-trend history check must pass (or skip with a notice)."""
+    env = dict(os.environ)
+    proc = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", "bench_trend.py"),
+         "check"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
+    )
+    sys.stdout.write(proc.stdout)
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"bench-trend check failed (rc={proc.returncode}):\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    print("verify_smoke: ok (bench trend within threshold)")
+
+
 if __name__ == "__main__":
     run_smoke()
     run_mutation_smoke_check()
     run_service_canary()
     run_admission_guard()
     run_bench_guard()
+    run_top_smoke()
+    run_bench_trend_guard()
