@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service bench-admission bench-trend top serve examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service bench-admission bench-loss bench-trend top serve examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
@@ -30,6 +30,10 @@ help:
 	@echo "                   cold vs warm cache, check- vs churn-heavy mixes"
 	@echo "                   -> BENCH_admission.json (the verify guard"
 	@echo "                   checks warm hit ratios against it)"
+	@echo "  bench-loss       lossy-medium canary: breakdown utilization vs"
+	@echo "                   loss fraction for both protocols under the"
+	@echo "                   retransmission-aware bounds -> BENCH_loss.json"
+	@echo "                   (the verify loss canary checks its shape)"
 	@echo "  bench-trend      append the current BENCH_*.json summaries to"
 	@echo "                   BENCH_history.jsonl (the verify trend guard"
 	@echo "                   compares future runs against this history)"
@@ -85,6 +89,11 @@ bench-admission:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner \
 		bench-admission --no-manifest --log-level warning \
 		--bench-admission-json BENCH_admission.json
+
+bench-loss:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner \
+		loss-sweep --fast --no-manifest --log-level warning \
+		--loss-bench-json BENCH_loss.json
 
 bench-trend:
 	$(PYTHON) tools/bench_trend.py append

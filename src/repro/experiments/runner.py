@@ -16,6 +16,7 @@ Usage::
     python -m repro.experiments.runner loadgen --spawn --duration 5 [--churn]
     python -m repro.experiments.runner top --port 8711 --interval 2
     python -m repro.experiments.runner bench-admission
+    python -m repro.experiments.runner loss-sweep --fast [--recovery-time 1e-3]
 
 ``serve`` runs the admission-control service of :mod:`repro.service`
 (USAGE.md §14) until SIGTERM/ctrl-c, then drains gracefully; ``loadgen``
@@ -53,6 +54,14 @@ up as ``cache.*`` metrics in the manifest.  ``--admission-engine
 (USAGE.md §15); ``bench-admission`` measures both engines head to head
 (cold vs warm cache, check-heavy vs churn-heavy mixes) and writes the
 ``BENCH_admission.json`` canary.
+
+``loss-sweep`` estimates average breakdown utilization for both
+protocols under the retransmission-aware criteria of
+:mod:`repro.faults.analysis` across a range of medium loss fractions,
+prints the breakdown-versus-loss figure, and writes the
+``BENCH_loss.json`` canary (USAGE.md §17).  ``--loss-fractions`` takes a
+comma-separated list, ``--recovery-time`` the charged token
+claim/recovery latency in seconds.
 
 Observability (see :mod:`repro.obs` and docs/USAGE.md §11):
 
@@ -327,6 +336,57 @@ def _run_admission_bench(
     return [out_path]
 
 
+def _run_loss_sweep(
+    args: argparse.Namespace, params: PaperParameters, manifest_extra: dict
+) -> list[str]:
+    import json
+
+    from repro.experiments.loss_sweep import (
+        DEFAULT_LOSS_FRACTIONS,
+        loss_bench_document,
+        loss_figure,
+        loss_sweep,
+    )
+
+    if args.loss_fractions:
+        fractions = tuple(
+            float(part)
+            for part in args.loss_fractions.split(",")
+            if part.strip()
+        )
+    else:
+        fractions = DEFAULT_LOSS_FRACTIONS
+    result, cell_seconds = loss_sweep(
+        params,
+        args.bandwidth,
+        loss_fractions=fractions,
+        recovery_time_s=args.recovery_time,
+        jobs=args.jobs,
+    )
+    console(result.name)
+    console(result.to_table())
+    console()
+    console(loss_figure(result))
+    artifacts: list[str] = []
+    if args.csv:
+        write_csv(args.csv, result.headers, result.rows)
+        console(f"wrote {args.csv}")
+        artifacts.append(args.csv)
+    document = loss_bench_document(
+        result, cell_seconds, params, args.bandwidth, args.recovery_time
+    )
+    out_path = args.loss_bench_json
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    console(f"wrote {out_path}")
+    manifest_extra["loss_sweep"] = {
+        bench["name"]: bench["extra_info"] for bench in document["benchmarks"]
+    }
+    artifacts.append(out_path)
+    return artifacts
+
+
 def _dispatch(
     args: argparse.Namespace,
     params: PaperParameters,
@@ -343,6 +403,8 @@ def _dispatch(
         exit_code = _run_top(args, manifest_extra)
     if args.experiment == "bench-admission":
         artifacts.extend(_run_admission_bench(args, params.seed, manifest_extra))
+    if args.experiment == "loss-sweep":
+        artifacts.extend(_run_loss_sweep(args, params, manifest_extra))
     if args.experiment == "fuzz":
         from repro.verify import FuzzConfig, run_fuzz, run_mutation_smoke
 
@@ -419,7 +481,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=[
             "figure1", "ttrt", "frames", "periods", "sba", "ringsize",
             "throughput", "crossover", "sharpness", "report", "fuzz",
-            "serve", "loadgen", "top", "bench-admission", "all",
+            "serve", "loadgen", "top", "bench-admission", "loss-sweep",
+            "all",
         ],
     )
     service = parser.add_argument_group(
@@ -524,6 +587,20 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument(
         "--bench-admission-json", type=str, default="BENCH_admission.json",
         metavar="PATH", help="bench-admission: canary output path",
+    )
+    parser.add_argument(
+        "--loss-bench-json", type=str, default="BENCH_loss.json",
+        metavar="PATH", help="loss-sweep: canary output path",
+    )
+    parser.add_argument(
+        "--loss-fractions", type=str, default=None, metavar="L0,L1,...",
+        help="loss-sweep: comma-separated loss fractions "
+        "(default: 0,0.005,0.01,0.02,0.05,0.1)",
+    )
+    parser.add_argument(
+        "--recovery-time", type=float, default=1e-3, metavar="SECONDS",
+        help="loss-sweep: token claim/recovery latency charged per ring "
+        "fault (default: 1e-3)",
     )
     parser.add_argument(
         "--fuzz-cases", type=int, default=60,

@@ -1,0 +1,48 @@
+"""Lossy-medium fault injection and retransmission-aware analysis.
+
+The package has three layers:
+
+* :mod:`repro.faults.plan` — seeded, rate-bounded fault schedules
+  (:class:`FaultPlan`): deterministic ``(seed, kind)`` event streams of
+  token losses, frame corruptions, and station membership changes.
+* :mod:`repro.faults.injector` — the per-run consumer both scalar
+  simulators poll (:class:`FaultInjector`), charging the token
+  claim/recovery latency to the ring and accounting everything in
+  :class:`repro.sim.trace.FaultStats`.
+* :mod:`repro.faults.analysis` — retransmission-aware schedulability
+  tests (:class:`FaultBudget`): Theorems 4.1/5.1 inflated by the bounded
+  per-period error budget so acceptance stays *sound* under any fault
+  plan drawn at or below the declared rates.
+"""
+
+from repro.faults.analysis import (
+    FaultBudget,
+    fault_aware_breakdown_scale,
+    pdp_fault_aware_schedulable,
+    pdp_fault_inflations,
+    ttp_fault_aware_allocation,
+    ttp_fault_aware_schedulable,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    rate_for_loss_fraction,
+)
+from repro.faults.stats import FaultStats
+
+__all__ = [
+    "FaultBudget",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+    "fault_aware_breakdown_scale",
+    "pdp_fault_aware_schedulable",
+    "pdp_fault_inflations",
+    "rate_for_loss_fraction",
+    "ttp_fault_aware_allocation",
+    "ttp_fault_aware_schedulable",
+]

@@ -1,0 +1,98 @@
+"""Per-run fault event consumer shared by both scalar simulators.
+
+A :class:`FaultInjector` is built fresh for every simulation run from the
+run's :class:`~repro.faults.plan.FaultPlan` and horizon.  The simulators
+poll it at their natural decision points:
+
+* ``ring_stall(now)`` — consume every *ring* event (token loss, station
+  join/leave) that has fired by ``now`` and return the total recovery
+  stall to charge before the ring may arbitrate again.  This models the
+  token claim/recovery process: the medium is unusable for the configured
+  recovery latency after each ring fault.
+* ``corrupt_frame(now)`` — consume at most one pending corruption event;
+  when it returns True the simulator transmits the frame (occupying the
+  medium) but the payload is not delivered, forcing a retransmission.
+
+Consumption is lazy: an event that fires mid-transmission is charged at the
+next decision point, matching a ring where loss is detected when the token
+fails to circulate.  All accounting lands in a
+:class:`~repro.sim.trace.FaultStats`, which the simulators attach to their
+reports, and recovery stalls are additionally surfaced through
+``repro.obs`` (``sim.faults.recovery_stall_s`` histogram) so traces and
+manifests show where a lossy run spent its time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.faults.plan import FaultKind, FaultPlan, RING_KINDS
+from repro.faults.stats import FaultStats
+from repro.obs import metrics as _metrics
+
+__all__ = ["FaultInjector"]
+
+#: Recovery-stall observations, visible in metric snapshots and manifests.
+_STALL_HIST = _metrics.histogram("sim.faults.recovery_stall_s")
+
+#: Event-time comparisons share the simulators' timestamp tolerance.
+_TIME_EPS = 1e-15
+
+
+def _stall_cost(recovery_time_s: float) -> float:
+    """Medium time charged per consumed ring fault.
+
+    Module-level on purpose: the mutation smoke patches this symbol to
+    simulate an implementation that consumes fault events but forgets to
+    charge recovery (``fault_recovery_swallowed``), and the
+    ``fault_plan_determinism`` fuzz property must flag that bug.
+    """
+    return recovery_time_s
+
+
+class FaultInjector:
+    """Consumes a plan's event schedule over one simulation run."""
+
+    __slots__ = ("stats", "_ring_events", "_corruptions", "_recovery_time_s")
+
+    def __init__(self, plan: FaultPlan, horizon_s: float):
+        events = plan.events_until(horizon_s)
+        self._ring_events: deque[tuple[float, FaultKind]] = deque(
+            (event.time_s, event.kind) for event in events if event.kind in RING_KINDS
+        )
+        self._corruptions: deque[float] = deque(
+            event.time_s
+            for event in events
+            if event.kind is FaultKind.FRAME_CORRUPTION
+        )
+        self._recovery_time_s = plan.recovery_time_s
+        self.stats = FaultStats()
+
+    def ring_stall(self, now_s: float) -> float:
+        """Total recovery stall owed for ring events fired by ``now_s``."""
+        stats = self.stats
+        stall = 0.0
+        while self._ring_events and self._ring_events[0][0] <= now_s + _TIME_EPS:
+            _, kind = self._ring_events.popleft()
+            if kind is FaultKind.TOKEN_LOSS:
+                stats.token_losses += 1
+            else:
+                stats.membership_events += 1
+            cost = _stall_cost(self._recovery_time_s)
+            if cost > 0.0:
+                stall += cost
+                stats.recovery_time_s += cost
+                _STALL_HIST.observe(cost)
+        return stall
+
+    def corrupt_frame(self, now_s: float) -> bool:
+        """Consume at most one corruption event fired by ``now_s``."""
+        if self._corruptions and self._corruptions[0] <= now_s + _TIME_EPS:
+            self._corruptions.popleft()
+            self.stats.corrupted_frames += 1
+            return True
+        return False
+
+    def record_corrupted_time(self, occupancy_s: float) -> None:
+        """Account medium time wasted by a corrupted transmission."""
+        self.stats.corrupted_time_s += occupancy_s

@@ -1,0 +1,43 @@
+"""Fault-injection accounting, dependency-free.
+
+Lives in its own leaf module so both the faults layer (which produces the
+numbers) and :mod:`repro.sim.trace` (which attaches them to simulation
+reports and re-exports the class) can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultStats"]
+
+
+@dataclass
+class FaultStats:
+    """Fault-injection accounting for one simulation run.
+
+    Populated by :class:`repro.faults.injector.FaultInjector` while the
+    simulators consume a :class:`~repro.faults.plan.FaultPlan`; attached to
+    the run's report so the recovery cost of a lossy medium is auditable
+    next to the deadline outcome.
+
+    Attributes:
+        token_losses: ring events where the token was lost.
+        membership_events: station insertions/removals (each re-runs the
+            token claim process, like a loss).
+        corrupted_frames: transmissions that occupied the medium but
+            delivered no payload (forcing retransmission).
+        recovery_time_s: total medium time stalled in token claim/recovery.
+        corrupted_time_s: total medium time wasted by corrupted frames.
+    """
+
+    token_losses: int = 0
+    membership_events: int = 0
+    corrupted_frames: int = 0
+    recovery_time_s: float = 0.0
+    corrupted_time_s: float = 0.0
+
+    @property
+    def ring_events(self) -> int:
+        """Ring-stalling events (losses plus membership changes)."""
+        return self.token_losses + self.membership_events

@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import math
 
 from repro.errors import AdmissionError, ServiceError
 
@@ -51,18 +52,52 @@ class Backoff(ServiceError):
         self.retry_after_s = retry_after_s
 
 
+def _sanitize_delay(seconds: float) -> float:
+    """Clamp a parsed retry delay to a sane non-negative value.
+
+    NaN, infinities, and negative delays all clamp to 0 (retry
+    immediately) — a hostile or buggy header must never stall a client
+    forever or crash its retry arithmetic.
+    """
+    if not math.isfinite(seconds) or seconds < 0.0:
+        return 0.0
+    return seconds
+
+
+def _retry_after_seconds(headers: dict, default: float = 1.0) -> float:
+    """The ``Retry-After`` header as seconds (RFC 9110 delay-seconds form).
+
+    The header name is matched case-insensitively (both clients lower-case
+    response headers, but the helper must also serve callers handing in
+    raw header dicts).  Numeric values — integral seconds per the RFC,
+    plus fractional and whitespace-padded forms — are honored and
+    sanitized through :func:`_sanitize_delay`; anything unparsable
+    (e.g. the HTTP-date form) falls back to ``default``.
+    """
+    raw = None
+    for name, value in headers.items():
+        if str(name).lower() == "retry-after":
+            raw = value
+            break
+    if raw is None:
+        return default
+    try:
+        seconds = float(str(raw).strip())
+    except (TypeError, ValueError):
+        return default
+    return _sanitize_delay(seconds)
+
+
 def _raise_for_status(status: int, payload: dict, headers: dict) -> None:
     if 200 <= status < 300:
         return
     detail = payload.get("detail", payload.get("error", "unknown error"))
     if status in (429, 503):
-        retry_after = payload.get("retry_after_s")
-        if retry_after is None:
-            try:
-                retry_after = float(headers.get("retry-after", 1.0))
-            except (TypeError, ValueError):
-                retry_after = 1.0
-        raise Backoff(f"HTTP {status}: {detail}", status, float(retry_after))
+        try:
+            retry_after = _sanitize_delay(float(payload.get("retry_after_s")))
+        except (TypeError, ValueError):
+            retry_after = _retry_after_seconds(headers)
+        raise Backoff(f"HTTP {status}: {detail}", status, retry_after)
     if status == 404 and payload.get("error") == "AdmissionError":
         raise AdmissionError(detail)
     raise ServiceError(f"HTTP {status}: {detail}")

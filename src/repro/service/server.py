@@ -146,6 +146,7 @@ class AdmissionServer:
         self._drained = asyncio.Event()
         self._m_http = metrics.counter("service.http_requests")
         self._m_errors = metrics.counter("service.http_errors")
+        self._m_internal = metrics.counter("service.errors.internal")
         self._m_limited = metrics.counter("service.rate_limited")
         self._m_latency = metrics.histogram(
             "service.request_latency_s", buckets=DEFAULT_LATENCY_BUCKETS_S
@@ -374,7 +375,18 @@ class AdmissionServer:
         except ReproError as exc:  # pragma: no cover - route-level catch-all
             return 422, {"error": type(exc).__name__, "detail": str(exc)}, []
         except Exception as exc:  # noqa: BLE001 - never kill the connection loop
-            _LOG.exception("unhandled error serving %s %s", method, path)
+            self._m_internal.inc()
+            span = tracing.current()
+            trace_id = getattr(span, "trace_id", None)
+            _LOG.warning(
+                "unhandled error serving %s %s (trace=%s): %s",
+                method,
+                path,
+                trace_id or "-",
+                exc,
+                exc_info=True,
+                extra={"path": path, "method": method, "trace_id": trace_id},
+            )
             return 500, {"error": "InternalError", "detail": str(exc)}, []
 
     async def _admission_endpoint(self, path, headers, body, peer_host):

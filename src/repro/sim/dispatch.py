@@ -42,7 +42,12 @@ from repro.obs import logging as obslog
 from repro.obs import metrics as _metrics
 from repro.sim import fastpath, fastpath_ttp
 from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig
-from repro.sim.trace import DeadlineStats, RotationStats, SimulationReport
+from repro.sim.trace import (
+    DeadlineStats,
+    FaultStats,
+    RotationStats,
+    SimulationReport,
+)
 from repro.sim.ttp_sim import TTPRingSimulator, TTPSimConfig
 
 __all__ = [
@@ -107,6 +112,11 @@ def pdp_fastpath_unsupported(
     message_set: MessageSet, config: PDPSimConfig
 ) -> str | None:
     """Why the PDP fast path cannot run this configuration (None = it can)."""
+    if config.faults is not None:
+        # The event-compressing sweeps have no notion of mid-run recovery
+        # stalls; silently ignoring a fault plan would be unsound, so the
+        # fast path refuses and AUTO falls back to the scalar oracle.
+        return "fault injection"
     if config.async_poisson is not None:
         return "Poisson asynchronous traffic"
     stations = [stream.station for stream in message_set]
@@ -117,6 +127,8 @@ def pdp_fastpath_unsupported(
 
 def ttp_fastpath_unsupported(config: TTPSimConfig) -> str | None:
     """Why the TTP fast path cannot run this configuration (None = it can)."""
+    if config.faults is not None:
+        return "fault injection"
     if config.async_poisson is not None:
         return "Poisson asynchronous traffic"
     return None
@@ -221,11 +233,39 @@ def report_to_payload(report: SimulationReport) -> dict:
             }
             for r in report.rotations
         ],
+        "faults": (
+            None
+            if report.faults is None
+            else {
+                "token_losses": report.faults.token_losses,
+                "membership_events": report.faults.membership_events,
+                "corrupted_frames": report.faults.corrupted_frames,
+                "recovery_time_s": report.faults.recovery_time_s,
+                "corrupted_time_s": report.faults.corrupted_time_s,
+            }
+        ),
     }
 
 
 def report_from_payload(payload: dict) -> SimulationReport:
-    """Rebuild a report from :func:`report_to_payload` output."""
+    """Rebuild a report from :func:`report_to_payload` output.
+
+    Tolerates payloads written before the ``faults`` field existed (the
+    code-version cache salt makes those unreachable in practice, but a
+    missing key must degrade to "no faults", never crash).
+    """
+    faults_payload = payload.get("faults")
+    faults = (
+        None
+        if faults_payload is None
+        else FaultStats(
+            token_losses=int(faults_payload["token_losses"]),
+            membership_events=int(faults_payload["membership_events"]),
+            corrupted_frames=int(faults_payload["corrupted_frames"]),
+            recovery_time_s=float(faults_payload["recovery_time_s"]),
+            corrupted_time_s=float(faults_payload["corrupted_time_s"]),
+        )
+    )
     return SimulationReport(
         duration=float(payload["duration"]),
         streams=[
@@ -255,6 +295,7 @@ def report_from_payload(payload: dict) -> SimulationReport:
         sync_busy_time=float(payload["sync_busy_time"]),
         async_busy_time=float(payload["async_busy_time"]),
         token_time=float(payload["token_time"]),
+        faults=faults,
     )
 
 
@@ -357,8 +398,13 @@ def cached_run_pdp(
     max_events: int = 50_000_000,
     use_cache: bool = True,
 ) -> SimulationReport:
-    """:func:`run_pdp` with content-addressed memoisation."""
-    if not use_cache or config.async_poisson is not None:
+    """:func:`run_pdp` with content-addressed memoisation.
+
+    Fault-injected runs bypass the cache entirely (like Poisson runs):
+    the cache key does not hash the fault plan, and lossy-run results
+    are study artifacts, not reusable oracles.
+    """
+    if not use_cache or config.async_poisson is not None or config.faults is not None:
         return run_pdp(
             ring, frame, message_set, config, duration_s,
             engine=engine, max_events=max_events,
@@ -393,8 +439,12 @@ def cached_run_ttp(
     max_events: int = 50_000_000,
     use_cache: bool = True,
 ) -> SimulationReport:
-    """:func:`run_ttp` with content-addressed memoisation."""
-    if not use_cache or config.async_poisson is not None:
+    """:func:`run_ttp` with content-addressed memoisation.
+
+    Fault-injected runs bypass the cache entirely (see
+    :func:`cached_run_pdp`).
+    """
+    if not use_cache or config.async_poisson is not None or config.faults is not None:
         return run_ttp(
             ring, frame, message_set, allocation, config, duration_s,
             engine=engine, max_events=max_events,

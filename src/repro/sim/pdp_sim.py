@@ -37,6 +37,8 @@ from dataclasses import dataclass
 
 from repro.analysis.pdp import PDPVariant
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.messages.message_set import MessageSet
 from repro.network.frames import FrameFormat
 from repro.network.ring import RingNetwork
@@ -79,6 +81,10 @@ class PDPSimConfig:
         async_poisson: Poisson asynchronous arrivals instead of the
             saturating model; only meaningful with
             ``async_saturating=False`` (validated).
+        faults: seeded lossy-medium fault schedule (token loss, frame
+            corruption, membership churn).  ``None`` simulates a perfect
+            medium; a plan with all rates zero is behaviourally identical
+            to ``None`` (bit-identical reports, pinned by the fuzzer).
     """
 
     variant: PDPVariant = PDPVariant.STANDARD
@@ -89,6 +95,7 @@ class PDPSimConfig:
     collect_responses: bool = False
     response_sample_limit: int = 10_000
     async_poisson: PoissonAsyncTraffic | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.async_poisson is not None and self.async_saturating:
@@ -214,6 +221,11 @@ class PDPRingSimulator:
         ]
         state = _MediumState(holder=0)
         sim = Simulator()
+        injector = (
+            FaultInjector(self._config.faults, duration_s)
+            if self._config.faults is not None
+            else None
+        )
 
         # The async round-robin pointer: saturating async traffic is served
         # from the next station downstream of the holder, as a free token
@@ -235,11 +247,21 @@ class PDPRingSimulator:
 
         def decide(simulator: Simulator) -> None:
             now = simulator.now
+            if injector is not None:
+                # Ring faults detected since the last arbitration stall the
+                # medium for the token claim/recovery process before anyone
+                # may transmit again.
+                stall = injector.ring_stall(now)
+                if stall > 0.0:
+                    simulator.schedule(now + stall, decide)
+                    return
             ingest_arrivals(now)
             message = self._pick_sync(queues, now)
 
             if message is not None:
-                self._transmit_sync(simulator, state, queues, stats, message, decide)
+                self._transmit_sync(
+                    simulator, state, queues, stats, message, decide, injector
+                )
                 return
 
             if self._config.async_saturating:
@@ -280,6 +302,7 @@ class PDPRingSimulator:
             sync_busy_time=state.sync_busy,
             async_busy_time=state.async_busy,
             token_time=state.token_busy,
+            faults=injector.stats if injector is not None else None,
         )
         report.publish_metrics("sim.pdp")
         return report
@@ -294,6 +317,7 @@ class PDPRingSimulator:
         stats: list[DeadlineStats],
         message: PendingMessage,
         resume,
+        injector: FaultInjector | None = None,
     ) -> None:
         """Send one synchronous frame of ``message`` and reschedule."""
         info_bits = self._frame.info_bits
@@ -310,6 +334,15 @@ class PDPRingSimulator:
         state.holder = message.station
         state.sync_busy += occupancy
         state.token_busy += token_cost
+
+        if injector is not None and injector.corrupt_frame(simulator.now):
+            # Corrupted frame: the medium is occupied for the full frame and
+            # token walk, but no payload is delivered — the message stays at
+            # the queue head and is retransmitted at the next arbitration.
+            injector.record_corrupted_time(occupancy)
+            simulator.schedule(simulator.now + token_cost + occupancy, resume)
+            return
+
         message.consume(chunk)
 
         finish = simulator.now + token_cost + occupancy

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.faults.stats import FaultStats
 from repro.obs import metrics as _metrics
 
-__all__ = ["DeadlineStats", "RotationStats", "SimulationReport"]
+__all__ = ["DeadlineStats", "FaultStats", "RotationStats", "SimulationReport"]
 
 
 @dataclass
@@ -130,6 +131,8 @@ class SimulationReport:
         sync_busy_time: medium time spent on synchronous payload+overhead.
         async_busy_time: medium time spent on asynchronous frames.
         token_time: medium time spent walking/passing the token.
+        faults: fault-injection accounting, present only when the run was
+            configured with a :class:`~repro.faults.plan.FaultPlan`.
     """
 
     duration: float
@@ -138,6 +141,7 @@ class SimulationReport:
     sync_busy_time: float = 0.0
     async_busy_time: float = 0.0
     token_time: float = 0.0
+    faults: FaultStats | None = None
 
     @property
     def total_missed(self) -> int:
@@ -185,4 +189,19 @@ class SimulationReport:
             _metrics.counter(f"{prefix}.token_rotations").inc(rotations)
             _metrics.histogram(f"{prefix}.rotation_time_s").observe(
                 self.max_rotation
+            )
+        if self.faults is not None:
+            faults = self.faults
+            _metrics.counter(f"{prefix}.faults.token_losses").inc(faults.token_losses)
+            _metrics.counter(f"{prefix}.faults.membership_events").inc(
+                faults.membership_events
+            )
+            _metrics.counter(f"{prefix}.faults.corrupted_frames").inc(
+                faults.corrupted_frames
+            )
+            _metrics.counter(f"{prefix}.faults.recovery_time_s").inc(
+                faults.recovery_time_s
+            )
+            _metrics.counter(f"{prefix}.faults.corrupted_time_s").inc(
+                faults.corrupted_time_s
             )

@@ -33,6 +33,8 @@ from dataclasses import dataclass
 
 from repro.analysis.ttp import TTPAllocation
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.messages.message_set import MessageSet
 from repro.obs import metrics as _metrics
 from repro.network.frames import FrameFormat
@@ -67,6 +69,10 @@ class TTPSimConfig:
         async_poisson: Poisson asynchronous arrivals (queued per station,
             served against earliness credit) instead of the saturating
             model; only meaningful with ``async_saturating=False``.
+        faults: seeded lossy-medium fault schedule (token loss, frame
+            corruption, membership churn).  ``None`` simulates a perfect
+            medium; a plan with all rates zero is behaviourally identical
+            to ``None`` (bit-identical reports, pinned by the fuzzer).
     """
 
     phasing: ArrivalPhasing = ArrivalPhasing.SIMULTANEOUS
@@ -77,6 +83,7 @@ class TTPSimConfig:
     collect_responses: bool = False
     response_sample_limit: int = 10_000
     async_poisson: PoissonAsyncTraffic | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.async_poisson is not None and self.async_saturating:
@@ -187,6 +194,11 @@ class TTPRingSimulator:
         last_visit: list[float | None] = [None] * n
         busy = {"sync": 0.0, "async": 0.0, "token": 0.0, "visits": 0.0}
         sim = Simulator()
+        injector = (
+            FaultInjector(self._config.faults, duration_s)
+            if self._config.faults is not None
+            else None
+        )
 
         def ingest_arrivals(now: float) -> None:
             nonlocal arrival_cursor, async_cursor
@@ -208,6 +220,15 @@ class TTPRingSimulator:
         def token_arrival(station: int):
             def handler(simulator: Simulator) -> None:
                 now = simulator.now
+                if injector is not None:
+                    # Ring faults detected since the last visit stall the
+                    # token for the claim/recovery process; the visit is
+                    # retried at the same station afterwards.  TRTs keep
+                    # running, so the stall shows up as token lateness.
+                    stall = injector.ring_stall(now)
+                    if stall > 0.0:
+                        simulator.schedule(now + stall, token_arrival(station))
+                        return
                 busy["visits"] += 1
                 ingest_arrivals(now)
 
@@ -231,7 +252,7 @@ class TTPRingSimulator:
 
                 # --- synchronous transmission ------------------------------
                 sync_time = self._transmit_sync(
-                    simulator, station, queues, stats, now
+                    simulator, station, queues, stats, now, injector
                 )
                 busy["sync"] += sync_time
 
@@ -284,6 +305,7 @@ class TTPRingSimulator:
             sync_busy_time=busy["sync"],
             async_busy_time=busy["async"],
             token_time=busy["token"],
+            faults=injector.stats if injector is not None else None,
         )
         _metrics.counter("sim.ttp.token_visits").inc(busy["visits"])
         report.publish_metrics("sim.ttp")
@@ -298,6 +320,7 @@ class TTPRingSimulator:
         queues: list[StationQueue],
         stats: list[DeadlineStats],
         now: float,
+        injector: FaultInjector | None = None,
     ) -> float:
         """Transmit synchronous frames within the station's ``h_i`` budget.
 
@@ -320,6 +343,14 @@ class TTPRingSimulator:
             chunk = min(head.remaining_bits, payload_budget_bits)
             if chunk <= 0 and head.remaining_bits > 0:
                 break
+            if injector is not None and injector.corrupt_frame(now + used):
+                # Corrupted frame: the budget pays for overhead + payload on
+                # the wire but no payload is delivered; the loop retries the
+                # same head with whatever budget remains this visit.
+                waste = overhead + chunk / self._ring.bandwidth_bps
+                injector.record_corrupted_time(waste)
+                used += waste
+                continue
             head.consume(chunk)
             used += overhead + chunk / self._ring.bandwidth_bps
             if head.complete:

@@ -42,6 +42,7 @@ from repro.analysis.pdp import PDPAnalysis
 from repro.analysis.ttp import TTPAnalysis
 from repro.errors import SimulationError
 from repro.messages.message_set import MessageSet
+from repro.obs import logging as obslog
 from repro.sim import dispatch
 from repro.sim.pdp_sim import PDPSimConfig, TokenWalkModel
 from repro.sim.trace import SimulationReport
@@ -71,6 +72,12 @@ HORIZON_CAP_PERIODS = 64.0
 #: without limit; eviction is insertion-ordered, which is LRU-enough here.
 _HYPERPERIOD_MEMO: dict[tuple, float | None] = {}
 _HYPERPERIOD_MEMO_LIMIT = 4096
+
+_LOG = obslog.get_logger("sim.validate")
+
+#: Period tuples whose capped horizon has already been warned about, so a
+#: fuzz round re-validating the same pathological set does not spam the log.
+_CAP_WARNED: set[tuple] = set()
 
 
 def _rational_hyperperiod(
@@ -104,10 +111,20 @@ def _rational_hyperperiod_uncached(
             return None
         fractions.append(approx)
     denominator = math.lcm(*(f.denominator for f in fractions))
+    if denominator > 10**15:
+        # Near-co-prime denominators: the common-denominator rewrite below
+        # would manipulate astronomically large integers for a hyperperiod
+        # that cannot be simulated anyway.  Treat as irrational.
+        return None
     numerator = 1
+    # Keep the overflow guard in exact integer arithmetic: with float
+    # multiplication (`denominator * 1e9`) a big-int denominator overflows
+    # the float range and the comparison itself raised OverflowError for
+    # pathological co-prime period sets.
+    limit = denominator * 10**9
     for f in fractions:
         numerator = math.lcm(numerator, f.numerator * (denominator // f.denominator))
-        if numerator > denominator * 1e9:  # hopelessly long; treat as irrational
+        if numerator > limit:  # hopelessly long; treat as irrational
             return None
     return numerator / denominator
 
@@ -129,6 +146,22 @@ def default_validation_horizon(
     if hyper is not None and hyper <= cap:
         cycles = max(1, math.ceil(base / hyper))
         return min(cycles * hyper + p_max, cap)
+    if hyper is not None:
+        # Near-co-prime periods: covering one hyperperiod would dwarf any
+        # practical run, so the horizon is capped — loudly, once per period
+        # tuple, because a capped run no longer covers every beat pattern.
+        key = tuple(message_set.periods)
+        if key not in _CAP_WARNED:
+            if len(_CAP_WARNED) >= _HYPERPERIOD_MEMO_LIMIT:
+                _CAP_WARNED.clear()
+            _CAP_WARNED.add(key)
+            _LOG.warning(
+                "hyperperiod %.6g s exceeds the validation horizon cap "
+                "%.6g s (%g periods); capping the run instead of simulating "
+                "the full hyperperiod",
+                hyper, cap, HORIZON_CAP_PERIODS,
+                extra={"hyperperiod_s": hyper, "cap_s": cap},
+            )
     return min(base, cap)
 
 

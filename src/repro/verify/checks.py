@@ -55,6 +55,22 @@ The properties:
     must produce decisions **bit-identical** to an untraced twin
     controller — a span attribute or sampling branch that leaks into an
     admission verdict is a correctness bug, not an observability bug.
+``analysis_sound_under_loss``
+    The retransmission-aware tests (:mod:`repro.faults.analysis`) stay
+    *sufficient* under a lossy medium: a set they accept under a declared
+    fault budget must never miss a deadline when simulated against a
+    fault plan drawn **at** the budget's rates — the rate-bounded worst
+    case the per-period inflation charges.
+``fault_plan_determinism``
+    Fault schedules are pure functions of their configuration: identical
+    plans yield identical event lists; any horizon's schedule is a
+    prefix of any larger horizon's (so re-runs and ``--jobs``
+    partitionings can never disagree); a zero-rate plan leaves a
+    simulation **bit-identical** to the unfaulted run; and a
+    positive-rate plan is itself deterministic *and* visibly charges
+    recovery time — an injector that consumes fault events without
+    charging the stall (the ``fault_recovery_swallowed`` mutant) must be
+    flagged here.
 """
 
 from __future__ import annotations
@@ -75,8 +91,12 @@ from repro.analysis.breakdown import breakdown_scale, breakdown_scales_batch
 from repro.analysis.pdp import PDPAnalysis, PDPVariant
 from repro.analysis.ttp import TTPAnalysis
 from repro.errors import AllocationError, ReproError
+from repro.faults import analysis as faults_analysis_mod
+from repro.faults.analysis import FaultBudget
+from repro.faults.plan import FaultPlan, rate_for_loss_fraction
 from repro.obs import tracing as tracing_mod
 from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
+from repro.sim import dispatch as dispatch_mod
 from repro.sim import fastpath as fastpath_mod
 from repro.sim import fastpath_ttp as fastpath_ttp_mod
 from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig, TokenWalkModel
@@ -804,6 +824,235 @@ def check_admission_tracing_equiv(case: FuzzCase) -> Violation | None:
     return None
 
 
+# -- lossy medium ---------------------------------------------------------------
+
+
+def _fault_budget_for(case: FuzzCase) -> FaultBudget:
+    """A deterministic fault budget rotated across three shapes per case.
+
+    Recovery latency is tied to the shortest period so the budget is
+    material (stalls are a real fraction of every period) without
+    trivially rejecting every workload; the three shapes exercise each
+    driven fault process against the analysis inflation.
+    """
+    recovery = min(case.periods_s) / 64.0
+    shape = case.index % 3
+    if shape == 0:
+        return FaultBudget(
+            token_loss_rate_hz=rate_for_loss_fraction(0.05, recovery),
+            recovery_time_s=recovery,
+        )
+    if shape == 1:
+        return FaultBudget(
+            token_loss_rate_hz=rate_for_loss_fraction(0.02, recovery),
+            corruption_rate_hz=0.5 / min(case.periods_s),
+            recovery_time_s=recovery,
+        )
+    return FaultBudget(
+        token_loss_rate_hz=rate_for_loss_fraction(0.02, recovery),
+        membership_rate_hz=rate_for_loss_fraction(0.01, recovery),
+        recovery_time_s=recovery,
+    )
+
+
+def _plan_at_budget(case: FuzzCase, budget: FaultBudget) -> FaultPlan:
+    """The worst covered plan: every rate drawn exactly at the budget."""
+    return FaultPlan(
+        seed=case.seed * 1_000_003 + case.index,
+        token_loss_rate_hz=budget.token_loss_rate_hz,
+        corruption_rate_hz=budget.corruption_rate_hz,
+        membership_rate_hz=budget.membership_rate_hz,
+        recovery_time_s=budget.recovery_time_s,
+    )
+
+
+def check_analysis_sound_under_loss(case: FuzzCase) -> Violation | None:
+    """Fault-aware acceptance must survive fault-injected simulation.
+
+    Routed through :mod:`repro.sim.dispatch` on purpose: fault plans must
+    force the counted fallback to the scalar oracles, so this property
+    also referees the refusal machinery (a fast path that silently
+    ignored the plan would simulate a fault-free ring and could mask an
+    unsound inflation — or miss deadlines the analysis did cover).
+    """
+    if max(case.periods_s) > _SIM_MAX_PERIOD_S:
+        return None
+    message_set = case.message_set()
+    budget = _fault_budget_for(case)
+    plan = _plan_at_budget(case, budget)
+    frame = _frame()
+
+    variant = (PDPVariant.STANDARD, PDPVariant.MODIFIED)[_equiv_config_index(case)]
+    analysis = _pdp_analysis(case, variant)
+    if faults_analysis_mod.pdp_fault_aware_schedulable(analysis, message_set, budget):
+        config = PDPSimConfig(
+            variant=variant,
+            phasing=ArrivalPhasing.SIMULTANEOUS,
+            async_saturating=True,
+            token_walk=TokenWalkModel.AVERAGE,
+            faults=plan,
+        )
+        occupancy = max(frame.frame_time(analysis.ring.bandwidth_bps), analysis.ring.theta)
+        duration = min(
+            _SIM_PERIODS * max(case.periods_s),
+            4 * _EQUIV_EVENT_BUDGET * occupancy,
+        )
+        report = dispatch_mod.cached_run_pdp(
+            analysis.ring, frame, message_set, config, duration
+        )
+        if not report.deadline_safe:
+            missed = [
+                (s.stream_index, s.missed) for s in report.streams if s.missed
+            ]
+            return Violation(
+                "analysis_sound_under_loss",
+                case,
+                f"fault-aware Theorem 4.1 ({variant.value}) accepted the "
+                f"set under budget {budget!r} but the fault-injected "
+                f"simulator missed deadlines: {missed} "
+                f"(faults={report.faults!r})",
+            )
+
+    ttp = _ttp_analysis(case)
+    try:
+        allocation = faults_analysis_mod.ttp_fault_aware_allocation(
+            ttp, message_set, budget
+        )
+    except ReproError:
+        return None  # nothing guaranteed under the budget: nothing to referee
+    if not allocation.satisfies_protocol_constraint():
+        return None
+    config = TTPSimConfig(
+        phasing=ArrivalPhasing.SIMULTANEOUS, async_saturating=True, faults=plan
+    )
+    duration = min(
+        _SIM_PERIODS * max(case.periods_s),
+        4 * _EQUIV_EVENT_BUDGET * ttp.ring.theta / case.n_stations,
+    )
+    report = dispatch_mod.cached_run_ttp(
+        ttp.ring, frame, message_set, allocation, config, duration
+    )
+    if not report.deadline_safe:
+        missed = [(s.stream_index, s.missed) for s in report.streams if s.missed]
+        return Violation(
+            "analysis_sound_under_loss",
+            case,
+            f"fault-aware Theorem 5.1 accepted the set under budget "
+            f"{budget!r} but the fault-injected simulator missed "
+            f"deadlines: {missed} (faults={report.faults!r})",
+        )
+    return None
+
+
+def check_fault_plan_determinism(case: FuzzCase) -> Violation | None:
+    """Fault schedules and their injection must be deterministic and charged."""
+    plan_seed = case.seed * 2_000_003 + case.index
+    min_period = min(case.periods_s)
+    plan = FaultPlan(
+        seed=plan_seed,
+        token_loss_rate_hz=3.0 / min_period,
+        corruption_rate_hz=2.0 / min_period,
+        membership_rate_hz=1.0 / min_period,
+        recovery_time_s=min_period / 128.0,
+    )
+    twin = FaultPlan(
+        seed=plan_seed,
+        token_loss_rate_hz=3.0 / min_period,
+        corruption_rate_hz=2.0 / min_period,
+        membership_rate_hz=1.0 / min_period,
+        recovery_time_s=min_period / 128.0,
+    )
+    horizon = 8.0 * min_period
+    events = plan.events_until(horizon)
+    if events != twin.events_until(horizon):
+        return Violation(
+            "fault_plan_determinism",
+            case,
+            "two identically configured plans produced different schedules",
+        )
+    prefix = [event for event in events if event.time_s < horizon / 2.0]
+    if plan.events_until(horizon / 2.0) != prefix:
+        return Violation(
+            "fault_plan_determinism",
+            case,
+            "schedule below half the horizon is not a prefix of the full "
+            "schedule; --jobs partitionings would diverge",
+        )
+
+    if max(case.periods_s) > _SIM_MAX_PERIOD_S:
+        return None
+    frame = _frame()
+    ring = ieee_802_5_ring(case.bandwidth_bps, n_stations=case.n_stations)
+    message_set = case.message_set()
+    occupancy = max(frame.frame_time(ring.bandwidth_bps), ring.theta)
+    duration = min(
+        _EQUIV_PERIODS * max(case.periods_s), _EQUIV_EVENT_BUDGET * occupancy
+    )
+
+    def run(faults: FaultPlan | None) -> SimulationReport:
+        config = PDPSimConfig(
+            variant=PDPVariant.STANDARD,
+            phasing=ArrivalPhasing.SIMULTANEOUS,
+            async_saturating=True,
+            token_walk=TokenWalkModel.AVERAGE,
+            collect_responses=True,
+            faults=faults,
+        )
+        return PDPRingSimulator(ring, frame, message_set, config).run(duration)
+
+    baseline = run(None)
+    zero_rate = run(FaultPlan(seed=plan_seed))
+    diff = _report_diff(baseline, zero_rate)
+    if diff is not None:
+        return Violation(
+            "fault_plan_determinism",
+            case,
+            f"a zero-rate fault plan changed the simulation: {diff}",
+        )
+    stats = zero_rate.faults
+    if stats is None or stats.ring_events or stats.corrupted_frames:
+        return Violation(
+            "fault_plan_determinism",
+            case,
+            f"zero-rate run reported fault activity: {stats!r}",
+        )
+
+    # Positive-rate probe: the minimum gap (1/rate) puts the first token
+    # loss at or before duration/4, so the run must consume events *and*
+    # charge their recovery stalls — the fault_recovery_swallowed mutant
+    # consumes without charging and fails the recovery_time_s assertion.
+    probe_plan = FaultPlan(
+        seed=plan_seed,
+        token_loss_rate_hz=8.0 / duration,
+        recovery_time_s=duration / 200.0,
+    )
+    first = run(probe_plan)
+    diff = _report_diff(first, run(probe_plan))
+    if diff is not None:
+        return Violation(
+            "fault_plan_determinism",
+            case,
+            f"two runs of the same fault plan diverged: {diff}",
+        )
+    stats = first.faults
+    if stats is None or stats.token_losses < 1:
+        return Violation(
+            "fault_plan_determinism",
+            case,
+            f"positive-rate plan consumed no token losses over the run "
+            f"(stats={stats!r})",
+        )
+    if not stats.recovery_time_s > 0.0:
+        return Violation(
+            "fault_plan_determinism",
+            case,
+            f"{stats.token_losses} token losses were consumed but no "
+            f"recovery time was charged (stats={stats!r}); the injector "
+            "is swallowing faults",
+        )
+    return None
+
+
 CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_vs_sim": check_pdp_vs_sim,
     "ttp_vs_sim": check_ttp_vs_sim,
@@ -818,6 +1067,8 @@ CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "service_batch_equiv": check_service_batch_equiv,
     "admission_incremental_equiv": check_admission_incremental_equiv,
     "admission_tracing_equiv": check_admission_tracing_equiv,
+    "analysis_sound_under_loss": check_analysis_sound_under_loss,
+    "fault_plan_determinism": check_fault_plan_determinism,
 }
 
 

@@ -50,6 +50,13 @@ The mutants, and the property expected to catch each:
     same level reuses the stale verdict instead of re-testing → caught
     by ``admission_incremental_equiv``'s boundary-crossing probe
     ladders against the scalar oracle.
+``fault_recovery_swallowed``
+    The fault injector consumes ring fault events (the counters still
+    tick) but charges zero recovery stall — a lossy-medium run silently
+    degrades to a fault-free one, so every soundness verdict against it
+    is vacuous → caught by ``fault_plan_determinism``'s positive-rate
+    probe, which asserts that consumed token losses charge strictly
+    positive recovery time.
 """
 
 from __future__ import annotations
@@ -162,6 +169,10 @@ def _buggy_snapshot_reusable_levels(position):
     return position + 1  # BUG: counts the candidate's own level as reusable
 
 
+def _buggy_stall_cost(recovery_time_s):
+    return 0.0  # BUG: consumes the fault event but never charges recovery
+
+
 def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
     """(owner, attribute, replacement) triples for one mutant.
 
@@ -210,6 +221,10 @@ def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
                 _buggy_snapshot_reusable_levels,
             )
         ]
+    if mutant == "fault_recovery_swallowed":
+        from repro.faults import injector as faults_injector_mod
+
+        return [(faults_injector_mod, "_stall_cost", _buggy_stall_cost)]
     raise KeyError(mutant)
 
 
@@ -220,6 +235,7 @@ MUTANTS: tuple[str, ...] = (
     "split_counts_overshoot",
     "pdp_fastpath_short_frame",
     "incremental_stale_level",
+    "fault_recovery_swallowed",
 )
 
 

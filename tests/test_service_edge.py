@@ -1,0 +1,127 @@
+"""Service edge cases: Retry-After parsing and internal-error accounting.
+
+The client must survive any ``Retry-After`` a proxy could hand it —
+missing, malformed, negative, non-finite, oddly cased — without ever
+producing a delay that stalls a retry loop forever or poisons its
+arithmetic.  The server's route-level catch-all must keep the connection
+loop alive *and* leave an audit trail: a warning log carrying the active
+trace id plus a ``service.errors.internal`` counter tick.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.obs import metrics
+from repro.service import Backoff, ServiceClient
+from repro.service.client import (
+    _raise_for_status,
+    _retry_after_seconds,
+    _sanitize_delay,
+)
+from repro.service.protocol import ServiceConfig
+
+from tests.test_service import _ServerThread
+
+
+class TestSanitizeDelay:
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), -1.0, -0.001])
+    def test_pathological_values_clamp_to_zero(self, value):
+        assert _sanitize_delay(value) == 0.0
+
+    @pytest.mark.parametrize("value", [0.0, 0.25, 2.0, 3600.0])
+    def test_sane_values_pass_through(self, value):
+        assert _sanitize_delay(value) == value
+
+
+class TestRetryAfterHeader:
+    def test_integral_seconds(self):
+        assert _retry_after_seconds({"retry-after": "2"}) == 2.0
+
+    @pytest.mark.parametrize(
+        "name", ["Retry-After", "RETRY-AFTER", "retry-after", "ReTrY-aFtEr"]
+    )
+    def test_header_name_case_insensitive(self, name):
+        assert _retry_after_seconds({name: "7"}) == 7.0
+
+    def test_fractional_and_padded_forms(self):
+        assert _retry_after_seconds({"retry-after": "1.5"}) == 1.5
+        assert _retry_after_seconds({"retry-after": " 2 "}) == 2.0
+
+    @pytest.mark.parametrize("raw", ["", "abc", "Fri, 31 Dec 1999 23:59:59 GMT"])
+    def test_unparsable_falls_back_to_default(self, raw):
+        assert _retry_after_seconds({"retry-after": raw}) == 1.0
+        assert _retry_after_seconds({"retry-after": raw}, default=4.0) == 4.0
+
+    @pytest.mark.parametrize("raw", ["-3", "nan", "inf", "-inf"])
+    def test_hostile_numeric_forms_clamp_to_zero(self, raw):
+        assert _retry_after_seconds({"retry-after": raw}) == 0.0
+
+    def test_missing_header_uses_default(self):
+        assert _retry_after_seconds({}) == 1.0
+        assert _retry_after_seconds({"content-type": "text/plain"}, 0.5) == 0.5
+
+    def test_non_string_value_is_tolerated(self):
+        assert _retry_after_seconds({"retry-after": 3}) == 3.0
+        assert _retry_after_seconds({"retry-after": None}) == 1.0
+
+
+class TestRaiseForStatus:
+    def test_2xx_does_not_raise(self):
+        _raise_for_status(200, {}, {})
+        _raise_for_status(204, {}, {})
+
+    def test_backoff_prefers_payload_hint(self):
+        with pytest.raises(Backoff) as err:
+            _raise_for_status(
+                429, {"retry_after_s": 2.5}, {"retry-after": "9"}
+            )
+        assert err.value.status == 429
+        assert err.value.retry_after_s == 2.5
+
+    def test_backoff_sanitizes_payload_hint(self):
+        with pytest.raises(Backoff) as err:
+            _raise_for_status(429, {"retry_after_s": -5.0}, {})
+        assert err.value.retry_after_s == 0.0
+
+    def test_backoff_falls_back_to_header(self):
+        with pytest.raises(Backoff) as err:
+            _raise_for_status(503, {}, {"retry-after": "4"})
+        assert err.value.status == 503
+        assert err.value.retry_after_s == 4.0
+
+    def test_backoff_unparsable_everywhere_uses_default(self):
+        with pytest.raises(Backoff) as err:
+            _raise_for_status(429, {"retry_after_s": "soon"}, {})
+        assert err.value.retry_after_s == 1.0
+
+    def test_admission_404_maps_to_typed_error(self):
+        with pytest.raises(AdmissionError):
+            _raise_for_status(
+                404, {"error": "AdmissionError", "detail": "gone"}, {}
+            )
+
+    def test_other_errors_raise_service_error(self):
+        with pytest.raises(ServiceError):
+            _raise_for_status(500, {"error": "InternalError"}, {})
+
+
+class TestInternalErrorAccounting:
+    def test_unhandled_route_error_counts_and_stays_alive(self):
+        config = ServiceConfig(port=0, n_stations=8)
+        with _ServerThread(config) as server:
+            def boom(query):
+                raise RuntimeError("synthetic route failure")
+
+            server._metrics_endpoint = boom
+            counter = metrics.counter("service.errors.internal")
+            before = counter.value
+            with ServiceClient(port=server.port) as client:
+                status, payload, _ = client.request("GET", "/metrics")
+                assert status == 500
+                assert payload["error"] == "InternalError"
+                assert "synthetic route failure" in payload["detail"]
+                assert counter.value == before + 1
+                # The connection loop survived: the next request succeeds.
+                assert client.healthz()["status"] == "ok"

@@ -10,6 +10,7 @@ Pins two fixes:
   instead of silently dropped (``expected_invocations`` coverage).
 """
 
+import logging
 import math
 
 import pytest
@@ -20,8 +21,10 @@ from repro.messages.stream import SynchronousStream
 from repro.network.frames import FrameFormat
 from repro.network.standards import ieee_802_5_ring, paper_frame_format
 from repro.sim.pdp_sim import PDPRingSimulator, PDPSimConfig, TokenWalkModel
+from repro.sim import validate as validate_mod
 from repro.sim.validate import (
     HORIZON_CAP_PERIODS,
+    _rational_hyperperiod_uncached,
     default_validation_horizon,
     expected_invocations,
 )
@@ -74,6 +77,61 @@ class TestDefaultValidationHorizon:
             message_set = _set(*periods)
             horizon = default_validation_horizon(message_set, 200.0)
             assert horizon <= HORIZON_CAP_PERIODS * max(periods) + 1e-12
+
+
+def _first_primes(count: int) -> list[int]:
+    primes: list[int] = []
+    candidate = 2
+    while len(primes) < count:
+        if all(candidate % p for p in primes):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+class TestHyperperiodOverflow:
+    """Regression: pathological co-prime period sets must degrade, not raise.
+
+    The LCM of many prime denominators is an astronomically large integer;
+    the old float-arithmetic overflow guard (``denominator * 1e9``) itself
+    raised ``OverflowError`` converting it.  The memoized hyperperiod must
+    instead bail out to "irrational" and the horizon fall back to the
+    minimum-periods floor.
+    """
+
+    def test_prime_reciprocal_periods_bail_to_none(self):
+        periods = [1.0 / p for p in _first_primes(150)]
+        assert _rational_hyperperiod_uncached(periods) is None
+
+    def test_prime_reciprocal_horizon_is_finite_and_capped(self):
+        periods = [1.0 / p for p in _first_primes(150)]
+        message_set = _set(*periods)
+        horizon = default_validation_horizon(message_set)
+        assert math.isfinite(horizon)
+        assert horizon == pytest.approx(4.0 * max(periods))
+
+    def test_large_but_tractable_lcm_still_resolves(self):
+        # Two primes stay far below the big-int bail-out: the exact
+        # hyperperiod (1/97 · 1/89 beat = 1 s · lcm ... ) must still be
+        # found, not bailed on.
+        assert _rational_hyperperiod_uncached([1.0 / 4, 1.0 / 6]) == (
+            pytest.approx(0.5)
+        )
+
+    def test_near_coprime_cap_warns_once(self, caplog):
+        periods = (0.097, 0.101, 0.103)
+        message_set = _set(*periods)
+        validate_mod._CAP_WARNED.discard(periods)
+        with caplog.at_level(logging.WARNING, logger="repro.sim.validate"):
+            first = default_validation_horizon(message_set)
+            second = default_validation_horizon(message_set)
+        warnings = [
+            r for r in caplog.records if "validation horizon cap" in r.message
+        ]
+        assert len(warnings) == 1
+        assert warnings[0].hyperperiod_s > warnings[0].cap_s
+        assert first == second == pytest.approx(4.0 * 0.103)
+        assert first <= HORIZON_CAP_PERIODS * 0.103
 
 
 class TestExpectedInvocations:

@@ -36,6 +36,15 @@ in-process: every warm cell must be cache-hit-dominated, and per-cell
 means must stay within 2x of the committed ``BENCH_admission.json``
 baseline (same same-hardware rule as the figure guard).
 
+The lossy-medium canary reruns a small ``loss-sweep`` in-process and
+asserts the retransmission-aware bounds stay *sound*: at loss fractions
+{0, 0.01, 0.05}, every message set the fault-aware analysis accepts must
+meet all deadlines when simulated against a fault plan drawn at the
+budget's rate; breakdown utilization must be positive fault-free and
+monotone non-increasing in the loss fraction.  A committed
+``BENCH_loss.json`` (from ``make bench-loss``) is held to the same shape
+invariants.
+
 Finally the perf-regression guard re-runs the ``bench-quick`` canary
 benchmarks and compares their means against the committed
 ``BENCH_figure1.json`` baseline: any benchmark that got more than 2x
@@ -457,6 +466,155 @@ def run_admission_guard() -> None:
     )
 
 
+#: Loss fractions the soundness canary probes (0 pins the fault-free path).
+_LOSS_FRACTIONS = (0.0, 0.01, 0.05)
+_LOSS_RECOVERY_S = 1e-3
+
+
+def _assert_loss_shape(label, fractions, means) -> None:
+    """Positive fault-free baseline, monotone non-increasing degradation."""
+    if means[0] <= 0.0:
+        raise AssertionError(
+            f"{label}: fault-free breakdown utilization must be positive, "
+            f"got {means[0]!r}"
+        )
+    for (f_lo, m_lo), (f_hi, m_hi) in zip(
+        zip(fractions, means), list(zip(fractions, means))[1:]
+    ):
+        if m_hi > m_lo + 1e-9:
+            raise AssertionError(
+                f"{label}: breakdown utilization must not increase with "
+                f"loss ({m_lo:.4f} @ {f_lo:g} -> {m_hi:.4f} @ {f_hi:g})"
+            )
+
+
+def run_loss_canary() -> None:
+    """Fault-aware bounds must be sound and degrade monotonically.
+
+    * a small in-process loss sweep must show a positive fault-free
+      baseline and monotone non-increasing breakdown utilization for
+      both protocols;
+    * for each probed loss fraction, message sets scaled to 90% of the
+      fault-aware breakdown (hence accepted non-vacuously) must meet
+      every deadline when fault-injected at the declared rate;
+    * a committed ``BENCH_loss.json`` must honour the same shape.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    import numpy as np
+
+    from repro.analysis.pdp import PDPVariant
+    from repro.experiments.config import PaperParameters
+    from repro.experiments.loss_sweep import loss_sweep
+    from repro.faults import (
+        FaultBudget,
+        FaultPlan,
+        fault_aware_breakdown_scale,
+        pdp_fault_aware_schedulable,
+        rate_for_loss_fraction,
+    )
+    from repro.sim import dispatch
+    from repro.sim.pdp_sim import PDPSimConfig
+
+    params = PaperParameters().scaled_down(n_stations=8, monte_carlo_sets=4)
+    result, _ = loss_sweep(
+        params,
+        16.0,
+        loss_fractions=_LOSS_FRACTIONS,
+        recovery_time_s=_LOSS_RECOVERY_S,
+    )
+    for column in ("IEEE 802.5", "FDDI"):
+        _assert_loss_shape(
+            f"loss sweep {column}",
+            [float(row[0]) for row in result.rows],
+            [float(v) for v in result.column(column)],
+        )
+
+    analysis = params.pdp_analysis(16.0, PDPVariant.STANDARD)
+    rng = np.random.default_rng(params.seed)
+    sets = params.sampler().sample_many(rng, 3)
+    checked = 0
+    for fraction in _LOSS_FRACTIONS:
+        budget = FaultBudget(
+            token_loss_rate_hz=(
+                rate_for_loss_fraction(fraction, _LOSS_RECOVERY_S)
+                if fraction
+                else 0.0
+            ),
+            recovery_time_s=_LOSS_RECOVERY_S,
+        )
+        for index, message_set in enumerate(sets):
+            scale = fault_aware_breakdown_scale(
+                lambda ms, b=budget: pdp_fault_aware_schedulable(
+                    analysis, ms, b
+                ),
+                message_set,
+            )
+            if scale <= 0.0:
+                continue
+            probe = message_set.scaled(scale * 0.9)
+            if not pdp_fault_aware_schedulable(analysis, probe, budget):
+                continue
+            plan = FaultPlan(
+                seed=7_001 + index,
+                token_loss_rate_hz=budget.token_loss_rate_hz,
+                recovery_time_s=_LOSS_RECOVERY_S,
+            )
+            report = dispatch.run_pdp(
+                analysis.ring,
+                analysis.frame,
+                probe,
+                PDPSimConfig(faults=plan),
+                4.0 * probe.max_period,
+            )
+            if not report.deadline_safe:
+                missed = [
+                    s.stream_index for s in report.streams if s.missed > 0
+                ]
+                raise AssertionError(
+                    "fault-aware analysis accepted a set that missed "
+                    f"deadlines under its own budget (loss fraction "
+                    f"{fraction:g}, streams {missed}, "
+                    f"faults={report.faults!r}) — the retransmission "
+                    "inflation is unsound"
+                )
+            checked += 1
+    if checked < 3:
+        raise AssertionError(
+            f"loss canary only exercised {checked} accepted sets; "
+            "the soundness assertion is vacuous"
+        )
+
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_loss.json")
+    suffix = "no committed BENCH_loss.json"
+    if os.path.exists(baseline_path):
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        for protocol in ("pdp", "ttp"):
+            cells = sorted(
+                (
+                    bench["params"]["loss_fraction"],
+                    bench["extra_info"]["mean_breakdown_utilization"],
+                )
+                for bench in baseline.get("benchmarks", [])
+                if bench["params"]["protocol"] == protocol
+            )
+            if not cells:
+                raise AssertionError(
+                    f"BENCH_loss.json has no {protocol} cells"
+                )
+            _assert_loss_shape(
+                f"BENCH_loss.json {protocol}",
+                [fraction for fraction, _ in cells],
+                [mean for _, mean in cells],
+            )
+        suffix = "committed BENCH_loss.json shape holds"
+    print(
+        f"verify_smoke: ok (loss canary: {checked} accepted sets "
+        f"deadline-safe under injected faults at fractions "
+        f"{_LOSS_FRACTIONS}; {suffix})"
+    )
+
+
 def run_top_smoke() -> None:
     """One ``runner top --once --spawn`` frame must render live telemetry.
 
@@ -514,6 +672,7 @@ if __name__ == "__main__":
     run_mutation_smoke_check()
     run_service_canary()
     run_admission_guard()
+    run_loss_canary()
     run_bench_guard()
     run_top_smoke()
     run_bench_trend_guard()
