@@ -35,7 +35,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.analysis.rm import ExactRMTest, StreamTestDetail
+from repro.analysis.rm import ExactRMTest, GroupedExactRMTest, StreamTestDetail
 from repro.errors import MessageSetError
 from repro.messages.message_set import MessageSet
 from repro.network.frames import FrameFormat
@@ -295,19 +295,49 @@ class PDPAnalysis:
 
     # -- core computations ------------------------------------------------------------
 
+    #: Columnar sets at or above this size use :class:`GroupedExactRMTest`
+    #: (matrix sized by distinct periods); smaller sets keep the dense
+    #: test, whose per-stream ``details`` report stays available.
+    _GROUPED_MIN_STREAMS = 512
+
     def augmented_lengths(self, message_set: MessageSet) -> np.ndarray:
         """``C'_i`` for every stream of ``message_set`` in *its own* order."""
-        payloads = np.fromiter(
-            (s.payload_bits for s in message_set), dtype=float, count=len(message_set)
-        )
+        if getattr(message_set, "is_columnar", False):
+            payloads = np.asarray(message_set.payloads_bits, dtype=float)
+        else:
+            payloads = np.fromiter(
+                (s.payload_bits for s in message_set),
+                dtype=float,
+                count=len(message_set),
+            )
         return pdp_augmented_lengths(payloads, self._ring, self._frame, self._variant)
 
+    @staticmethod
+    def _structure_key(ordered) -> tuple:
+        """Hashable structure-cache key for object or columnar sets.
+
+        Object sets key on the period tuple directly; columnar sets key
+        on the raw bytes of the period column (hashing a million-float
+        tuple would cost more than the lookup saves), namespaced so an
+        object set and a table with equal periods never collide — they
+        may be backed by different test classes.
+        """
+        if getattr(ordered, "is_columnar", False):
+            return ("columnar", len(ordered), ordered.period_key())
+        return ordered.periods
+
     def _exact_test_for(self, ordered: MessageSet) -> ExactRMTest:
-        key = ordered.periods
+        key = self._structure_key(ordered)
         test = self._test_cache.get(key)
         if test is None:
             _CACHE_MISSES.inc()
-            test = ExactRMTest(key)
+            if (
+                getattr(ordered, "is_columnar", False)
+                and len(ordered) >= self._GROUPED_MIN_STREAMS
+            ):
+                test = GroupedExactRMTest(ordered.periods)
+            else:
+                test = ExactRMTest(ordered.periods)
             self._test_cache[key] = test
             while len(self._test_cache) > self._cache_size:
                 self._test_cache.popitem(last=False)
@@ -340,14 +370,14 @@ class PDPAnalysis:
         """
         verdicts = np.ones(len(message_sets), dtype=bool)
         ordered: list[MessageSet | None] = []
-        groups: dict[tuple[float, ...], list[int]] = {}
+        groups: dict[tuple, list[int]] = {}
         for i, message_set in enumerate(message_sets):
             if len(message_set) == 0:
                 ordered.append(None)  # empty sets are trivially schedulable
                 continue
             ordered_set = message_set.rate_monotonic()
             ordered.append(ordered_set)
-            groups.setdefault(ordered_set.periods, []).append(i)
+            groups.setdefault(self._structure_key(ordered_set), []).append(i)
         blocking = self.blocking
         for indices in groups.values():
             test = self._exact_test_for(ordered[indices[0]])
@@ -465,6 +495,13 @@ class PDPAnalysis:
         if len(ordered) == 0:
             return PDPSetResult(True, (), (), self.blocking)
         test = self._exact_test_for(ordered)
+        if not hasattr(test, "details"):
+            raise MessageSetError(
+                "per-stream analyze() needs the dense exact test; this "
+                f"{len(ordered)}-stream columnar set routed to the grouped "
+                "test, which only produces verdicts — analyze "
+                "table.to_message_set() (or a slice) instead"
+            )
         lengths = self.augmented_lengths(ordered)
         details = tuple(test.details(lengths, self.blocking))
         return PDPSetResult(

@@ -36,6 +36,7 @@ __all__ = [
     "liu_layland_bound",
     "hyperbolic_bound_holds",
     "ExactRMTest",
+    "GroupedExactRMTest",
     "StreamTestDetail",
     "response_time_analysis",
 ]
@@ -316,6 +317,188 @@ class ExactRMTest:
                 )
             )
         return report
+
+
+class GroupedExactRMTest:
+    """The LSD exact test aggregated over *distinct* periods.
+
+    :class:`ExactRMTest` stacks one demand-matrix segment per stream, so
+    its memory is ``O(sum_i |R_i| * n)`` — terabytes for 10^6 streams even
+    with a small period catalogue.  This variant exploits the structure of
+    equation (4) under shared periods: every member of a period group sees
+    the same scheduling points and the same ``ceil(t/P)`` coefficients,
+    and within a group the *last* member in RM order is binding (its
+    demand is the group base plus the full group cost sum; every earlier
+    member's demand is the base plus a prefix of that sum, which is never
+    larger).  The whole set is therefore schedulable iff for every
+    distinct period ``d_g`` there is a scheduling point ``t <= d_g`` with
+
+        ``sum_{u <= g} ceil(t / d_u) * S_u + B <= t``
+
+    where ``S_u`` is the summed cost of group ``u``.  The matrix has one
+    column per *distinct period* (``m`` columns, not ``n``), making the
+    structure independent of stream count: evaluation is an ``O(n)``
+    group-sum (one ``bincount``) plus an ``O(points x m)`` product.
+
+    The verdict is identical to :class:`ExactRMTest` for every cost
+    vector (pinned by tests and the ``columnar_equiv`` fuzz property);
+    intermediate demands may differ in the last bits because group costs
+    are summed before the matrix product rather than inside it.
+
+    Unlike :class:`ExactRMTest`, construction accepts periods in *any*
+    order — RM priority is derived from the period values, and cost
+    vectors are aggregated positionally against the constructor order.
+    """
+
+    def __init__(self, periods: Sequence[float]):
+        periods_arr = np.asarray(periods, dtype=float)
+        if periods_arr.ndim != 1 or periods_arr.size == 0:
+            raise MessageSetError("periods must be a non-empty 1-D sequence")
+        if np.any(periods_arr <= 0):
+            raise MessageSetError("periods must be positive")
+        self._periods = periods_arr
+        self._distinct, self._inverse = np.unique(
+            periods_arr, return_inverse=True
+        )
+        self._build_structure()
+
+    def _build_structure(self) -> None:
+        """Precompute per-group scheduling points and the m-column matrix."""
+        distinct = self._distinct
+        m = distinct.size
+        group_points: list[np.ndarray] = []
+        group_coef: list[np.ndarray] = []
+        for g, d_g in enumerate(distinct):
+            multiples = [
+                d_u * np.arange(1, int(np.floor(d_g / d_u + 1e-12)) + 1)
+                for d_u in distinct[: g + 1]
+            ]
+            pts = np.unique(np.concatenate(multiples))
+            group_points.append(pts)
+            # Same ceil tolerance as ExactRMTest: exact multiples must not
+            # round up a step.  The own-group column (u == g) comes out as
+            # exactly 1.0 for every point t <= d_g, which is precisely the
+            # binding member's own-cost coefficient in the dense test.
+            group_coef.append(
+                np.ceil(pts[:, None] / distinct[None, : g + 1] - 1e-9)
+            )
+        counts = np.array([p.size for p in group_points], dtype=np.intp)
+        starts = np.zeros(m, dtype=np.intp)
+        np.cumsum(counts[:-1], out=starts[1:])
+        flat_points = np.concatenate(group_points)
+        matrix = np.zeros((flat_points.size, m))
+        for g in range(m):
+            rows = slice(starts[g], starts[g] + counts[g])
+            matrix[rows, : g + 1] = group_coef[g]
+        self._segment_starts = starts
+        self._flat_points = flat_points
+        self._flat_thresholds = flat_points * (1.0 + 1e-12)
+        self._matrix = matrix
+
+    @property
+    def periods(self) -> np.ndarray:
+        """The period vector in constructor order (read-only view)."""
+        view = self._periods.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_streams(self) -> int:
+        """Number of streams the test was built for."""
+        return self._periods.size
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct periods (matrix columns)."""
+        return self._distinct.size
+
+    # -- evaluation --------------------------------------------------------------
+
+    def _validate_costs(self, costs: Sequence[float]) -> np.ndarray:
+        arr = np.asarray(costs, dtype=float)
+        if arr.shape != self._periods.shape:
+            raise MessageSetError(
+                f"expected {self._periods.size} costs, got shape {arr.shape}"
+            )
+        if np.any(arr < 0):
+            raise MessageSetError("costs must be non-negative")
+        return arr
+
+    def _group_sums(self, arr: np.ndarray) -> np.ndarray:
+        """Per-distinct-period cost sums ``S_u`` (one bincount pass)."""
+        return np.bincount(
+            self._inverse, weights=arr, minlength=self._distinct.size
+        )
+
+    def _evaluate_sums(self, sums: np.ndarray, blocking: float) -> bool:
+        demand = self._matrix @ sums + blocking
+        ok = demand <= self._flat_thresholds
+        return bool(np.logical_or.reduceat(ok, self._segment_starts).all())
+
+    def _evaluate(self, arr: np.ndarray, blocking: float) -> bool:
+        """:meth:`is_schedulable` on an already-validated cost array
+        (the duck-typed fast path :meth:`PDPAnalysis.scale_prober` uses)."""
+        return self._evaluate_sums(self._group_sums(arr), blocking)
+
+    def is_schedulable(
+        self, costs: Sequence[float], blocking: float = 0.0
+    ) -> bool:
+        """True iff every stream passes the exact test (binding-member
+        check per distinct-period group; see the class docstring)."""
+        arr = self._validate_costs(costs)
+        if blocking < 0:
+            raise MessageSetError(f"blocking must be non-negative, got {blocking!r}")
+        return self._evaluate_sums(self._group_sums(arr), blocking)
+
+    def is_schedulable_batch(
+        self, costs_matrix: Sequence[Sequence[float]], blocking: float = 0.0
+    ) -> np.ndarray:
+        """One verdict per row of a ``(batch, n_streams)`` cost matrix."""
+        mat = np.asarray(costs_matrix, dtype=float)
+        if mat.ndim != 2 or mat.shape[1] != self._periods.size:
+            raise MessageSetError(
+                f"expected a (batch, {self._periods.size}) cost matrix, "
+                f"got shape {mat.shape}"
+            )
+        if np.any(mat < 0):
+            raise MessageSetError("costs must be non-negative")
+        if blocking < 0:
+            raise MessageSetError(f"blocking must be non-negative, got {blocking!r}")
+        order = np.argsort(self._inverse, kind="stable")
+        group_starts = np.searchsorted(
+            self._inverse[order], np.arange(self._distinct.size)
+        )
+        sums = np.add.reduceat(mat[:, order], group_starts, axis=1)
+        demand = sums @ self._matrix.T + blocking
+        ok = demand <= self._flat_thresholds
+        return np.logical_or.reduceat(ok, self._segment_starts, axis=1).all(axis=1)
+
+    def is_schedulable_scaled(
+        self,
+        base_costs: Sequence[float],
+        scales: Sequence[float],
+        blocking: float = 0.0,
+    ) -> np.ndarray:
+        """Verdicts for ``scale * base_costs`` across many scales at once.
+
+        Avoids materializing the ``(batch, n_streams)`` cost matrix the
+        generic batch API would need — the group sums of the base costs
+        are computed once and the scale factors applied to the ``m``-wide
+        sums instead, so a whole scale sweep over a million-stream set
+        costs one bincount plus one small matrix product.
+        """
+        arr = self._validate_costs(base_costs)
+        scale_arr = np.asarray(scales, dtype=float)
+        if scale_arr.ndim != 1:
+            raise MessageSetError("scales must be a 1-D sequence")
+        if np.any(scale_arr < 0):
+            raise MessageSetError("scales must be non-negative")
+        if blocking < 0:
+            raise MessageSetError(f"blocking must be non-negative, got {blocking!r}")
+        sums = self._group_sums(arr)
+        demand = scale_arr[:, None] * (self._matrix @ sums)[None, :] + blocking
+        ok = demand <= self._flat_thresholds
+        return np.logical_or.reduceat(ok, self._segment_starts, axis=1).all(axis=1)
 
 
 def response_time_analysis(

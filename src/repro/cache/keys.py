@@ -19,6 +19,8 @@ import os
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -66,7 +68,20 @@ _SALT_MODULES: tuple[str, ...] = (
 _SALT_BY_VERSION: dict[int, str] = {}
 
 
-def _unserialisable(value: object) -> None:
+def _unserialisable(value: object):
+    # Numpy scalars/arrays coerce to their exact native equivalents rather
+    # than failing: columnar message sets hand payloads built from array
+    # columns, and those must hash identically to object-built payloads.
+    # (``np.float64`` never reaches here — it subclasses ``float`` and
+    # ``json`` serialises it natively, with the same ``repr`` exactness.)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
     raise ConfigurationError(
         f"cache key payloads must be JSON-representable, got {type(value).__name__}"
     )

@@ -47,6 +47,13 @@ class PaperParameters:
         monte_carlo_sets: message sets per estimate.
         seed: base RNG seed (each protocol estimate derives from it
             deterministically so runs are reproducible).
+        mc_eps: target CI half-width for the streaming Monte Carlo
+            estimator; ``None`` (the default) keeps the fixed-N paper
+            path bit-identical to earlier revisions.
+        mc_strata: Latin-hypercube period strata per streaming chunk
+            (1 = plain sampling; only used when ``mc_eps`` is set).
+        mc_antithetic: pair every streaming sample with its
+            period-reflected antithetic twin (only when ``mc_eps`` set).
     """
 
     n_stations: int = 100
@@ -58,6 +65,9 @@ class PaperParameters:
     period_ratio: float = 10.0
     monte_carlo_sets: int = 30
     seed: int = 20_260_704
+    mc_eps: float | None = None
+    mc_strata: int = 1
+    mc_antithetic: bool = False
 
     #: Exact-test structures keyed by period vector, shared by every
     #: analysis this parameter object hands out.  The paired-sampling
@@ -73,6 +83,14 @@ class PaperParameters:
         if self.monte_carlo_sets < 1:
             raise ConfigurationError(
                 f"need at least one Monte Carlo set, got {self.monte_carlo_sets!r}"
+            )
+        if self.mc_eps is not None and self.mc_eps <= 0:
+            raise ConfigurationError(
+                f"mc_eps must be positive when set, got {self.mc_eps!r}"
+            )
+        if self.mc_strata < 1:
+            raise ConfigurationError(
+                f"mc_strata must be >= 1, got {self.mc_strata!r}"
             )
 
     def __getstate__(self) -> dict:
@@ -180,6 +198,23 @@ class PaperParameters:
         """A copy with a different period distribution."""
         return replace(
             self, mean_period_s=mean_period_s, period_ratio=period_ratio
+        )
+
+    def with_streaming_mc(
+        self,
+        eps: float,
+        strata: int = 1,
+        antithetic: bool = False,
+    ) -> "PaperParameters":
+        """A copy that runs Monte Carlo cells as streaming estimates.
+
+        ``monte_carlo_sets`` becomes the per-chunk size; the cell stops
+        when the CI half-width drops below ``eps`` (hard-capped, see
+        :func:`repro.analysis.montecarlo
+        .streaming_average_breakdown_utilization`).
+        """
+        return replace(
+            self, mc_eps=eps, mc_strata=strata, mc_antithetic=antithetic
         )
 
     def with_frame(

@@ -33,7 +33,9 @@ import numpy as np
 
 from repro.analysis.montecarlo import (
     AverageBreakdownEstimate,
+    StreamingBreakdownEstimate,
     average_breakdown_utilization,
+    streaming_average_breakdown_utilization,
 )
 from repro.analysis.pdp import PDPVariant
 from repro.errors import ConfigurationError
@@ -66,9 +68,9 @@ class Figure1Point:
     """One bandwidth sample of the three protocol curves."""
 
     bandwidth_mbps: float
-    pdp_standard: AverageBreakdownEstimate
-    pdp_modified: AverageBreakdownEstimate
-    ttp: AverageBreakdownEstimate
+    pdp_standard: "AverageBreakdownEstimate | StreamingBreakdownEstimate"
+    pdp_modified: "AverageBreakdownEstimate | StreamingBreakdownEstimate"
+    ttp: "AverageBreakdownEstimate | StreamingBreakdownEstimate"
 
 
 @dataclass(frozen=True)
@@ -214,13 +216,20 @@ class Figure1Result:
 
 def _figure1_cell(
     params: PaperParameters, task: tuple[float, str, float]
-) -> AverageBreakdownEstimate:
+) -> "AverageBreakdownEstimate | StreamingBreakdownEstimate":
     """One (bandwidth, protocol) cell of the Figure 1 grid.
 
     Module-level so worker processes can import it by name; self-seeding
     (a fresh generator from ``params.seed``) so the estimate is identical
     no matter which worker runs it or in what order — the paired-sampling
     guarantee the figure's cross-protocol comparison rests on.
+
+    With ``params.mc_eps`` set the cell runs the accuracy-targeted
+    streaming estimator instead of fixed-N sampling: ``monte_carlo_sets``
+    becomes the chunk size and the cell stops at the target CI half-width.
+    Chunks derive from ``params.seed`` exactly like the fixed path, so the
+    three protocols still see identical workload chunks (paired sampling
+    — and with it, paired stratification/antithetic twins — is preserved).
     """
     bandwidth, protocol, rel_tol = task
     if protocol == "pdp_standard":
@@ -232,6 +241,19 @@ def _figure1_cell(
     else:  # pragma: no cover - protocol list is closed
         raise ConfigurationError(f"unknown Figure 1 protocol: {protocol!r}")
     with timing.span(f"figure1/bw{bandwidth:g}/{protocol}"):
+        if params.mc_eps is not None:
+            return streaming_average_breakdown_utilization(
+                analysis,
+                params.sampler(),
+                mbps(bandwidth),
+                seed=params.seed,
+                eps=params.mc_eps,
+                chunk_sets=params.monte_carlo_sets,
+                max_sets=params.monte_carlo_sets * 64,
+                strata=params.mc_strata,
+                antithetic=params.mc_antithetic,
+                rel_tol=rel_tol,
+            )
         return average_breakdown_utilization(
             analysis,
             params.sampler(),

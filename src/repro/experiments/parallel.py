@@ -53,7 +53,7 @@ from repro.errors import ConfigurationError
 from repro.obs import logging as obslog
 from repro.obs import metrics, timing
 
-__all__ = ["parallel_map", "resolve_jobs"]
+__all__ = ["parallel_map", "resolve_jobs", "assert_compact_tasks"]
 
 _S = TypeVar("_S")
 _T = TypeVar("_T")
@@ -76,6 +76,52 @@ def resolve_jobs(jobs: int | None) -> int:
     if count == 0:
         return os.cpu_count() or 1
     return count
+
+
+def assert_compact_tasks(tasks: "Sequence[object]") -> None:
+    """Reject task lists that pickle stream-object payloads per worker.
+
+    Every cell is self-seeding, so tasks should be compact specs — seeds,
+    chunk indices, grid coordinates, array columns — never materialized
+    :class:`~repro.messages.message_set.MessageSet` /
+    :class:`~repro.messages.stream.SynchronousStream` collections, whose
+    per-object pickling once dominated worker start-up at large stream
+    counts.  Checks each task and one container level inside it; raises
+    :class:`~repro.errors.ConfigurationError` on a violation.  Enforced
+    by :func:`parallel_map` whenever a pool (and therefore pickling) is
+    actually about to be used.
+    """
+    from repro.messages.message_set import MessageSet
+    from repro.messages.stream import SynchronousStream
+    from repro.messages.table import StreamTable
+
+    heavy = (MessageSet, SynchronousStream)
+
+    def _offending(value: object) -> str | None:
+        if isinstance(value, heavy):
+            return type(value).__name__
+        if isinstance(value, StreamTable):
+            # Columnar tables are exactly the compact form we want.
+            return None
+        if isinstance(value, (list, tuple, set, frozenset)):
+            for item in value:
+                if isinstance(item, heavy):
+                    return type(item).__name__
+        elif isinstance(value, dict):
+            for item in value.values():
+                if isinstance(item, heavy):
+                    return type(item).__name__
+        return None
+
+    for index, task in enumerate(tasks):
+        name = _offending(task)
+        if name is not None:
+            raise ConfigurationError(
+                f"task {index} carries a {name}; ship a compact spec "
+                "(seed, chunk index, columnar arrays) and rebuild the "
+                "message sets inside the worker instead of pickling "
+                "stream objects per task"
+            )
 
 
 def _worker_init(fn: Callable, shared: object) -> None:
@@ -145,6 +191,7 @@ def parallel_map(
                 extra={"grid": name, "done": index + 1, "total": total},
             )
         return results
+    assert_compact_tasks(task_list)
     with ProcessPoolExecutor(
         max_workers=min(n_jobs, total),
         initializer=_worker_init,

@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.messages.message_set import MessageSet
 from repro.messages.stream import SynchronousStream
+from repro.messages.table import StreamTable
 
 __all__ = [
     "PeriodDistribution",
@@ -153,9 +154,10 @@ class MessageSetSampler:
                 f"got {self.reference_payload_bits!r}"
             )
 
-    def sample(self, rng: np.random.Generator) -> MessageSet:
-        """Draw one message set, stations numbered 0..n-1."""
-        periods = self.periods.sample(rng, self.n_streams)
+    def _draw_payloads(
+        self, rng: np.random.Generator, periods: np.ndarray
+    ) -> np.ndarray:
+        """Payload lengths for already-drawn periods (weight-law draw)."""
         weights = np.asarray(self.weight_law(rng, periods), dtype=float)
         if weights.shape != periods.shape:
             raise ConfigurationError(
@@ -165,13 +167,34 @@ class MessageSetSampler:
         if np.any(weights < 0):
             raise ConfigurationError("weight law produced negative payloads")
         mean_weight = float(np.mean(weights)) or 1.0
-        payloads = weights / mean_weight * self.reference_payload_bits
+        return weights / mean_weight * self.reference_payload_bits
+
+    @staticmethod
+    def _assemble(periods: np.ndarray, payloads: np.ndarray) -> MessageSet:
         return MessageSet(
             SynchronousStream(
                 period_s=float(p), payload_bits=float(c), station=i
             )
             for i, (p, c) in enumerate(zip(periods, payloads))
         )
+
+    def sample(self, rng: np.random.Generator) -> MessageSet:
+        """Draw one message set, stations numbered 0..n-1."""
+        periods = self.periods.sample(rng, self.n_streams)
+        payloads = self._draw_payloads(rng, periods)
+        return self._assemble(periods, payloads)
+
+    def sample_table(self, rng: np.random.Generator) -> StreamTable:
+        """Draw one message set directly as a columnar :class:`StreamTable`.
+
+        Consumes the generator stream exactly like :meth:`sample`, and the
+        resulting columns are bit-identical to columnarizing the object
+        sample (``StreamTable.from_message_set(self.sample(rng))`` with an
+        identically seeded generator).
+        """
+        periods = self.periods.sample(rng, self.n_streams)
+        payloads = self._draw_payloads(rng, periods)
+        return StreamTable(periods, payloads)
 
     def sample_many(
         self, rng: np.random.Generator, count: int
@@ -180,3 +203,73 @@ class MessageSetSampler:
         if count < 0:
             raise ConfigurationError(f"count must be non-negative, got {count!r}")
         return [self.sample(rng) for _ in range(count)]
+
+    def sample_many_stratified(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        *,
+        strata: int = 1,
+        antithetic: bool = False,
+    ) -> list[MessageSet]:
+        """Draw ``count`` sets with optional variance-reduction structure.
+
+        With ``strata == 1`` and ``antithetic == False`` this is *exactly*
+        :meth:`sample_many` — same generator consumption, bit-identical
+        sets — so the streaming estimator's plain mode matches the fixed-N
+        path sample for sample.
+
+        ``strata = S > 1`` applies Latin-hypercube stratification to the
+        *periods*: sets are produced in rounds of ``S``, and within a
+        round every stream coordinate visits each of the ``S`` equal
+        period sub-intervals exactly once (a fresh random permutation per
+        coordinate keeps coordinates independent).  Each marginal period
+        sample is still exactly Uniform(P_min, P_max), so the estimator
+        stays unbiased while the period-driven variance component shrinks.
+
+        ``antithetic = True`` follows every drawn set with its antithetic
+        twin: periods reflected to ``P_min + P_max - P``, payload lengths
+        *shared* with the base set, which pairs the protocols' common
+        period sensitivity across the reflection.  Each twin is again
+        marginally a legitimate sample (the reflection of Uniform is
+        Uniform; weights are exchangeable), preserving unbiasedness.
+        For a degenerate distribution (ratio 1, ``P_min == P_max``) the
+        twin coincides with its base, so antithetic pairing is a no-op.
+
+        Rounds are truncated to ``count`` sets; pass a ``count`` that is a
+        multiple of ``strata`` (times 2 when antithetic) to keep whole
+        rounds.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count!r}")
+        if strata < 1:
+            raise ConfigurationError(f"strata must be >= 1, got {strata!r}")
+        if strata == 1 and not antithetic:
+            return [self.sample(rng) for _ in range(count)]
+        low, high = self.periods.bounds
+        span = high - low
+        sets: list[MessageSet] = []
+        while len(sets) < count:
+            # One Latin-hypercube round: u[k, j] lands base set k's stream
+            # j in a distinct stratum per coordinate.
+            offsets = rng.random((strata, self.n_streams))
+            lanes = np.tile(
+                np.arange(strata, dtype=float)[:, None], (1, self.n_streams)
+            )
+            u = (rng.permuted(lanes, axis=0) + offsets) / strata
+            for k in range(strata):
+                if span == 0.0:
+                    periods = np.full(self.n_streams, low)
+                else:
+                    periods = low + span * u[k]
+                payloads = self._draw_payloads(rng, periods)
+                sets.append(self._assemble(periods, payloads))
+                if antithetic and len(sets) < count:
+                    if span == 0.0:
+                        anti = periods
+                    else:
+                        anti = low + span * (1.0 - u[k])
+                    sets.append(self._assemble(anti, payloads))
+                if len(sets) >= count:
+                    break
+        return sets[:count]

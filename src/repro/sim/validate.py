@@ -87,14 +87,20 @@ def _rational_hyperperiod(
 
     Returns None when some period is not (near-)exactly a small rational
     — the usual case for randomly drawn floats — or when the LCM blows
-    up beyond any useful horizon.  Memoised on the period tuple.
+    up beyond any useful horizon.  Memoised on the *distinct* period
+    values: the LCM is invariant under duplicates and order, and large
+    tables draw from a small period catalogue, so deduplicating first
+    turns an ``O(n)`` Fraction walk (the quadratic tail of validating a
+    10^5-stream table, via the per-stream limit_denominator cost) into an
+    ``O(m)`` one with ``m`` distinct periods.
     """
-    memo_key = (tuple(periods), max_denominator)
+    distinct = tuple(sorted(set(float(p) for p in periods)))
+    memo_key = (distinct, max_denominator)
     try:
         return _HYPERPERIOD_MEMO[memo_key]
     except KeyError:
         pass
-    result = _rational_hyperperiod_uncached(periods, max_denominator)
+    result = _rational_hyperperiod_uncached(distinct, max_denominator)
     if len(_HYPERPERIOD_MEMO) >= _HYPERPERIOD_MEMO_LIMIT:
         _HYPERPERIOD_MEMO.pop(next(iter(_HYPERPERIOD_MEMO)))
     _HYPERPERIOD_MEMO[memo_key] = result

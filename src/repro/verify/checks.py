@@ -26,6 +26,22 @@ The properties:
     breakdown *utilization* is invariant under payload scaling; scaling
     by powers of two must preserve ``λ(s·M)·s == λ(M)`` to float
     round-off.
+``columnar_equiv``
+    The columnar :class:`~repro.messages.table.StreamTable` engine is
+    pure performance work: tables must round-trip to object sets
+    losslessly, order identically under rate-monotonic sorting, produce
+    **bit-identical** per-stream utilizations, wire-bit totals, and PDP
+    augmented lengths, and move no verdict — PDP (both variants, dense
+    *and* grouped exact tests) and TTP (verdict and saturation scale)
+    must answer object and columnar forms identically.
+``mc_streaming_equiv``
+    The streaming Monte Carlo estimator must be the fixed-N estimator
+    when asked to be: its first chunk (plain sampling) is
+    **bit-identical** to a fixed-N run from the same derived seed, and
+    its variance-reduced mode (stratified + antithetic) must agree with
+    an independent fixed-N estimate within the combined confidence
+    intervals — stratification may reshuffle *where* periods land, never
+    *what* is being estimated.
 ``pdp_fastpath_equiv`` / ``ttp_fastpath_equiv``
     The event-compressing fast paths (:mod:`repro.sim.fastpath`,
     :mod:`repro.sim.fastpath_ttp`) must reproduce the scalar oracles'
@@ -86,7 +102,9 @@ from repro import admission as admission_mod
 from repro import admission_incremental as admission_incremental_mod
 
 from repro.analysis import boundary as boundary_mod
+from repro.analysis import montecarlo as montecarlo_mod
 from repro.analysis import pdp as pdp_mod
+from repro.analysis import rm as rm_mod
 from repro.analysis.breakdown import breakdown_scale, breakdown_scales_batch
 from repro.analysis.pdp import PDPAnalysis, PDPVariant
 from repro.analysis.ttp import TTPAnalysis
@@ -94,6 +112,8 @@ from repro.errors import AllocationError, ReproError
 from repro.faults import analysis as faults_analysis_mod
 from repro.faults.analysis import FaultBudget
 from repro.faults.plan import FaultPlan, rate_for_loss_fraction
+from repro.messages import table as table_mod
+from repro.messages.generators import MessageSetSampler, PeriodDistribution
 from repro.obs import tracing as tracing_mod
 from repro.network.standards import fddi_ring, ieee_802_5_ring, paper_frame_format
 from repro.sim import dispatch as dispatch_mod
@@ -1053,6 +1073,220 @@ def check_fault_plan_determinism(case: FuzzCase) -> Violation | None:
     return None
 
 
+# -- columnar engine equivalence ------------------------------------------------
+
+
+def check_columnar_equiv(case: FuzzCase) -> Violation | None:
+    """The columnar StreamTable pipeline is bit-identical to the object path."""
+    message_set = case.message_set()
+    table = table_mod.StreamTable.from_message_set(message_set)
+
+    def fail(detail: str) -> Violation:
+        return Violation("columnar_equiv", case, detail)
+
+    if table.to_message_set() != message_set:
+        return fail(
+            "StreamTable.from_message_set/to_message_set round trip lost "
+            "information"
+        )
+
+    ordered_set = message_set.rate_monotonic()
+    ordered_table = table.rate_monotonic()
+    if ordered_table.to_message_set() != ordered_set:
+        return fail(
+            "columnar rate_monotonic produced a different ordering than the "
+            "object sort"
+        )
+
+    bandwidth = case.bandwidth_bps
+    table_u = table.utilizations(bandwidth)
+    object_u = np.array([s.utilization(bandwidth) for s in message_set])
+    if not np.array_equal(table_u, object_u):
+        return fail(
+            "per-stream utilizations differ bitwise between the table and "
+            "object paths"
+        )
+
+    frame = _frame()
+    vector_bits = frame.message_wire_bits_array(
+        np.asarray(case.payloads_bits, dtype=float)
+    )
+    scalar_bits = np.array(
+        [frame.message_wire_bits(c) for c in case.payloads_bits], dtype=float
+    )
+    if not np.array_equal(vector_bits, scalar_bits):
+        return fail(
+            "message_wire_bits_array diverges bitwise from the scalar "
+            "wire-bit rule"
+        )
+
+    for variant in (PDPVariant.STANDARD, PDPVariant.MODIFIED):
+        analysis = _pdp_analysis(case, variant)
+        costs_set = analysis.augmented_lengths(ordered_set)
+        costs_table = analysis.augmented_lengths(ordered_table)
+        if not np.array_equal(costs_set, costs_table):
+            return fail(
+                f"{variant.name}: augmented lengths differ bitwise between "
+                "the table and object paths"
+            )
+        verdict_set = analysis.is_schedulable(message_set)
+        verdict_table = analysis.is_schedulable(table)
+        if verdict_set != verdict_table:
+            return fail(
+                f"{variant.name}: PDP verdict moved between object "
+                f"({verdict_set}) and columnar ({verdict_table}) inputs"
+            )
+        dense = rm_mod.ExactRMTest(ordered_table.periods)
+        grouped = rm_mod.GroupedExactRMTest(ordered_table.periods)
+        blocking = analysis.blocking
+        if dense.is_schedulable(costs_table, blocking) != grouped.is_schedulable(
+            costs_table, blocking
+        ):
+            return fail(
+                f"{variant.name}: dense and grouped exact RM tests disagree "
+                "on the same cost vector"
+            )
+
+    ttp = _ttp_analysis(case)
+
+    def outcome(fn, argument):
+        try:
+            return ("ok", fn(argument))
+        except ReproError as exc:
+            return (type(exc).__name__, None)
+
+    verdict_set = outcome(ttp.is_schedulable, message_set)
+    verdict_table = outcome(ttp.is_schedulable, table)
+    if verdict_set != verdict_table:
+        return fail(
+            f"TTP verdict moved between object ({verdict_set!r}) and "
+            f"columnar ({verdict_table!r}) inputs"
+        )
+    scale_set = outcome(ttp.saturation_scale, message_set)
+    scale_table = outcome(ttp.saturation_scale, table)
+    if scale_set[0] != scale_table[0]:
+        return fail(
+            f"TTP saturation outcomes differ: object {scale_set!r} vs "
+            f"columnar {scale_table!r}"
+        )
+    if scale_set[0] == "ok":
+        same = scale_set[1] == scale_table[1] or (
+            math.isnan(scale_set[1]) and math.isnan(scale_table[1])
+        )
+        if not same:
+            return fail(
+                f"TTP saturation scales differ bitwise: object "
+                f"{scale_set[1]!r} vs columnar {scale_table[1]!r}"
+            )
+    return None
+
+
+# -- streaming Monte Carlo equivalence ------------------------------------------
+
+#: Chunk size of the fuzz-scale streaming runs; small enough that the whole
+#: check costs ~40 breakdown searches per case at the relaxed tolerance.
+_MC_CHUNK_SETS = 4
+
+#: Bisection tolerance for the Monte Carlo equivalence check.  Accuracy of
+#: individual samples is irrelevant here — both estimators share the same
+#: kernels — so the search can stop early.
+_MC_REL_TOL = 1e-3
+
+
+def check_mc_streaming_equiv(case: FuzzCase) -> Violation | None:
+    """The streaming estimator *is* the fixed-N estimator.
+
+    Two obligations: (1) in plain mode (``strata=1``, no antithetic) the
+    streaming chunk ``k`` consumes the sample stream of
+    ``default_rng([seed, k])`` bit-identically, so chunk 0's mean must
+    equal the fixed-N mean over the same ``chunk_sets`` sets exactly;
+    (2) the variance-reduced mode changes *where* period samples land,
+    never what is estimated, so its mean must agree with an independent
+    fixed-N estimate within the combined confidence intervals.
+    """
+    analysis = _pdp_analysis(case, PDPVariant.STANDARD)
+    p_min = min(case.periods_s)
+    p_max = max(case.periods_s)
+    distribution = PeriodDistribution(
+        mean_period_s=0.5 * (p_min + p_max), ratio=p_max / p_min
+    )
+    sampler = MessageSetSampler(
+        n_streams=len(case.periods_s), periods=distribution
+    )
+    mc_seed = case.seed * 3_000_017 + case.index
+    bandwidth = case.bandwidth_bps
+
+    streaming = montecarlo_mod.streaming_average_breakdown_utilization(
+        analysis,
+        sampler,
+        bandwidth,
+        seed=mc_seed,
+        eps=1.0,  # converge immediately at min_chunks: 2 chunks exactly
+        chunk_sets=_MC_CHUNK_SETS,
+        min_chunks=2,
+        max_sets=2 * _MC_CHUNK_SETS,
+        rel_tol=_MC_REL_TOL,
+    )
+    fixed_chunk = montecarlo_mod.average_breakdown_utilization(
+        analysis,
+        sampler,
+        bandwidth,
+        _MC_CHUNK_SETS,
+        np.random.default_rng([mc_seed, 0]),
+        rel_tol=_MC_REL_TOL,
+    )
+    # If chunk 0 produced no samples (every set had infinite scale) the
+    # first entry of chunk_means, if any, belongs to a later chunk — only
+    # compare when chunk 0 demonstrably contributed.
+    if fixed_chunk.n_sets and streaming.chunk_means:
+        if streaming.chunk_means[0] != fixed_chunk.mean:
+            return Violation(
+                "mc_streaming_equiv",
+                case,
+                f"plain streaming chunk 0 mean {streaming.chunk_means[0]!r} "
+                f"is not bit-identical to the fixed-N mean "
+                f"{fixed_chunk.mean!r} over the same {_MC_CHUNK_SETS} sets",
+            )
+
+    fixed = montecarlo_mod.average_breakdown_utilization(
+        analysis,
+        sampler,
+        bandwidth,
+        4 * _MC_CHUNK_SETS,
+        np.random.default_rng([mc_seed, 1000]),
+        rel_tol=_MC_REL_TOL,
+    )
+    reduced = montecarlo_mod.streaming_average_breakdown_utilization(
+        analysis,
+        sampler,
+        bandwidth,
+        seed=(mc_seed, 2000),
+        eps=1e-12,  # never converges: runs to the max_sets cap
+        chunk_sets=_MC_CHUNK_SETS,
+        min_chunks=2,
+        max_sets=4 * _MC_CHUNK_SETS,
+        strata=_MC_CHUNK_SETS,
+        antithetic=True,
+        rel_tol=_MC_REL_TOL,
+    )
+    if fixed.n_sets >= 2 and reduced.n_chunks >= 2:
+        combined = math.hypot(fixed.stderr, reduced.stderr)
+        if math.isfinite(combined):
+            # 6x the combined stderr: loose enough that a clean estimator
+            # never trips it (samples are bounded in [0, 1]), tight enough
+            # that a biased stratification or twin-pairing rule does.
+            tolerance = 6.0 * combined + 1e-12
+            if abs(fixed.mean - reduced.mean) > tolerance:
+                return Violation(
+                    "mc_streaming_equiv",
+                    case,
+                    f"variance-reduced streaming mean {reduced.mean!r} and "
+                    f"fixed-N mean {fixed.mean!r} disagree beyond 6x the "
+                    f"combined stderr ({combined!r})",
+                )
+    return None
+
+
 CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_vs_sim": check_pdp_vs_sim,
     "ttp_vs_sim": check_ttp_vs_sim,
@@ -1069,6 +1303,8 @@ CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "admission_tracing_equiv": check_admission_tracing_equiv,
     "analysis_sound_under_loss": check_analysis_sound_under_loss,
     "fault_plan_determinism": check_fault_plan_determinism,
+    "columnar_equiv": check_columnar_equiv,
+    "mc_streaming_equiv": check_mc_streaming_equiv,
 }
 
 

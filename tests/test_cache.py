@@ -302,3 +302,58 @@ def test_mutation_injection_clears_cached_results(harmonic_set, disk_cache):
     assert len(disk_cache._memory) == 0
     replay = cached_run_pdp(ring, frame, ms, config, duration)
     assert [vars(s) for s in replay.streams] == [vars(s) for s in clean.streams]
+
+
+# -- numpy payloads (columnar callers) ----------------------------------------
+
+
+def test_numpy_scalars_key_like_native_values():
+    """Columnar callers hand numpy scalars/arrays into key payloads; they
+    must hash identically to the native equivalents, not crash or drift."""
+    arr_f = np.array([0.1, 0.25])
+    arr_i = np.array([3, 4], dtype=np.int32)
+    native = {"f": 0.1, "i": 3, "b": True, "v": [0.1, 0.25], "w": [3, 4]}
+    numpied = {
+        "f": np.float64(0.1),
+        "i": np.int32(3),
+        "b": np.bool_(True),
+        "v": arr_f,
+        "w": arr_i,
+    }
+    assert canonical_json(numpied) == canonical_json(native)
+    assert content_key(numpied) == content_key(native)
+
+
+def test_numpy_float32_coerces_exactly():
+    value = np.float32(0.1)
+    assert canonical_json({"x": value}) == canonical_json({"x": float(value)})
+
+
+def test_unserialisable_payload_rejected():
+    with pytest.raises(ConfigurationError):
+        canonical_json({"x": object()})
+
+
+def test_table_and_object_twin_share_breakdown_cache_entries(disk_cache):
+    """A StreamTable and its object twin must hit the same cache rows —
+    the regression that motivated the numpy coercion in the first place."""
+    from repro.messages.message_set import MessageSet
+    from repro.messages.stream import SynchronousStream
+    from repro.messages.table import StreamTable
+
+    analysis = _pdp_analysis()
+    message_set = MessageSet(
+        SynchronousStream(period_s=p, payload_bits=c, station=s)
+        for p, c, s in [(0.1, 800.0, 0), (0.2, 1600.0, 1), (0.4, 800.0, 2)]
+    )
+    table = StreamTable.from_message_set(message_set)
+    assert table.signature_rows() == [
+        [s.period_s, s.payload_bits, s.station] for s in message_set
+    ]
+    before_misses = _counter("cache.breakdown.misses")
+    scale_obj, _ = breakdown_scale(message_set, analysis, rel_tol=1e-3)
+    assert _counter("cache.breakdown.misses") == before_misses + 1
+    before_hits = _counter("cache.breakdown.hits")
+    scale_tab, _ = breakdown_scale(table, analysis, rel_tol=1e-3)
+    assert _counter("cache.breakdown.hits") == before_hits + 1
+    assert scale_tab == scale_obj

@@ -1,0 +1,141 @@
+"""Scale benchmark: columnar throughput + streaming MC efficiency canary.
+
+Exercises :mod:`repro.experiments.scale_bench` at toy sizes — the committed
+``BENCH_scale.json`` numbers come from ``make bench-scale``; these tests pin
+the machinery (determinism, document schema, eval accounting), not the
+performance claims themselves (the verify scale guard does that at real
+sizes).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import PaperParameters
+from repro.experiments.scale_bench import (
+    ScaleBenchResult,
+    run_scale_bench,
+    scale_bench_document,
+)
+from repro.obs.benchjson import BENCH_SCHEMA_VERSION
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_scale_bench(
+        PaperParameters(),
+        n_streams=4000,
+        baseline_streams=64,
+        distinct_periods=16,
+        bandwidth_mbps=10.0,
+        mc_streams=6,
+        mc_eps=0.02,
+        mc_chunk_sets=8,
+        mc_min_chunks=2,
+        mc_max_sets=512,
+        mc_strata=4,
+    )
+
+
+class TestRunScaleBench:
+    def test_pipelines_produce_real_verdicts(self, result):
+        """Both pipelines must run the full exact analyses: real boolean
+        verdicts and a finite TTP saturation scale.  (At thousands of
+        stations the TTP scale is legitimately 0.0 — per-station frame
+        overheads alone exceed TTRT − δ — which is exactly the regime the
+        paper's Figure 1 tails show, so only finiteness is pinned.)"""
+        assert result.n_streams == 4000
+        assert result.baseline_streams == 64
+        assert isinstance(result.columnar_schedulable, bool)
+        assert isinstance(result.object_schedulable, bool)
+        assert 0.0 <= result.columnar_ttp_scale < float("inf")
+        assert 0.0 < result.object_ttp_scale < float("inf")
+
+    def test_throughput_fields_consistent(self, result):
+        assert result.columnar_seconds > 0 and result.object_seconds > 0
+        assert result.columnar_streams_per_sec == pytest.approx(
+            result.n_streams / result.columnar_seconds
+        )
+        assert result.speedup == pytest.approx(
+            result.columnar_streams_per_sec / result.object_streams_per_sec
+        )
+
+    def test_mc_estimates_converged_and_agree(self, result):
+        assert result.naive.converged and result.vr.converged
+        assert result.naive.eps == result.vr.eps == 0.02
+        assert result.vr.evaluations <= result.naive.evaluations
+        assert result.mc_eval_ratio == pytest.approx(
+            result.naive.evaluations / result.vr.evaluations
+        )
+        tolerance = result.naive.half_width + result.vr.half_width
+        assert abs(result.naive.mean - result.vr.mean) <= tolerance
+
+    def test_deterministic_given_parameters(self, result):
+        twin = run_scale_bench(
+            PaperParameters(),
+            n_streams=4000,
+            baseline_streams=64,
+            distinct_periods=16,
+            bandwidth_mbps=10.0,
+            mc_streams=6,
+            mc_eps=0.02,
+            mc_chunk_sets=8,
+            mc_min_chunks=2,
+            mc_max_sets=512,
+            mc_strata=4,
+        )
+        assert twin.columnar_schedulable == result.columnar_schedulable
+        assert twin.columnar_ttp_scale == result.columnar_ttp_scale
+        assert twin.object_ttp_scale == result.object_ttp_scale
+        assert twin.naive.chunk_means == result.naive.chunk_means
+        assert twin.vr.chunk_means == result.vr.chunk_means
+
+    def test_summary_mentions_headlines(self, result):
+        text = result.summary()
+        assert "speedup" in text and "mc ratio" in text
+
+
+class TestDocument:
+    def test_schema_shape(self, result):
+        doc = scale_bench_document(result)
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        names = [b["name"] for b in doc["benchmarks"]]
+        assert names == [
+            f"columnar_analyze_{result.n_streams}",
+            f"object_analyze_{result.baseline_streams}",
+            "mc_streaming_naive",
+            "mc_streaming_vr",
+        ]
+        for bench in doc["benchmarks"]:
+            stats = bench["stats"]
+            assert stats["ops"] == pytest.approx(1.0 / stats["mean"])
+            assert bench["group"] in ("scale", "mc")
+
+    def test_guarded_extra_info_present(self, result):
+        """The verify scale guard reads these fields from the committed
+        document; losing them must fail tests, not the guard at HEAD."""
+        doc = scale_bench_document(result)
+        by_name = {b["name"]: b for b in doc["benchmarks"]}
+        columnar = by_name[f"columnar_analyze_{result.n_streams}"]
+        assert columnar["extra_info"]["speedup_vs_object"] == pytest.approx(
+            result.speedup
+        )
+        assert columnar["extra_info"]["streams_per_sec"] > 0
+        vr = by_name["mc_streaming_vr"]
+        assert vr["extra_info"]["eval_ratio_vs_naive"] == pytest.approx(
+            result.mc_eval_ratio
+        )
+        naive = by_name["mc_streaming_naive"]
+        assert naive["extra_info"]["evaluations"] == result.naive.evaluations
+
+    def test_document_is_json_serialisable(self, result):
+        doc = scale_bench_document(result)
+        parsed = json.loads(json.dumps(doc))
+        assert parsed["benchmarks"][0]["group"] == "scale"
+
+    def test_result_is_frozen(self, result):
+        assert isinstance(result, ScaleBenchResult)
+        with pytest.raises(AttributeError):
+            result.n_streams = 1

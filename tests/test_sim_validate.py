@@ -100,3 +100,50 @@ class TestTTPCrossValidation:
         assert not validation.analysis_schedulable
         assert validation.consistent
         assert validation.report.duration == 0.0
+
+
+class TestHyperperiodMemo:
+    def test_memoised_on_distinct_periods(self, monkeypatch):
+        """10^5 streams over a 3-period catalogue must cost one Fraction
+        walk over 3 values — and the second call none at all."""
+        from repro.sim import validate as validate_mod
+
+        calls = []
+        real = validate_mod._rational_hyperperiod_uncached
+
+        def counting(periods, max_denominator=1_000_000):
+            calls.append(tuple(periods))
+            return real(periods, max_denominator)
+
+        monkeypatch.setattr(
+            validate_mod, "_rational_hyperperiod_uncached", counting
+        )
+        validate_mod._HYPERPERIOD_MEMO.clear()
+        periods = np.tile([0.1, 0.2, 0.5], 40_000)
+        first = validate_mod._rational_hyperperiod(periods)
+        assert first == pytest.approx(1.0)
+        assert calls == [(0.1, 0.2, 0.5)]  # deduplicated and sorted
+        again = validate_mod._rational_hyperperiod(np.array([0.5, 0.2, 0.1]))
+        assert again == first
+        assert len(calls) == 1  # served from the memo
+
+    def test_memo_keyed_on_denominator_limit(self):
+        from repro.sim import validate as validate_mod
+
+        validate_mod._HYPERPERIOD_MEMO.clear()
+        a = validate_mod._rational_hyperperiod([0.1, 0.3])
+        b = validate_mod._rational_hyperperiod([0.1, 0.3], max_denominator=10)
+        assert a == pytest.approx(0.3)
+        assert b == pytest.approx(0.3)
+        assert len(validate_mod._HYPERPERIOD_MEMO) == 2
+
+    def test_memo_is_bounded(self):
+        from repro.sim import validate as validate_mod
+
+        validate_mod._HYPERPERIOD_MEMO.clear()
+        for k in range(validate_mod._HYPERPERIOD_MEMO_LIMIT + 50):
+            validate_mod._rational_hyperperiod([0.1, 0.1 * (k + 2)])
+        assert (
+            len(validate_mod._HYPERPERIOD_MEMO)
+            <= validate_mod._HYPERPERIOD_MEMO_LIMIT
+        )
