@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service bench-admission bench-loss bench-scale bench-trend top serve examples report fast-report figure1 all-experiments clean
+.PHONY: help install test verify fuzz-quick bench bench-quick bench-sim bench-service bench-admission bench-loss bench-scale bench-cluster bench-trend top serve examples report fast-report figure1 all-experiments clean
 
 help:
 	@echo "Targets:"
@@ -40,6 +40,13 @@ help:
 	@echo "                   variance-reduced (evaluations to target CI)"
 	@echo "                   -> BENCH_scale.json (the verify scale guard"
 	@echo "                   checks the speedup floor against it)"
+	@echo "  bench-cluster    sharded-cluster canary: spawn worker fleets at"
+	@echo "                   1 and 4 workers behind the consistent-hash"
+	@echo "                   router, drive the same seeded load through"
+	@echo "                   each -> BENCH_cluster.json (fleet req/s,"
+	@echo "                   per-shard latency percentiles, measured"
+	@echo "                   scaling ratio + cpu_count for the hardware-"
+	@echo "                   aware verify guard)"
 	@echo "  bench-trend      append the current BENCH_*.json summaries to"
 	@echo "                   BENCH_history.jsonl (the verify trend guard"
 	@echo "                   compares future runs against this history)"
@@ -105,6 +112,11 @@ bench-scale:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner \
 		bench-scale --no-manifest --log-level warning \
 		--scale-bench-json BENCH_scale.json
+
+bench-cluster:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.experiments.runner \
+		bench-cluster --no-manifest --log-level warning \
+		--cluster-bench-json BENCH_cluster.json
 
 bench-trend:
 	$(PYTHON) tools/bench_trend.py append

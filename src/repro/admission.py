@@ -94,8 +94,9 @@ class AdmissionDecision:
         station: ring station assigned, or the station a check's
             candidate would occupy (None on rejection).
         reason: human-readable explanation.
-        tested_by: which test decided ("sufficient", "exact", or
-            "capacity").
+        tested_by: which test decided ("sufficient", "exact",
+            "capacity", or "budget" — the utilization-cap lease gate of
+            sharded deployments; see :mod:`repro.cluster`).
         utilization_after: admitted-set utilization had/has the stream
             been included.
     """
@@ -177,6 +178,14 @@ class AdmissionController:
             content-addressed result cache under this namespace (the
             admission service passes ``"admission"``); None — the
             default — computes every decision.
+        utilization_cap: when set, a hard admitted-utilization budget —
+            any admission that would push the admitted set's utilization
+            past it is rejected with ``tested_by="budget"`` *before* the
+            schedulability test runs.  This is how a sharded fleet stays
+            jointly sound: each worker enforces the lease granted by the
+            cluster router (:mod:`repro.cluster.budget`), so the sum of
+            per-shard admissions can never exceed the single-controller
+            aggregate cap.  None (the default) disables the gate.
 
     Thread safety: all public operations are atomic under an internal
     reentrant lock (see the module docstring).  The controller models the
@@ -189,13 +198,21 @@ class AdmissionController:
         policy: AdmissionPolicy = AdmissionPolicy.HYBRID,
         *,
         cache_namespace: str | None = None,
+        utilization_cap: float | None = None,
     ):
         if not isinstance(analysis, (PDPAnalysis, TTPAnalysis)):
             raise ConfigurationError(
                 f"analysis must be a PDPAnalysis or TTPAnalysis, got {analysis!r}"
             )
+        if utilization_cap is not None and not utilization_cap >= 0.0:
+            raise ConfigurationError(
+                f"utilization_cap must be >= 0, got {utilization_cap!r}"
+            )
         self._analysis = analysis
         self._policy = policy
+        self._utilization_cap = (
+            float(utilization_cap) if utilization_cap is not None else None
+        )
         self._streams: dict[int, SynchronousStream] = {}
         self._ids = itertools.count(1)
         self._lock = threading.RLock()
@@ -232,6 +249,30 @@ class AdmissionController:
         """Number of currently admitted streams."""
         with self._lock:
             return len(self._streams)
+
+    @property
+    def utilization_cap(self) -> float | None:
+        """The admitted-utilization budget in force (None = unbounded)."""
+        with self._lock:
+            return self._utilization_cap
+
+    def set_utilization_cap(self, cap: float | None) -> float | None:
+        """Install a new utilization budget, returning the previous one.
+
+        The cluster router calls this (via the service's ``/v1/lease``
+        endpoint) when it reconciles the fleet's budget split.  A cap
+        below the *currently admitted* utilization is legal: existing
+        streams keep running, but no further admission can succeed until
+        releases bring utilization back under the lease.
+        """
+        if cap is not None and not cap >= 0.0:
+            raise ConfigurationError(
+                f"utilization_cap must be >= 0, got {cap!r}"
+            )
+        with self._lock:
+            previous = self._utilization_cap
+            self._utilization_cap = float(cap) if cap is not None else None
+            return previous
 
     def current_set(self) -> MessageSet:
         """The admitted population as a message set."""
@@ -385,6 +426,7 @@ class AdmissionController:
         station = self._free_stations[-1]
         base = list(self._streams.values())
         bandwidth = self._analysis.ring.bandwidth_bps
+        cap = self._utilization_cap
 
         decisions: list[AdmissionDecision | OpFault | None] = [None] * len(requests)
         candidates: list[MessageSet] = []
@@ -400,7 +442,30 @@ class AdmissionController:
                     raise
                 decisions[j] = OpFault(type(exc).__name__, str(exc))
                 continue
-            candidates.append(MessageSet([*base, stream]))
+            candidate = MessageSet([*base, stream])
+            if cap is not None:
+                # Budget gate: a lease overrun is rejected before (and
+                # instead of) the schedulability test, and is never
+                # cached — the verdict depends on the lease, not the
+                # message set.  Bit-identity with a single-controller
+                # twin holds because the twin applies the same gate to
+                # the same float.
+                utilization_after = candidate.utilization(bandwidth)
+                if utilization_after > cap:
+                    decisions[j] = AdmissionDecision(
+                        admitted=False,
+                        stream_id=None,
+                        station=None,
+                        reason=(
+                            f"admission would raise utilization to "
+                            f"{utilization_after:.6g}, past the budget "
+                            f"lease cap {cap:.6g}"
+                        ),
+                        tested_by="budget",
+                        utilization_after=utilization_after,
+                    )
+                    continue
+            candidates.append(candidate)
             keys.append(self._cache_key(base, stream))
             positions.append(j)
 

@@ -127,6 +127,7 @@ def build_admission_controller(
     *,
     cache_namespace: str | None = None,
     engine: "AdmissionEngine | str | None" = None,
+    utilization_cap: float | None = None,
 ) -> AdmissionController:
     """An admission controller behind the engine switch.
 
@@ -135,15 +136,23 @@ def build_admission_controller(
     :class:`IncrementalAdmissionController` — ``auto`` is not a distinct
     engine, it names "incremental where possible", and the incremental
     controller already falls back to the oracle per operation where the
-    snapshot cannot answer.
+    snapshot cannot answer.  ``utilization_cap`` installs the budget
+    gate either way (the gate lives in the shared base class, ahead of
+    the engine hook, so both engines apply it identically).
     """
     choice = resolve_engine(engine)
     if choice is AdmissionEngine.SCALAR:
         return AdmissionController(
-            analysis, policy, cache_namespace=cache_namespace
+            analysis,
+            policy,
+            cache_namespace=cache_namespace,
+            utilization_cap=utilization_cap,
         )
     return IncrementalAdmissionController(
-        analysis, policy, cache_namespace=cache_namespace
+        analysis,
+        policy,
+        cache_namespace=cache_namespace,
+        utilization_cap=utilization_cap,
     )
 
 

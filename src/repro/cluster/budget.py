@@ -1,0 +1,207 @@
+"""The lease-based global utilization budget of a sharded fleet.
+
+A token ring's capacity is one global quantity: the schedulability
+theorems judge the *whole* message set, and the utilization-based
+sufficient bound is a cap on the *sum* of stream utilizations.  Split
+admission control across N independent workers and that cap must be
+split with it — otherwise N workers, each individually under the cap,
+jointly admit past it.
+
+:class:`BudgetLedger` is the router's authoritative view of the split.
+Each worker holds a :class:`Lease` — a slice of the cap it may admit up
+to (enforced worker-side by the ``budget`` gate of
+:class:`repro.admission.AdmissionController`).  The soundness invariant
+
+    ``sum(granted leases) <= cap``
+
+holds at every instant, which makes the fleet argument one line: each
+worker's admitted utilization never exceeds its lease (worker gate), so
+the fleet's admitted utilization never exceeds the sum of leases, which
+never exceeds the cap.  ``cluster_budget_sound`` fuzzes exactly this
+chain, and the ``router_stale_lease`` mutant (a ledger that sizes
+grants from a stale view that ignores outstanding leases) is required
+to be caught by it.
+
+Two-phase shrink: budget freed by *lowering* a shard's lease is not
+re-grantable until the worker **acknowledges** the lower cap (its
+``/v1/lease`` response).  Until the ack arrives the worker may still be
+admitting under the old, larger lease, so the ledger keeps charging the
+old value — :meth:`BudgetLedger.grant` records the target,
+:meth:`BudgetLedger.acknowledge` releases the difference.  Without this
+the reconciler could move budget from A to B while A still spends it.
+
+A dead worker's lease is reclaimed with :meth:`BudgetLedger.reclaim`
+only once the supervisor confirms the process is gone (its admitted
+state died with it); an unreachable-but-alive worker keeps its charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Lease", "BudgetLedger"]
+
+#: Tolerance for float accumulation when checking the ledger invariant.
+_EPSILON = 1e-9
+
+
+@dataclass
+class Lease:
+    """One shard's slice of the global utilization budget.
+
+    ``granted`` is what the ledger charges for the shard (the value the
+    soundness invariant sums); ``target`` is what the router last asked
+    the worker to enforce.  They differ only mid-shrink: ``target`` has
+    dropped but the worker hasn't acknowledged yet, so ``granted`` still
+    carries the old, larger value.
+    """
+
+    shard_id: str
+    granted: float
+    target: float
+
+    @property
+    def settled(self) -> bool:
+        """Whether the worker has acknowledged the current target."""
+        return self.granted == self.target
+
+
+def _grantable(cap: float, outstanding: float) -> float:
+    """Budget headroom available for new grants.
+
+    ``outstanding`` is the sum of every *other* shard's granted lease —
+    the charge the rest of the fleet already holds against the cap.  A
+    router that computes headroom from a stale view (ignoring
+    outstanding grants) re-issues the same budget to several shards;
+    that is exactly the ``router_stale_lease`` mutant, and the
+    ``cluster_budget_sound`` fuzz property exists to catch it.
+    """
+    return max(0.0, cap - outstanding)
+
+
+class BudgetLedger:
+    """The router's authoritative record of the budget split.
+
+    Not thread-safe by itself: the router mutates it only from its
+    single event loop (the same discipline the admission server applies
+    to its batcher).
+    """
+
+    def __init__(self, cap: float):
+        if not cap >= 0.0:
+            raise ConfigurationError(
+                f"budget cap must be non-negative, got {cap!r}"
+            )
+        self._cap = float(cap)
+        self._leases: dict[str, Lease] = {}
+
+    @property
+    def cap(self) -> float:
+        """The fleet-wide utilization cap being split."""
+        return self._cap
+
+    @property
+    def leases(self) -> dict:
+        """A snapshot copy ``{shard_id: Lease}`` of the current split."""
+        return {
+            shard: Lease(lease.shard_id, lease.granted, lease.target)
+            for shard, lease in self._leases.items()
+        }
+
+    def granted_total(self) -> float:
+        """Sum of granted leases — must never exceed :attr:`cap`."""
+        return sum(lease.granted for lease in self._leases.values())
+
+    def lease_of(self, shard_id: str) -> Lease | None:
+        """The shard's lease, or None if it holds no budget."""
+        lease = self._leases.get(shard_id)
+        if lease is None:
+            return None
+        return Lease(lease.shard_id, lease.granted, lease.target)
+
+    def grant(self, shard_id: str, target: float) -> float:
+        """Move a shard's lease toward ``target``; returns the new target.
+
+        Grows are clipped to the available headroom (computed against
+        every *other* shard's granted charge), so the invariant holds by
+        construction.  Shrinks take effect on the ledger only at
+        :meth:`acknowledge` — the returned (possibly clipped) target is
+        what the router should send to the worker.
+        """
+        if not target >= 0.0:
+            raise ConfigurationError(
+                f"lease target must be non-negative, got {target!r}"
+            )
+        lease = self._leases.get(shard_id)
+        current = lease.granted if lease is not None else 0.0
+        if target > current:
+            outstanding = self.granted_total() - current
+            headroom = _grantable(self._cap, outstanding)
+            target = min(target, headroom)
+            # A grow is charged immediately: the worker may start
+            # spending the instant it hears the new cap, and the ledger
+            # must already account for it.
+            granted = max(current, target)
+        else:
+            granted = current  # shrink: keep charging until the ack
+        if lease is None:
+            self._leases[shard_id] = Lease(shard_id, granted, target)
+        else:
+            lease.granted = granted
+            lease.target = target
+        return target
+
+    def acknowledge(self, shard_id: str, acknowledged_cap: float) -> None:
+        """The worker confirmed it now enforces ``acknowledged_cap``.
+
+        Only now may a shrink's freed budget re-enter the pool: the
+        granted charge drops to the acknowledged value (never below the
+        current target — a stale ack from before a later grow must not
+        shed the grow's charge).
+        """
+        lease = self._leases.get(shard_id)
+        if lease is None:
+            return
+        if acknowledged_cap < lease.granted:
+            lease.granted = max(acknowledged_cap, lease.target)
+
+    def reclaim(self, shard_id: str) -> float:
+        """Return a confirmed-dead shard's whole lease to the pool."""
+        lease = self._leases.pop(shard_id, None)
+        return lease.granted if lease is not None else 0.0
+
+    def split_evenly(self, shard_ids) -> dict:
+        """Target an even split of the cap across ``shard_ids``.
+
+        The reconciler's default plan.  Shrinks are planned before
+        grows (two passes) so budget freed by one shard is available to
+        another within the same reconciliation round once the shrink is
+        acknowledged.  Returns ``{shard_id: target}`` to send to the
+        workers.
+        """
+        shard_list = list(dict.fromkeys(shard_ids))
+        if not shard_list:
+            return {}
+        share = self._cap / len(shard_list)
+        targets: dict[str, float] = {}
+        for shard in shard_list:  # pass 1: shrinks free budget
+            lease = self._leases.get(shard)
+            if lease is not None and share <= lease.granted:
+                targets[shard] = self.grant(shard, share)
+        for shard in shard_list:  # pass 2: grows take what's free
+            if shard not in targets:
+                targets[shard] = self.grant(shard, share)
+        return targets
+
+    def sound(self) -> bool:
+        """Whether the soundness invariant currently holds.
+
+        Deliberately a *probe*, not an assertion inside :meth:`grant`:
+        the router exports it (fleet ``/healthz``) and the
+        ``cluster_budget_sound`` fuzz property checks it at every step —
+        a ledger bug must surface as an observed violation, not hide
+        behind its own exception.
+        """
+        return self.granted_total() <= self._cap + _EPSILON

@@ -1,0 +1,326 @@
+"""The prefork worker pool: spawn, watch, restart, drain.
+
+:class:`WorkerPool` owns N worker subprocesses (each running
+:mod:`repro.cluster.worker`).  The design is deliberately poll-driven —
+:meth:`WorkerPool.poll` advances a small per-worker state machine
+(``running → dead → backoff → starting → running``) and returns the
+membership events it produced — so one code path serves both the
+router's asyncio heartbeat task and plain synchronous tests, with no
+background threads to leak.
+
+Discovery is file-based: a worker advertises ``<pid> <port>`` in
+``<runtime_dir>/<shard>.port`` once bound (see
+:mod:`repro.cluster.worker`), and retracts the file when it drains.
+The pool never guesses ports; a worker that dies before advertising is
+respawned like any other death.
+
+Restart policy: a dead worker is respawned after ``restart_backoff_s``,
+at most ``max_restarts`` times per shard per session; a respawned
+worker starts with a **zero** budget lease (it admits nothing until the
+router's reconciler grants it a share of whatever the ledger reclaimed
+from its previous incarnation — the order that keeps the fleet sound,
+since the reclaim happens on the death event, strictly before the new
+grant).
+
+Shutdown is a graceful drain: SIGTERM to every child (the worker's
+signal handler drains its queue before exiting), a grace period, then
+SIGKILL for stragglers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.cluster.config import (
+    ClusterConfig,
+    shard_name,
+    worker_service_config,
+)
+from repro.cluster.worker import port_file_path, read_port_file
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs.logging import get_logger
+
+__all__ = ["WorkerPool", "WorkerHandle"]
+
+_LOG = get_logger("repro.cluster.supervisor")
+
+#: How long a freshly spawned worker gets to bind and advertise.
+_START_TIMEOUT_S = 30.0
+
+
+@dataclasses.dataclass
+class WorkerHandle:
+    """The pool's view of one shard slot."""
+
+    shard_id: str
+    process: subprocess.Popen | None = None
+    port: int | None = None
+    pid: int | None = None
+    state: str = "new"  # new | starting | running | backoff | failed
+    restarts: int = 0
+    respawn_at: float = 0.0
+    initial_cap: float = 0.0
+
+
+class WorkerPool:
+    """N admission-worker subprocesses under one supervisor.
+
+    Usage::
+
+        pool = WorkerPool(config)
+        pool.start()                  # blocks until every worker advertises
+        ...
+        events = pool.poll()          # [("died", shard), ("started", shard)]
+        ...
+        pool.drain()                  # SIGTERM, grace, SIGKILL stragglers
+    """
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self._owns_runtime_dir = config.runtime_dir is None
+        self.runtime_dir = (
+            config.runtime_dir
+            if config.runtime_dir is not None
+            else tempfile.mkdtemp(prefix="repro-cluster-")
+        )
+        os.makedirs(self.runtime_dir, exist_ok=True)
+        self.workers: dict[str, WorkerHandle] = {
+            shard_name(i): WorkerHandle(shard_id=shard_name(i))
+            for i in range(config.n_workers)
+        }
+
+    # -- spawning ------------------------------------------------------------
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        """Launch one worker subprocess (non-blocking)."""
+        service = worker_service_config(
+            self.config, handle.shard_id, handle.initial_cap
+        )
+        config_path = os.path.join(
+            self.runtime_dir, f"{handle.shard_id}.config.json"
+        )
+        with open(config_path, "w") as out:
+            json.dump(dataclasses.asdict(service), out)
+        # A stale advertisement from a previous incarnation must not be
+        # mistaken for the new worker's.
+        try:
+            os.unlink(port_file_path(self.runtime_dir, handle.shard_id))
+        except OSError:
+            pass
+        env = dict(os.environ)
+        src_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        if self.config.cache_dir is not None:
+            env["REPRO_CACHE_DIR"] = self.config.cache_dir
+        log_path = os.path.join(
+            self.runtime_dir, f"{handle.shard_id}.log"
+        )
+        with open(log_path, "ab") as log_file:
+            handle.process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cluster.worker",
+                    "--config",
+                    config_path,
+                    "--runtime-dir",
+                    self.runtime_dir,
+                ],
+                stdout=log_file,
+                stderr=log_file,
+                env=env,
+                start_new_session=True,  # our SIGINT must not reach workers
+            )
+        handle.state = "starting"
+        handle.port = None
+        handle.pid = handle.process.pid
+        _LOG.info(
+            "spawned worker %s (pid %d)", handle.shard_id, handle.process.pid
+        )
+
+    def start(self, timeout_s: float = _START_TIMEOUT_S) -> None:
+        """Spawn every worker and block until all advertise their ports.
+
+        The initial cohort starts with an even budget split
+        (``utilization_cap / n_workers`` each) — the router's ledger
+        adopts the same split on discovery, so the fleet is sound from
+        the first request without waiting a heartbeat.
+        """
+        share = self.config.utilization_cap / self.config.n_workers
+        for handle in self.workers.values():
+            handle.initial_cap = share
+            self._spawn(handle)
+        deadline = time.monotonic() + timeout_s
+        pending = set(self.workers)
+        while pending:
+            for shard in sorted(pending):
+                if self._check_advertised(self.workers[shard]):
+                    pending.discard(shard)
+                    break
+            else:
+                if time.monotonic() > deadline:
+                    self.drain(grace_s=2.0)
+                    raise ServiceError(
+                        f"workers failed to start within {timeout_s:g}s: "
+                        f"{sorted(pending)}"
+                    )
+                self._raise_on_early_death()
+                time.sleep(0.02)
+
+    def _raise_on_early_death(self) -> None:
+        for handle in self.workers.values():
+            if handle.state == "starting" and handle.process.poll() is not None:
+                log_tail = self._log_tail(handle.shard_id)
+                self.drain(grace_s=2.0)
+                raise ServiceError(
+                    f"worker {handle.shard_id} exited during startup "
+                    f"(code {handle.process.returncode}): {log_tail}"
+                )
+
+    def _log_tail(self, shard_id: str, limit: int = 800) -> str:
+        try:
+            with open(
+                os.path.join(self.runtime_dir, f"{shard_id}.log"), "rb"
+            ) as handle:
+                return handle.read()[-limit:].decode("utf-8", "replace")
+        except OSError:
+            return "<no log>"
+
+    def _check_advertised(self, handle: WorkerHandle) -> bool:
+        """Promote a starting worker to running once its port file lands."""
+        advertised = read_port_file(self.runtime_dir, handle.shard_id)
+        if advertised is None:
+            return False
+        pid, port = advertised
+        if pid != handle.process.pid:
+            return False  # stale file from a previous incarnation
+        handle.port = port
+        handle.pid = pid
+        handle.state = "running"
+        return True
+
+    # -- supervision ---------------------------------------------------------
+
+    def poll(self) -> list:
+        """Advance supervision one step; returns membership events.
+
+        Events are ``("died", shard_id)`` — the process is confirmed
+        gone (its lease is safe to reclaim) — and
+        ``("started", shard_id)`` — a (re)spawned worker is advertising
+        and ready for traffic.  ``("failed", shard_id)`` reports a shard
+        that exhausted its restart budget.
+        """
+        events: list = []
+        now = time.monotonic()
+        for handle in self.workers.values():
+            if handle.state == "running":
+                if handle.process.poll() is not None:
+                    _LOG.warning(
+                        "worker %s (pid %d) died with code %s",
+                        handle.shard_id,
+                        handle.pid,
+                        handle.process.returncode,
+                    )
+                    try:
+                        os.unlink(
+                            port_file_path(self.runtime_dir, handle.shard_id)
+                        )
+                    except OSError:
+                        pass
+                    events.append(("died", handle.shard_id))
+                    if handle.restarts < self.config.max_restarts:
+                        handle.state = "backoff"
+                        handle.respawn_at = (
+                            now + self.config.restart_backoff_s
+                        )
+                    else:
+                        handle.state = "failed"
+                        events.append(("failed", handle.shard_id))
+            elif handle.state == "backoff":
+                if now >= handle.respawn_at:
+                    handle.restarts += 1
+                    # A respawn starts leaseless: it admits nothing
+                    # until the router re-grants the budget it
+                    # reclaimed from the dead incarnation.
+                    handle.initial_cap = 0.0
+                    self._spawn(handle)
+            elif handle.state == "starting":
+                if self._check_advertised(handle):
+                    events.append(("started", handle.shard_id))
+                elif handle.process.poll() is not None:
+                    # Died before advertising: treat as a death (the
+                    # restart budget still applies).
+                    events.append(("died", handle.shard_id))
+                    if handle.restarts < self.config.max_restarts:
+                        handle.state = "backoff"
+                        handle.respawn_at = (
+                            now + self.config.restart_backoff_s
+                        )
+                    else:
+                        handle.state = "failed"
+                        events.append(("failed", handle.shard_id))
+        return events
+
+    def running(self) -> dict:
+        """``{shard_id: (pid, port)}`` of the workers ready for traffic."""
+        return {
+            handle.shard_id: (handle.pid, handle.port)
+            for handle in self.workers.values()
+            if handle.state == "running"
+        }
+
+    def kill(self, shard_id: str, *, hard: bool = True) -> None:
+        """Kill one worker (tests use this to exercise the death path)."""
+        handle = self.workers.get(shard_id)
+        if handle is None or handle.process is None:
+            raise ConfigurationError(f"unknown shard {shard_id!r}")
+        sig = signal.SIGKILL if hard else signal.SIGTERM
+        try:
+            handle.process.send_signal(sig)
+        except ProcessLookupError:
+            pass
+
+    # -- shutdown ------------------------------------------------------------
+
+    def drain(self, grace_s: float | None = None) -> None:
+        """Gracefully stop every worker (SIGTERM, grace, SIGKILL)."""
+        grace = (
+            grace_s
+            if grace_s is not None
+            else self.config.service.drain_grace_s + 2.0
+        )
+        procs = [
+            handle.process
+            for handle in self.workers.values()
+            if handle.process is not None and handle.process.poll() is None
+        ]
+        for proc in procs:
+            try:
+                proc.terminate()
+            except ProcessLookupError:
+                pass
+        deadline = time.monotonic() + grace
+        for proc in procs:
+            remaining = deadline - time.monotonic()
+            try:
+                proc.wait(timeout=max(0.05, remaining))
+            except subprocess.TimeoutExpired:
+                _LOG.warning(
+                    "worker pid %d ignored SIGTERM; killing", proc.pid
+                )
+                proc.kill()
+                proc.wait(timeout=5.0)
+        for handle in self.workers.values():
+            if handle.state != "failed":
+                handle.state = "stopped"

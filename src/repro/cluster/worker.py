@@ -1,0 +1,132 @@
+"""Cluster worker entry point: ``python -m repro.cluster.worker``.
+
+One worker is the *unmodified* admission service — same server, same
+batcher, same controller — plus three cluster obligations:
+
+* **identity**: the config carries a ``shard_id``; the server stamps it
+  into ``/healthz``, the Prometheus exposition labels, and an
+  ``X-Shard-Id`` header on every response;
+* **advertisement**: after binding its ephemeral port the worker writes
+  ``<runtime_dir>/<shard_id>.port`` (atomic temp-file + rename, one
+  line: ``<pid> <port>``).  The supervisor and router discover workers
+  only through these files; a drain hook removes the file *before* the
+  listener closes so routing stops the moment a drain begins;
+* **budget**: the config's ``utilization_cap`` is the worker's initial
+  lease (0.0 for a respawned worker — it admits nothing until the
+  router's reconciler grants it budget through ``/v1/lease``).
+
+The worker reads its :class:`~repro.service.protocol.ServiceConfig`
+from a JSON file (``--config``) rather than a CLI flag per field: the
+supervisor writes the file, and one opaque blob keeps the spawn
+interface stable as the config grows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+
+from repro.obs.logging import get_logger, setup_logging
+from repro.service.protocol import ServiceConfig
+from repro.service.server import AdmissionServer
+
+__all__ = ["run_worker", "main"]
+
+_LOG = get_logger("repro.cluster.worker")
+
+
+def port_file_path(runtime_dir: str, shard_id: str) -> str:
+    """Where a shard advertises ``<pid> <port>``."""
+    return os.path.join(runtime_dir, f"{shard_id}.port")
+
+
+def write_port_file(runtime_dir: str, shard_id: str, port: int) -> str:
+    """Atomically publish this worker's pid and bound port."""
+    path = port_file_path(runtime_dir, shard_id)
+    fd, tmp = tempfile.mkstemp(
+        dir=runtime_dir, prefix=f".{shard_id}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{os.getpid()} {port}\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def read_port_file(runtime_dir: str, shard_id: str) -> tuple | None:
+    """``(pid, port)`` from a shard's advertisement, or None."""
+    try:
+        with open(port_file_path(runtime_dir, shard_id)) as handle:
+            text = handle.read().strip()
+    except OSError:
+        return None
+    parts = text.split()
+    if len(parts) != 2:
+        return None
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError:
+        return None
+
+
+async def run_worker(config: ServiceConfig, runtime_dir: str | None) -> None:
+    """Serve one shard until SIGTERM/SIGINT, advertising its port."""
+    server = AdmissionServer(config)
+    await server.start()
+    if runtime_dir is not None and config.shard_id is not None:
+        path = write_port_file(runtime_dir, config.shard_id, server.port)
+
+        def retract():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+        server.add_drain_hook(retract)
+    _LOG.info(
+        "cluster worker %s (pid %d) serving on port %d, lease cap %s",
+        config.shard_id,
+        os.getpid(),
+        server.port,
+        config.utilization_cap,
+    )
+    await server.serve_until_signalled()
+
+
+def main(argv=None) -> int:
+    """CLI entry point: parse args, run one worker until signalled."""
+    parser = argparse.ArgumentParser(
+        description="repro admission-cluster worker process"
+    )
+    parser.add_argument(
+        "--config",
+        required=True,
+        help="path to a JSON file of ServiceConfig fields",
+    )
+    parser.add_argument(
+        "--runtime-dir",
+        default=None,
+        help="directory for the port-advertisement file",
+    )
+    parser.add_argument("--log-level", default="warning")
+    args = parser.parse_args(argv)
+    setup_logging(level=args.log_level)
+    with open(args.config) as handle:
+        fields = json.load(handle)
+    config = ServiceConfig(**fields)
+    asyncio.run(run_worker(config, args.runtime_dir))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

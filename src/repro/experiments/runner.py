@@ -14,6 +14,9 @@ Usage::
     python -m repro.experiments.runner fuzz --fuzz-cases 60 --mutation-smoke
     python -m repro.experiments.runner serve --port 8711 --policy exact
     python -m repro.experiments.runner loadgen --spawn --duration 5 [--churn]
+    python -m repro.experiments.runner loadgen --workers 4 --duration 5
+    python -m repro.experiments.runner cluster --workers 4 --route-policy hash
+    python -m repro.experiments.runner bench-cluster --duration 4
     python -m repro.experiments.runner top --port 8711 --interval 2
     python -m repro.experiments.runner bench-admission
     python -m repro.experiments.runner loss-sweep --fast [--recovery-time 1e-3]
@@ -24,7 +27,13 @@ drives a running server (or spawns one in-process on an ephemeral port
 with ``--spawn``) and writes the latency/throughput canary
 ``BENCH_service.json`` (plus, with ``--latency-csv``, every measured
 latency with its server-side trace id).  ``top`` is the live telemetry
-dashboard over ``/metrics`` (USAGE.md §16).  All record a session
+dashboard over ``/metrics`` (USAGE.md §16).  ``cluster`` runs the
+sharded admission cluster of :mod:`repro.cluster` (USAGE.md §19) — a
+prefork worker pool behind a consistent-hash router — until
+SIGTERM/ctrl-c; ``loadgen --workers N`` spawns such a cluster and
+drives load through its router (per-shard latency split included);
+``bench-cluster`` measures fleet throughput at several worker counts
+and writes ``BENCH_cluster.json``.  All record a session
 summary in the run manifest.  An interrupted run — any experiment — still writes its
 manifest, flagged ``extra.interrupted``, and exits 130.
 
@@ -201,6 +210,109 @@ def _run_serve(args: argparse.Namespace, manifest_extra: dict) -> list[str]:
     return []
 
 
+def _cluster_config(
+    args: argparse.Namespace,
+    *,
+    n_workers: int | None = None,
+    router_port: int | None = None,
+):
+    from repro.cluster.config import ClusterConfig
+
+    return ClusterConfig(
+        n_workers=n_workers if n_workers is not None else args.workers or 4,
+        host=args.host,
+        router_port=args.port if router_port is None else router_port,
+        route_policy=args.route_policy,
+        utilization_cap=args.utilization_cap,
+        cache_dir=args.cache_dir,
+        service=_service_config(args, port=0),
+    )
+
+
+def _run_cluster(args: argparse.Namespace, manifest_extra: dict) -> list[str]:
+    import asyncio
+
+    from repro.cluster.router import ClusterRouter
+    from repro.cluster.supervisor import WorkerPool
+
+    config = _cluster_config(args)
+    pool = WorkerPool(config)
+    router = ClusterRouter(config, pool)
+
+    async def session():
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, pool.start)
+        await router.start()
+        console(
+            f"admission cluster on {config.host}:{router.port} — "
+            f"{config.n_workers} worker(s), policy={config.route_policy}, "
+            f"fleet cap={config.utilization_cap:g}; SIGTERM or ctrl-c drains"
+        )
+        for shard, (pid, port) in sorted(pool.running().items()):
+            console(f"  {shard}: pid {pid} on port {port}")
+        await router.serve_until_signalled()
+
+    asyncio.run(session())
+    manifest_extra["cluster"] = {
+        "n_workers": config.n_workers,
+        "route_policy": config.route_policy,
+        "utilization_cap": config.utilization_cap,
+    }
+    return []
+
+
+def _run_bench_cluster(
+    args: argparse.Namespace, seed: int, manifest_extra: dict
+) -> list[str]:
+    import json
+
+    from repro.experiments.cluster_bench import (
+        cluster_bench_document,
+        run_cluster_bench,
+    )
+
+    counts = tuple(
+        int(part)
+        for part in (args.cluster_counts or "1,4").split(",")
+        if part.strip()
+    )
+    results = run_cluster_bench(
+        seed,
+        worker_counts=counts,
+        duration_s=args.duration,
+        load_workers=args.load_workers,
+        route_policy=args.route_policy,
+        utilization_cap=args.utilization_cap,
+        catalogue_size=args.catalogue,
+        service=_service_config(args, port=0),
+    )
+    document = cluster_bench_document(results)
+    for bench in document["benchmarks"]:
+        info = bench["extra_info"]
+        line = (
+            f"  {bench['name']:<10} "
+            f"{info['report']['throughput_rps']:8.0f} req/s  "
+            f"p99={info['report']['latency_s'].get('p99', 0) * 1e3:.3f} ms"
+        )
+        if "scaling_vs_single" in info:
+            line += f"  scaling={info['scaling_vs_single']:.2f}x"
+        console(line)
+    out_path = args.cluster_bench_json
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    console(f"wrote {out_path}")
+    manifest_extra["cluster_bench"] = {
+        bench["name"]: {
+            key: value
+            for key, value in bench["extra_info"].items()
+            if key != "fleet"
+        }
+        for bench in document["benchmarks"]
+    }
+    return [out_path]
+
+
 def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> list[str]:
     import asyncio
     import dataclasses
@@ -209,6 +321,7 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
     from repro.service.loadgen import (
         LoadConfig,
         bench_document,
+        run_against_spawned_cluster,
         run_against_spawned_server,
         run_load,
     )
@@ -231,7 +344,12 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
         admit_fraction=admit_fraction,
         release_fraction=release_fraction,
     )
-    if args.spawn:
+    fleet = None
+    if args.workers:
+        cluster = _cluster_config(args, router_port=0)
+        report, fleet = asyncio.run(run_against_spawned_cluster(cluster, load))
+        summary = None
+    elif args.spawn:
         config = dataclasses.replace(_service_config(args, port=0))
         report, summary = asyncio.run(run_against_spawned_server(config, load))
     else:
@@ -257,6 +375,22 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
                 for key in ("mean", "p50", "p90", "p99", "p999", "max")
             )
         )
+    for shard, latency in report.shard_latency_s.items():
+        console(
+            f"  shard {shard}: "
+            + "  ".join(
+                f"{key}={latency[key] * 1e3:.3f}"
+                for key in ("mean", "p50", "p90", "p99", "p999", "max")
+            )
+        )
+    if fleet is not None:
+        budget = fleet.get("fleet", {})
+        console(
+            f"fleet: admitted={budget.get('admitted')} "
+            f"utilization={budget.get('utilization', 0.0):.4f} "
+            f"cap={budget.get('utilization_cap')} "
+            f"sound={budget.get('budget_sound')}"
+        )
     if args.latency_csv:
         from repro.service.loadgen import write_latency_csv
 
@@ -268,6 +402,8 @@ def _run_loadgen(args: argparse.Namespace, seed: int, manifest_extra: dict) -> l
         f"draining={report.draining}  errors={report.errors}"
     )
     document = bench_document(report, config=load, server_summary=summary)
+    if fleet is not None:
+        document["benchmarks"][0]["extra_info"]["fleet"] = fleet
     if summary is not None:
         cache = document["benchmarks"][0]["extra_info"]["admission_cache"]
         ratio = cache["hit_ratio"]
@@ -431,6 +567,10 @@ def _dispatch(
         artifacts.extend(_run_serve(args, manifest_extra))
     if args.experiment == "loadgen":
         artifacts.extend(_run_loadgen(args, params.seed, manifest_extra))
+    if args.experiment == "cluster":
+        artifacts.extend(_run_cluster(args, manifest_extra))
+    if args.experiment == "bench-cluster":
+        artifacts.extend(_run_bench_cluster(args, params.seed, manifest_extra))
     if args.experiment == "top":
         exit_code = _run_top(args, manifest_extra)
     if args.experiment == "bench-admission":
@@ -516,7 +656,7 @@ def main(argv: list[str] | None = None) -> int:
             "figure1", "ttrt", "frames", "periods", "sba", "ringsize",
             "throughput", "crossover", "sharpness", "report", "fuzz",
             "serve", "loadgen", "top", "bench-admission", "loss-sweep",
-            "bench-scale", "all",
+            "bench-scale", "cluster", "bench-cluster", "all",
         ],
     )
     service = parser.add_argument_group(
@@ -582,6 +722,35 @@ def main(argv: list[str] | None = None) -> int:
     service.add_argument(
         "--bench-json", type=str, default="BENCH_service.json",
         metavar="PATH", help="loadgen: canary output path",
+    )
+    cluster = parser.add_argument_group(
+        "admission cluster", "options for the cluster/bench-cluster "
+        "commands and loadgen --workers (USAGE.md §19)"
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="cluster: worker processes (default 4); loadgen: spawn an "
+        "N-worker cluster and drive its router (0 = no cluster)",
+    )
+    cluster.add_argument(
+        "--route-policy", type=str, default="hash",
+        choices=["hash", "random", "least-loaded", "power-of-two"],
+        help="cluster: how the router picks a shard per request "
+        "(default: consistent hash over the stream key)",
+    )
+    cluster.add_argument(
+        "--utilization-cap", type=float, default=0.9,
+        help="cluster: the fleet-wide utilization budget the router's "
+        "lease ledger splits across workers",
+    )
+    cluster.add_argument(
+        "--cluster-counts", type=str, default=None, metavar="N0,N1,...",
+        help="bench-cluster: comma-separated worker counts to measure "
+        "(default: 1,4)",
+    )
+    cluster.add_argument(
+        "--cluster-bench-json", type=str, default="BENCH_cluster.json",
+        metavar="PATH", help="bench-cluster: canary output path",
     )
     service.add_argument(
         "--latency-csv", type=str, default=None, metavar="PATH",

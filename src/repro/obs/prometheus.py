@@ -68,8 +68,31 @@ def _help_line(name: str, source: str) -> str:
     return f"# HELP {name} repro metric {source}"
 
 
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_pairs(labels: dict | None) -> str:
+    """The inner ``key="value",...`` text for a constant-label set."""
+    if not labels:
+        return ""
+    return ",".join(
+        f'{sanitize_name(str(key))}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+
+
 def render(
-    snapshot: dict, *, namespace: str = "repro", exemplars: bool = True
+    snapshot: dict,
+    *,
+    namespace: str = "repro",
+    exemplars: bool = True,
+    labels: dict | None = None,
 ) -> str:
     """One snapshot as Prometheus exposition text.
 
@@ -78,10 +101,16 @@ def render(
     types are a :class:`~repro.errors.ConfigurationError` (never skipped
     silently — a scraper that silently loses a family is a debugging
     trap).  ``exemplars=False`` renders strict Prometheus 0.0.4 text for
-    consumers that reject the OpenMetrics exemplar suffix.
+    consumers that reject the OpenMetrics exemplar suffix.  ``labels``
+    attaches a constant label set to **every** sample (histogram buckets
+    merge it with their ``le`` label) — the cluster router serves each
+    shard's families with ``{shard_id="...",worker_pid="..."}`` so one
+    scrape can break out per-shard rates.
     """
     lines: list[str] = []
     prefix = f"{namespace}_" if namespace else ""
+    pairs = _label_pairs(labels)
+    suffix = f"{{{pairs}}}" if pairs else ""
     for source_name in sorted(snapshot):
         data = snapshot[source_name]
         kind = data.get("type")
@@ -90,24 +119,28 @@ def render(
             name = f"{base}_total"
             lines.append(_help_line(name, source_name))
             lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_format_value(data['value'])}")
+            lines.append(f"{name}{suffix} {_format_value(data['value'])}")
         elif kind == "gauge":
             lines.append(_help_line(base, source_name))
             lines.append(f"# TYPE {base} gauge")
-            lines.append(f"{base} {_format_value(data['value'])}")
+            lines.append(f"{base}{suffix} {_format_value(data['value'])}")
         elif kind == "histogram":
             buckets = data.get("buckets")
             if buckets:
                 lines.extend(
                     _render_histogram(
-                        base, source_name, data, buckets, exemplars
+                        base, source_name, data, buckets, exemplars, pairs
                     )
                 )
             else:
                 lines.append(_help_line(base, source_name))
                 lines.append(f"# TYPE {base} summary")
-                lines.append(f"{base}_sum {_format_value(data['total'])}")
-                lines.append(f"{base}_count {_format_value(data['count'])}")
+                lines.append(
+                    f"{base}_sum{suffix} {_format_value(data['total'])}"
+                )
+                lines.append(
+                    f"{base}_count{suffix} {_format_value(data['count'])}"
+                )
         else:
             raise ConfigurationError(
                 f"cannot render metric {source_name!r} of unknown type "
@@ -117,17 +150,24 @@ def render(
 
 
 def _render_histogram(
-    base: str, source_name: str, data: dict, buckets: dict, exemplars: bool
+    base: str,
+    source_name: str,
+    data: dict,
+    buckets: dict,
+    exemplars: bool,
+    pairs: str = "",
 ) -> list[str]:
     lines = [_help_line(base, source_name), f"# TYPE {base} histogram"]
     bounds = buckets["bounds"]
     counts = buckets["counts"]
     stored_exemplars = buckets.get("exemplars", {}) if exemplars else {}
+    suffix = f"{{{pairs}}}" if pairs else ""
+    lead = f"{pairs}," if pairs else ""
     cumulative = 0
     for index, bound in enumerate(bounds):
         cumulative += counts[index]
         line = (
-            f'{base}_bucket{{le="{_format_value(bound)}"}} '
+            f'{base}_bucket{{{lead}le="{_format_value(bound)}"}} '
             f"{_format_value(cumulative)}"
         )
         exemplar = stored_exemplars.get(str(index))
@@ -138,14 +178,14 @@ def _render_histogram(
             )
         lines.append(line)
     cumulative += counts[len(bounds)]
-    line = f'{base}_bucket{{le="+Inf"}} {_format_value(cumulative)}'
+    line = f'{base}_bucket{{{lead}le="+Inf"}} {_format_value(cumulative)}'
     exemplar = stored_exemplars.get(str(len(bounds)))
     if exemplar is not None:
         trace_id, value = exemplar
         line += f' # {{trace_id="{trace_id}"}} {_format_value(value)}'
     lines.append(line)
-    lines.append(f"{base}_sum {_format_value(data['total'])}")
-    lines.append(f"{base}_count {_format_value(data['count'])}")
+    lines.append(f"{base}_sum{suffix} {_format_value(data['total'])}")
+    lines.append(f"{base}_count{suffix} {_format_value(data['count'])}")
     return lines
 
 

@@ -144,6 +144,15 @@ class _EndpointMixin:
         """Headroom report for the admitted population."""
         return self._call("GET", "/v1/breakdown", None)
 
+    def lease(self, utilization_cap: float | None = ...):
+        """Read — or, given a cap (``None`` clears it), install — the
+        worker's utilization-budget lease (cluster control plane)."""
+        if utilization_cap is ...:
+            return self._call("GET", "/v1/lease", None)
+        return self._call(
+            "POST", "/v1/lease", {"utilization_cap": utilization_cap}
+        )
+
     def healthz(self):
         """Liveness / drain status."""
         return self._call("GET", "/healthz", None)

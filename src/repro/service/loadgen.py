@@ -44,6 +44,7 @@ __all__ = [
     "LoadReport",
     "run_load",
     "run_against_spawned_server",
+    "run_against_spawned_cluster",
     "admission_cache_summary",
     "bench_document",
     "write_latency_csv",
@@ -88,6 +89,12 @@ class LoadReport:
     errors: int = 0
     latencies: list = field(default_factory=list)
     latencies_by_op: dict = field(default_factory=dict)
+    #: Per-shard latency samples, keyed by the ``X-Shard-Id`` response
+    #: header — populated only when the target stamps it (a cluster
+    #: router or a shard-labelled worker); empty against a standalone
+    #: server.
+    latencies_by_shard: dict = field(default_factory=dict)
+    shard_latency_s: dict = field(default_factory=dict)
     #: Per-request ``(kind, latency_s, trace_id)`` rows, in completion
     #: order — the ``--latency-csv`` export, with the server-side trace
     #: id (``X-Trace-Id``; empty when the request was unsampled).
@@ -107,6 +114,9 @@ class LoadReport:
             "shed": self.shed,
             "draining": self.draining,
             "errors": self.errors,
+            "shard_latency_s": {
+                k: dict(v) for k, v in self.shard_latency_s.items()
+            },
         }
 
 
@@ -182,6 +192,9 @@ async def _worker(
             elapsed = loop.time() - started
             report.latencies.append(elapsed)
             report.latencies_by_op.setdefault(kind, []).append(elapsed)
+            shard = client.last_headers.get("x-shard-id")
+            if shard:
+                report.latencies_by_shard.setdefault(shard, []).append(elapsed)
             report.samples.append(
                 (kind, elapsed, client.last_headers.get("x-trace-id", ""))
             )
@@ -226,6 +239,12 @@ def _summarize_latencies(report: LoadReport) -> None:
     report.op_latency_s = {
         kind: _percentile_summary(samples)
         for kind, samples in sorted(report.latencies_by_op.items())
+    }
+    # Per-shard percentiles: the first question when a fleet p99
+    # regresses is "which shard?" (see EXPERIMENTS.md).
+    report.shard_latency_s = {
+        shard: _percentile_summary(samples)
+        for shard, samples in sorted(report.latencies_by_shard.items())
     }
 
 
@@ -274,6 +293,42 @@ async def run_against_spawned_server(
     finally:
         await server.drain_and_stop()
     return report, server.summary()
+
+
+async def run_against_spawned_cluster(cluster_config, load_config: LoadConfig):
+    """Spawn a whole sharded cluster, load its router, drain it.
+
+    Spins up a :class:`~repro.cluster.supervisor.WorkerPool` (real
+    worker subprocesses) fronted by a
+    :class:`~repro.cluster.router.ClusterRouter`, points the load at
+    the router's port, and returns ``(client report, fleet summary)``
+    where the fleet summary is the router's ``/healthz`` aggregate
+    (per-shard health, budget-ledger state, soundness probe) captured
+    right before the drain.  The report's per-shard latency split comes
+    from the router's ``X-Shard-Id`` response header.
+    """
+    from repro.cluster.router import ClusterRouter
+    from repro.cluster.supervisor import WorkerPool
+
+    pool = WorkerPool(cluster_config)
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, pool.start)
+    router = ClusterRouter(cluster_config, pool)
+    fleet_summary: dict = {}
+    try:
+        await router.start()
+        effective = LoadConfig(
+            **{
+                **load_config.__dict__,
+                "host": cluster_config.host,
+                "port": router.port,
+            }
+        )
+        report = await run_load(effective)
+        fleet_summary = await router._fleet_healthz()
+    finally:
+        await router.drain_and_stop()
+    return report, fleet_summary
 
 
 def admission_cache_summary(server_summary: dict) -> dict:

@@ -7,7 +7,11 @@ The service speaks JSON over HTTP/1.1.  Endpoints:
 ``/v1/admit``      POST    admission request (installs the stream on acceptance)
 ``/v1/release``    POST    release a previously admitted stream
 ``/v1/breakdown``  GET     headroom report for the admitted population
-``/healthz``       GET     liveness/drain status plus queue depth
+``/v1/lease``      GET     this worker's utilization-budget lease
+``/v1/lease``      POST    install a new lease cap (cluster control plane)
+``/healthz``       GET     liveness/drain status plus queue depth, shard
+                           identity (``shard_id``/``worker_pid``), and
+                           cache corruption counters
 ``/metrics``       GET     metric snapshot; ``?format=prometheus`` for
                            text exposition, ``?format=json`` (default)
 ``/v1/traces``     GET     recent request traces (``?limit=N``), newest last
@@ -93,6 +97,8 @@ class ServiceConfig:
     rate_limit_burst: float = 50.0
     cache_namespace: str | None = "admission"
     drain_grace_s: float = 5.0
+    shard_id: str | None = None  # cluster worker identity; None standalone
+    utilization_cap: float | None = None  # budget lease; None unbounded
     trace_sample_rate: float = 1.0  # fraction of requests traced
     trace_buffer: int = 256  # traces retained for /v1/traces
     trace_jsonl: str | None = None  # append finished traces here
@@ -143,6 +149,11 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"slow_trace_s must be non-negative, got {self.slow_trace_s!r}"
             )
+        if self.utilization_cap is not None and not self.utilization_cap >= 0:
+            raise ConfigurationError(
+                f"utilization_cap must be non-negative, got "
+                f"{self.utilization_cap!r}"
+            )
 
 
 def build_controller(config: ServiceConfig) -> AdmissionController:
@@ -183,6 +194,7 @@ def build_controller(config: ServiceConfig) -> AdmissionController:
         AdmissionPolicy(config.policy),
         cache_namespace=config.cache_namespace,
         engine=config.admission_engine,
+        utilization_cap=config.utilization_cap,
     )
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import signal
 from dataclasses import dataclass
 from urllib.parse import parse_qs
@@ -144,6 +145,7 @@ class AdmissionServer:
         self._server: asyncio.AbstractServer | None = None
         self._draining = False
         self._drained = asyncio.Event()
+        self._drain_hooks: list = []
         self._m_http = metrics.counter("service.http_requests")
         self._m_errors = metrics.counter("service.http_errors")
         self._m_internal = metrics.counter("service.errors.internal")
@@ -172,12 +174,28 @@ class AdmissionServer:
             self.controller.engine_name,
         )
 
+    def add_drain_hook(self, hook) -> None:
+        """Register a zero-argument callable run when a drain begins.
+
+        Cluster workers use this to retract their port advertisement
+        (the supervisor's discovery file) *before* the listener closes,
+        so the router stops routing to a worker the moment it starts
+        draining rather than when its socket dies.  Hooks must not
+        raise; exceptions are logged and swallowed.
+        """
+        self._drain_hooks.append(hook)
+
     async def drain_and_stop(self) -> None:
         """Stop accepting, answer everything queued, shut down."""
         if self._draining:
             await self._drained.wait()
             return
         self._draining = True
+        for hook in self._drain_hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 - drain must always complete
+                _LOG.warning("drain hook failed", exc_info=True)
         _LOG.info("drain requested: closing listener, flushing queue")
         if self._server is not None:
             self._server.close()
@@ -214,12 +232,24 @@ class AdmissionServer:
                 loop.remove_signal_handler(sig)
         await self.drain_and_stop()
 
+    def _cache_error_count(self) -> float:
+        """Total disk/memory-tier cache corruption errors this process."""
+        total = 0.0
+        for name, data in metrics.snapshot(prefix="cache.").items():
+            if name.endswith(".errors"):
+                total += data.get("value", 0.0)
+        return total
+
     def summary(self) -> dict:
         """Session counters for the run manifest / loadgen report."""
         return {
             "schema_version": WIRE_SCHEMA_VERSION,
+            "shard_id": self.config.shard_id,
+            "worker_pid": os.getpid(),
             "admitted": self.controller.admitted_count,
             "utilization": self.controller.utilization(),
+            "utilization_cap": self.controller.utilization_cap,
+            "cache_errors": self._cache_error_count(),
             "admission_engine": self.controller.engine_name,
             "metrics": metrics.snapshot(prefix=_METRIC_PREFIXES),
             "spans": {
@@ -256,6 +286,10 @@ class AdmissionServer:
                     trace.attrs["status"] = status
                     extra_headers = list(extra_headers) + [
                         ("X-Trace-Id", trace.trace_id)
+                    ]
+                if self.config.shard_id is not None:
+                    extra_headers = list(extra_headers) + [
+                        ("X-Shard-Id", self.config.shard_id)
                     ]
                 # Group the per-request updates so a concurrent snapshot
                 # never sees the counter without its latency observation.
@@ -353,6 +387,23 @@ class AdmissionServer:
                 if method != "GET":
                     return self._method_not_allowed("GET")
                 return self._traces_endpoint(query)
+            if path == "/v1/lease":
+                if method == "GET":
+                    return (
+                        200,
+                        {
+                            "schema_version": WIRE_SCHEMA_VERSION,
+                            "shard_id": self.config.shard_id,
+                            "worker_pid": os.getpid(),
+                            "utilization_cap": self.controller.utilization_cap,
+                            "utilization": self.controller.utilization(),
+                            "admitted": self.controller.admitted_count,
+                        },
+                        [],
+                    )
+                if method != "POST":
+                    return self._method_not_allowed("GET, POST")
+                return self._lease_endpoint(body)
             if path == "/v1/breakdown":
                 if method != "GET":
                     return self._method_not_allowed("GET")
@@ -460,7 +511,13 @@ class AdmissionServer:
                 [],
             )
         if fmt == "prometheus":
-            text = prometheus.render(snap)
+            labels = None
+            if self.config.shard_id is not None:
+                labels = {
+                    "shard_id": self.config.shard_id,
+                    "worker_pid": str(os.getpid()),
+                }
+            text = prometheus.render(snap, labels=labels)
             return (
                 200,
                 _RawBody(prometheus.CONTENT_TYPE, text.encode("utf-8")),
@@ -511,12 +568,57 @@ class AdmissionServer:
         return {
             "schema_version": WIRE_SCHEMA_VERSION,
             "status": "draining" if self._draining else "ok",
+            "shard_id": self.config.shard_id,
+            "worker_pid": os.getpid(),
             "queue_depth": self.batcher.queue_depth,
             "admitted": self.controller.admitted_count,
+            "utilization": self.controller.utilization(),
+            "utilization_cap": self.controller.utilization_cap,
+            "cache_errors": self._cache_error_count(),
             "protocol": self.config.protocol,
             "policy": self.config.policy,
             "admission_engine": self.controller.engine_name,
         }
+
+    def _lease_endpoint(self, body: bytes):
+        """``/v1/lease``: read or install this worker's utilization lease.
+
+        POST body ``{"utilization_cap": float | null}`` installs a new
+        budget cap on the controller (null removes it) and answers with
+        both the previous and the now-active cap — the router treats the
+        response as the worker's acknowledgement, and only re-grants
+        budget freed by a shrink *after* this acknowledgement arrives
+        (see :mod:`repro.cluster.budget`).  Lease administration is
+        control-plane: it works during a drain, is never batched, and is
+        never rate-limited.
+        """
+        parsed = load_body(body)
+        if "utilization_cap" not in parsed:
+            raise ServiceError("field 'utilization_cap' is required")
+        cap = parsed["utilization_cap"]
+        if cap is not None and (
+            not isinstance(cap, (int, float)) or isinstance(cap, bool)
+        ):
+            raise ServiceError(
+                f"field 'utilization_cap' must be a number or null, got {cap!r}"
+            )
+        try:
+            previous = self.controller.set_utilization_cap(cap)
+        except ReproError as exc:
+            raise ServiceError(str(exc)) from exc
+        return (
+            200,
+            {
+                "schema_version": WIRE_SCHEMA_VERSION,
+                "shard_id": self.config.shard_id,
+                "worker_pid": os.getpid(),
+                "previous_cap": previous,
+                "utilization_cap": self.controller.utilization_cap,
+                "utilization": self.controller.utilization(),
+                "admitted": self.controller.admitted_count,
+            },
+            [],
+        )
 
     async def _breakdown(self) -> dict:
         """Headroom of the admitted population (off the event loop)."""

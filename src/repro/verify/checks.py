@@ -87,19 +87,38 @@ The properties:
     recovery time — an injector that consumes fault events without
     charging the stall (the ``fault_recovery_swallowed`` mutant) must be
     flagged here.
+``cluster_shard_equiv``
+    Sharding is pure deployment work: an in-process cluster (consistent
+    hashing, fleet-id translation, even budget leases) must answer a
+    derived op stream **bit-identically** to per-shard standalone
+    controllers replaying exactly the worker-local subsequences the
+    router produced — same decisions, ids, budget rejections, faults —
+    and the hash ring must honor minimal disruption when a shard
+    leaves.
+``cluster_budget_sound``
+    Capacity is one global quantity (the utilization bound judges the
+    fleet's *sum*): the granted leases may never exceed the global cap,
+    the fleet's admitted utilization may never exceed it either — even
+    across a mid-stream worker death with reclaim and redistribution —
+    and a ledger that sizes grants from a stale view of outstanding
+    leases (the ``router_stale_lease`` mutant) must be observed here
+    overcommitting under demand pressure.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
 from repro import admission as admission_mod
 from repro import admission_incremental as admission_incremental_mod
+from repro.cluster import budget as cluster_budget_mod
+from repro.cluster import core as cluster_core_mod
+from repro.cluster import hashring as cluster_hashring_mod
 
 from repro.analysis import boundary as boundary_mod
 from repro.analysis import montecarlo as montecarlo_mod
@@ -1287,6 +1306,231 @@ def check_mc_streaming_equiv(case: FuzzCase) -> Violation | None:
     return None
 
 
+def _cluster_op_stream(case: FuzzCase) -> list:
+    """A deterministic check/admit/release interleaving for cluster runs.
+
+    Same derivation discipline as ``service_batch_equiv``: everything
+    flows from ``case.seed``/``case.index`` through integer arithmetic,
+    so the stream is identical across processes and PYTHONHASHSEED
+    values.  Release targets are drawn from the *fleet* id space,
+    including ids never assigned, so the front's unknown-stream path is
+    exercised alongside real releases.
+    """
+    rng = random.Random(case.seed * 1_000_003 + case.index + 77)
+    ops: list[admission_mod.AdmissionOp] = []
+    for period_s, payload_bits in zip(case.periods_s, case.payloads_bits):
+        roll = rng.random()
+        if roll < 0.45:
+            ops.append(admission_mod.AdmissionOp.admit(period_s, payload_bits))
+        else:
+            ops.append(admission_mod.AdmissionOp.check(period_s, payload_bits))
+        if rng.random() < 0.35:
+            ops.append(
+                admission_mod.AdmissionOp.release(
+                    rng.randrange(1, len(case.periods_s) + 2),
+                    idempotent=rng.random() < 0.5,
+                )
+            )
+    return ops
+
+
+def check_cluster_shard_equiv(case: FuzzCase) -> Violation | None:
+    """Sharded admission must be the single controller, bit for bit.
+
+    An :class:`~repro.cluster.core.InProcessCluster` (consistent-hash
+    routing, fleet-id translation, even budget leases) runs a derived op
+    stream while a per-shard oracle — a fresh standalone
+    :class:`~repro.admission.AdmissionController` holding the same lease
+    cap — replays, in lockstep, exactly the worker-local subsequence the
+    directory routed to that shard.  Every decision, station/id
+    assignment, budget rejection, and fault must agree bit for bit once
+    fleet ids are translated back to shard-local ones.  Also pins the
+    hash ring's minimal-disruption contract: removing one shard may only
+    move keys that shard owned.
+    """
+    policy = (
+        admission_mod.AdmissionPolicy.EXACT,
+        admission_mod.AdmissionPolicy.SUFFICIENT,
+        admission_mod.AdmissionPolicy.HYBRID,
+    )[case.index % 3]
+    if case.index % 2:
+        make_analysis = lambda: _ttp_analysis(case)  # noqa: E731
+    else:
+        make_analysis = lambda: _pdp_analysis(  # noqa: E731
+            case, PDPVariant.MODIFIED
+        )
+    cap = 0.25 + 0.2 * (case.index % 4)
+    n_shards = 2 + case.index % 2
+    shard_ids = [f"w{i}" for i in range(n_shards)]
+    cluster = cluster_core_mod.InProcessCluster(
+        shard_ids,
+        lambda: admission_mod.AdmissionController(make_analysis(), policy),
+        utilization_cap=cap,
+        policy="hash",
+        seed=case.seed,
+    )
+    oracles = {}
+    for shard in shard_ids:
+        oracle = admission_mod.AdmissionController(make_analysis(), policy)
+        lease = cluster.ledger.lease_of(shard)
+        oracle.set_utilization_cap(lease.target if lease else 0.0)
+        oracles[shard] = oracle
+
+    for position, op in enumerate(_cluster_op_stream(case)):
+        lengths = {
+            shard: len(history)
+            for shard, history in cluster.histories.items()
+        }
+        got = cluster.dispatch(op)
+        routed = [
+            shard
+            for shard, history in cluster.histories.items()
+            if len(history) > lengths[shard]
+        ]
+        if not routed:
+            # Answered at the front (unknown fleet id): the wording is
+            # pinned against the controller's own by construction; a
+            # real controller never saw the op, so there is nothing to
+            # replay.
+            continue
+        shard = routed[0]
+        local_op = cluster.histories[shard][-1]
+        want = oracles[shard].process_batch([local_op])[0]
+        # Translate the cluster's fleet-term answer back to shard-local
+        # terms before comparing.
+        local_got = got
+        if isinstance(got, admission_mod.AdmissionDecision):
+            if got.admitted and got.stream_id is not None:
+                owner = cluster.directory.owner_of(got.stream_id)
+                if owner is None or owner[0] != shard:
+                    return Violation(
+                        "cluster_shard_equiv",
+                        case,
+                        f"op {position}: admitted fleet id {got.stream_id} "
+                        f"not mapped to routed shard {shard}",
+                    )
+                local_got = replace(got, stream_id=owner[1])
+        elif isinstance(got, admission_mod.ReleaseOutcome):
+            local_got = replace(got, stream_id=local_op.stream_id)
+        if local_got != want:
+            return Violation(
+                "cluster_shard_equiv",
+                case,
+                f"op {position} ({local_op.kind}) on shard {shard} "
+                f"diverged: cluster={local_got!r}, standalone={want!r}",
+            )
+
+    # Minimal disruption: keys not owned by the removed shard must not
+    # move when it leaves the ring.
+    ring = cluster_hashring_mod.HashRing(shard_ids)
+    victim = shard_ids[case.index % len(shard_ids)]
+    shrunk = ring.without(victim)
+    for period_s, payload_bits in zip(case.periods_s, case.payloads_bits):
+        key = cluster_hashring_mod.stream_key(period_s, payload_bits)
+        before = ring.lookup(key)
+        after = shrunk.lookup(key)
+        if before != victim and after != before:
+            return Violation(
+                "cluster_shard_equiv",
+                case,
+                f"ring moved key {key!r} from surviving shard {before} "
+                f"to {after} when {victim} left",
+            )
+        if before == victim and after == victim:
+            return Violation(
+                "cluster_shard_equiv",
+                case,
+                f"ring still routes key {key!r} to removed shard {victim}",
+            )
+    return None
+
+
+def check_cluster_budget_sound(case: FuzzCase) -> Violation | None:
+    """The fleet can never jointly admit past the global cap.
+
+    Two layers, both checked at every step.  First a live
+    :class:`~repro.cluster.core.InProcessCluster` — including a
+    mid-stream worker death with lease reclaim and redistribution —
+    where the *fleet's* admitted utilization must stay within the global
+    cap and the ledger's soundness probe must hold.  Second a
+    demand-overcommit churn directly on a
+    :class:`~repro.cluster.budget.BudgetLedger`: grants whose combined
+    demand exceeds the cap, interleaved with acknowledgements and
+    reclaims, where a ledger that sizes grants from a stale view of
+    outstanding leases (the ``router_stale_lease`` mutant) overcommits
+    and is observed here.
+    """
+    cap = 0.3 + 0.2 * (case.index % 3)
+    shard_ids = ["w0", "w1", "w2"]
+    if case.index % 2:
+        make_analysis = lambda: _ttp_analysis(case)  # noqa: E731
+    else:
+        make_analysis = lambda: _pdp_analysis(  # noqa: E731
+            case, PDPVariant.MODIFIED
+        )
+    cluster = cluster_core_mod.InProcessCluster(
+        shard_ids,
+        lambda: admission_mod.AdmissionController(
+            make_analysis(), admission_mod.AdmissionPolicy.EXACT
+        ),
+        utilization_cap=cap,
+        policy="hash",
+        seed=case.seed,
+    )
+    ops = _cluster_op_stream(case)
+    kill_at = len(ops) // 2
+    epsilon = 1e-9
+    for position, op in enumerate(ops):
+        if position == kill_at and len(cluster.workers) > 1:
+            cluster.kill_shard(sorted(cluster.workers)[case.index % 2])
+        cluster.dispatch(op)
+        if not cluster.ledger.sound():
+            return Violation(
+                "cluster_budget_sound",
+                case,
+                f"after op {position}: granted leases "
+                f"{cluster.ledger.granted_total()!r} exceed the fleet cap "
+                f"{cap!r}",
+            )
+        fleet = cluster.fleet_utilization()
+        if fleet > cap + epsilon:
+            return Violation(
+                "cluster_budget_sound",
+                case,
+                f"after op {position}: fleet admitted utilization "
+                f"{fleet!r} exceeds the global cap {cap!r}",
+            )
+
+    # Demand-overcommit churn straight on the ledger: total demand is
+    # drawn well past the cap, so a correct ledger must clip and a
+    # stale-view ledger visibly overcommits.
+    rng = random.Random(case.seed * 1_000_003 + case.index + 991)
+    ledger = cluster_budget_mod.BudgetLedger(cap)
+    shards = [f"s{i}" for i in range(4)]
+    for step in range(24):
+        roll = rng.random()
+        shard = shards[rng.randrange(len(shards))]
+        if roll < 0.6:
+            granted = ledger.grant(shard, rng.uniform(0.0, 1.5 * cap))
+            if rng.random() < 0.7:
+                ledger.acknowledge(shard, granted)
+        elif roll < 0.8:
+            lease = ledger.lease_of(shard)
+            if lease is not None:
+                ledger.acknowledge(shard, lease.target)
+        else:
+            ledger.reclaim(shard)
+        if not ledger.sound():
+            return Violation(
+                "cluster_budget_sound",
+                case,
+                f"ledger churn step {step}: granted total "
+                f"{ledger.granted_total()!r} exceeds cap {cap!r} "
+                f"(stale-view grant sizing)",
+            )
+    return None
+
+
 CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "pdp_vs_sim": check_pdp_vs_sim,
     "ttp_vs_sim": check_ttp_vs_sim,
@@ -1305,6 +1549,8 @@ CHECKS: dict[str, Callable[[FuzzCase], Violation | None]] = {
     "fault_plan_determinism": check_fault_plan_determinism,
     "columnar_equiv": check_columnar_equiv,
     "mc_streaming_equiv": check_mc_streaming_equiv,
+    "cluster_shard_equiv": check_cluster_shard_equiv,
+    "cluster_budget_sound": check_cluster_budget_sound,
 }
 
 

@@ -57,6 +57,13 @@ The mutants, and the property expected to catch each:
     is vacuous → caught by ``fault_plan_determinism``'s positive-rate
     probe, which asserts that consumed token losses charge strictly
     positive recovery time.
+``router_stale_lease``
+    The cluster budget ledger sizes grants from a stale view of the
+    fleet — headroom computed as if no other shard held a lease — so
+    several workers are granted the same budget and the fleet can
+    jointly admit past the global utilization cap → caught by
+    ``cluster_budget_sound``'s demand-overcommit churn, which observes
+    the granted total exceeding the cap.
 """
 
 from __future__ import annotations
@@ -173,6 +180,10 @@ def _buggy_stall_cost(recovery_time_s):
     return 0.0  # BUG: consumes the fault event but never charges recovery
 
 
+def _buggy_grantable(cap, outstanding):
+    return max(0.0, cap)  # BUG: stale view — ignores outstanding leases
+
+
 def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
     """(owner, attribute, replacement) triples for one mutant.
 
@@ -225,6 +236,10 @@ def _patch_sites(mutant: str) -> list[tuple[object, str, object]]:
         from repro.faults import injector as faults_injector_mod
 
         return [(faults_injector_mod, "_stall_cost", _buggy_stall_cost)]
+    if mutant == "router_stale_lease":
+        from repro.cluster import budget as cluster_budget_mod
+
+        return [(cluster_budget_mod, "_grantable", _buggy_grantable)]
     raise KeyError(mutant)
 
 
@@ -236,6 +251,7 @@ MUTANTS: tuple[str, ...] = (
     "pdp_fastpath_short_frame",
     "incremental_stale_level",
     "fault_recovery_swallowed",
+    "router_stale_lease",
 )
 
 

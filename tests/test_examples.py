@@ -4,6 +4,7 @@ Examples are the library's public face; a refactor that silently breaks
 them is a release-blocking regression even if the unit tests stay green.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -11,6 +12,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
 
 EXPECTED_MARKERS = {
     "admission_control.py": ["admitted", "provably schedulable"],
@@ -25,11 +27,19 @@ EXPECTED_MARKERS = {
 
 @pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
 def test_example_runs(script):
+    # The examples import `repro` from src/ without an install; the
+    # subprocess needs the path even when pytest itself was launched
+    # bare (pytest's own `pythonpath` config does not reach children).
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC_DIR), env.get("PYTHONPATH")) if p
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert result.returncode == 0, f"{script} failed:\n{result.stderr}"
     for marker in EXPECTED_MARKERS[script]:

@@ -52,6 +52,17 @@ run must reach the target CI with no more evaluations than plain
 sampling (and agree with it within the combined CI), and a committed
 ``BENCH_scale.json`` must record the same floors.
 
+The cluster canary spawns a real 2-worker sharded fleet (worker
+subprocesses behind the consistent-hash router) and drives paced load
+through the front: zero transport errors, traffic on every shard, and
+sound fleet accounting — the lease total and the jointly admitted
+utilization must stay within the aggregate cap.  A committed
+``BENCH_cluster.json`` (from ``make bench-cluster``) must carry the
+single-worker baseline and a sound budget in every entry; its measured
+multi-worker scaling ratio is held to a 2.5x floor only when it was
+recorded on a host with 4+ cores (on fewer cores the honest ratio
+cannot exceed ~1x and the floor is skipped with a notice).
+
 Finally the perf-regression guard re-runs the ``bench-quick`` canary
 benchmarks and compares their means against the committed
 ``BENCH_figure1.json`` baseline: any benchmark that got more than 2x
@@ -736,6 +747,168 @@ def run_scale_guard() -> None:
     )
 
 
+#: Cluster canary shape: a 2-worker fleet driven for a couple of paced
+#: seconds — enough to prove routing, budget accounting, and per-shard
+#: telemetry without turning verify into a benchmark run.
+_CLUSTER_DURATION_S = 2.0
+_CLUSTER_TARGET_RPS = 300.0
+_CLUSTER_WORKERS = 2
+
+#: Scaling floor for the *committed* BENCH_cluster.json: a 4-worker
+#: fleet must deliver at least this multiple of the single-worker fleet
+#: throughput — but only when the canary was recorded on hardware that
+#: can physically express it (cores >= _CLUSTER_MIN_CPUS).  On a 1-core
+#: host every worker shares the core and the router adds a hop, so the
+#: honest measured ratio is <= 1 and the floor is meaningless.
+_CLUSTER_SCALING_FLOOR = 2.5
+_CLUSTER_MIN_CPUS = 4
+
+
+def run_cluster_canary() -> None:
+    """Spawn a live sharded fleet, then audit the committed cluster bench.
+
+    Live half: ``runner loadgen --workers 2`` spawns two worker
+    subprocesses behind the consistent-hash router and drives paced
+    load through the front.  The run must complete with zero transport
+    errors, traffic must reach *both* shards (per-shard latency
+    percentiles present for w0 and w1), and the fleet accounting must
+    come back sound: lease total within the aggregate cap and joint
+    admitted utilization never past it.
+
+    Committed half: ``BENCH_cluster.json`` (from ``make bench-cluster``)
+    must carry the single-worker baseline, a sound budget in every
+    entry, and — when it was recorded on a host with at least
+    ``_CLUSTER_MIN_CPUS`` cores — a measured multi-worker scaling ratio
+    of at least ``_CLUSTER_SCALING_FLOOR``.  Recorded on smaller
+    hardware, the ratio is reported but the floor is skipped with a
+    notice (same rule as the wall-clock bench guards).
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+        bench_path = os.path.join(tmp, "BENCH_cluster_live.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments.runner", "loadgen",
+                "--workers", str(_CLUSTER_WORKERS),
+                "--duration", str(_CLUSTER_DURATION_S),
+                "--load-workers", "4",
+                "--target-rps", str(_CLUSTER_TARGET_RPS),
+                "--bench-json", bench_path,
+                "--no-manifest", "--quiet", "--log-level", "error",
+            ],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            raise AssertionError(
+                f"cluster canary exited {proc.returncode}\n"
+                f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+            )
+        with open(bench_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        extra = document["benchmarks"][0]["extra_info"]
+        report = extra["report"]
+        fleet = extra["fleet"]
+        if report["errors"]:
+            raise AssertionError(
+                f"cluster canary saw {report['errors']} transport errors "
+                "through the router"
+            )
+        floor = 0.5 * _CLUSTER_TARGET_RPS * _CLUSTER_DURATION_S
+        if report["requests"] < floor:
+            raise AssertionError(
+                f"cluster served only {report['requests']} requests; "
+                f"expected at least {floor:.0f} at the paced rate"
+            )
+        shard_keys = set(report.get("shard_latency_s", {}))
+        expected = {f"w{i}" for i in range(_CLUSTER_WORKERS)}
+        if not expected <= shard_keys:
+            raise AssertionError(
+                "traffic did not reach every shard: per-shard latency "
+                f"covers {sorted(shard_keys)}, expected at least "
+                f"{sorted(expected)} — the hash router is not spreading "
+                "the catalogue"
+            )
+        if fleet["reachable"] != _CLUSTER_WORKERS:
+            raise AssertionError(
+                f"only {fleet['reachable']}/{_CLUSTER_WORKERS} workers "
+                "reachable at the end of the canary run"
+            )
+        if not fleet["fleet"]["budget_sound"]:
+            raise AssertionError(
+                "fleet lease ledger is unsound: granted "
+                f"{fleet['fleet']['lease_granted_total']!r} vs cap "
+                f"{fleet['fleet']['utilization_cap']!r}"
+            )
+        cap = fleet["fleet"]["utilization_cap"]
+        joint = fleet["fleet"]["utilization"]
+        if joint > cap + 1e-9:
+            raise AssertionError(
+                f"fleet jointly admitted utilization {joint:.6f} past the "
+                f"aggregate cap {cap:.6f} — the lease split is not "
+                "containing the workers"
+            )
+
+    baseline_path = os.path.join(REPO_ROOT, "BENCH_cluster.json")
+    suffix = "no committed BENCH_cluster.json"
+    if os.path.exists(baseline_path):
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        by_name = {
+            bench["name"]: bench for bench in baseline.get("benchmarks", [])
+        }
+        if "fleet_w1" not in by_name:
+            raise AssertionError(
+                "BENCH_cluster.json has no single-worker baseline entry"
+            )
+        for name, bench in sorted(by_name.items()):
+            bench_fleet = bench["extra_info"]["fleet"]["fleet"]
+            if not bench_fleet["budget_sound"]:
+                raise AssertionError(
+                    f"BENCH_cluster.json entry {name} records an unsound "
+                    "budget ledger"
+                )
+        scaled = [
+            (name, bench)
+            for name, bench in sorted(by_name.items())
+            if "scaling_vs_single" in bench["extra_info"]
+        ]
+        if not scaled:
+            raise AssertionError(
+                "BENCH_cluster.json has no multi-worker scaling entry"
+            )
+        name, bench = scaled[-1]
+        ratio = bench["extra_info"]["scaling_vs_single"]
+        recorded_cpus = bench["extra_info"].get("cpu_count") or 0
+        if recorded_cpus >= _CLUSTER_MIN_CPUS:
+            if ratio < _CLUSTER_SCALING_FLOOR:
+                raise AssertionError(
+                    f"BENCH_cluster.json {name} scaled only {ratio:.2f}x "
+                    f"vs the single-worker fleet on a {recorded_cpus}-core "
+                    f"host; the {_CLUSTER_SCALING_FLOOR}x floor means the "
+                    "fleet stopped parallelising"
+                )
+            suffix = (
+                f"committed {name} scaling {ratio:.2f}x holds the "
+                f"{_CLUSTER_SCALING_FLOOR}x floor"
+            )
+        else:
+            suffix = (
+                f"committed {name} scaling {ratio:.2f}x recorded on a "
+                f"{recorded_cpus}-core host — floor needs "
+                f"{_CLUSTER_MIN_CPUS}+ cores, skipped with this notice"
+            )
+    print(
+        "verify_smoke: ok (cluster canary: "
+        f"{report['requests']} requests through the router across "
+        f"{len(shard_keys)} shards, fleet budget sound; {suffix})"
+    )
+
+
 def run_top_smoke() -> None:
     """One ``runner top --once --spawn`` frame must render live telemetry.
 
@@ -795,6 +968,7 @@ if __name__ == "__main__":
     run_admission_guard()
     run_loss_canary()
     run_scale_guard()
+    run_cluster_canary()
     run_bench_guard()
     run_top_smoke()
     run_bench_trend_guard()
